@@ -1,0 +1,181 @@
+// Microbenchmarks of the numeric kernels underlying every experiment:
+// scoring, backprop, aggregation, DDR and RESKD. Uses google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "src/core/decorrelation.h"
+#include "src/core/distillation.h"
+#include "src/data/dataset.h"
+#include "src/data/synthetic.h"
+#include "src/eval/metrics.h"
+#include "src/math/activations.h"
+#include "src/math/adam.h"
+#include "src/math/eigen.h"
+#include "src/math/init.h"
+#include "src/math/stats.h"
+#include "src/models/scorer.h"
+
+namespace hetefedrec {
+namespace {
+
+constexpr size_t kItems = 2048;
+
+Matrix RandomTable(size_t rows, size_t cols, uint64_t seed = 3) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  InitNormal(&m, 0.1, &rng);
+  return m;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Matrix a = RandomTable(n, n, 1);
+  Matrix b = RandomTable(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Matrix::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_FfnForward(benchmark::State& state) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  FeedForwardNet net(2 * width, {8, 8});
+  Rng rng(5);
+  net.InitXavier(&rng);
+  std::vector<double> x(2 * width, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Forward(x.data(), nullptr));
+  }
+}
+BENCHMARK(BM_FfnForward)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_FfnForwardBackward(benchmark::State& state) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  FeedForwardNet net(2 * width, {8, 8});
+  Rng rng(7);
+  net.InitXavier(&rng);
+  std::vector<double> x(2 * width, 0.3);
+  std::vector<double> dx(2 * width);
+  FeedForwardNet grads = FeedForwardNet::ZerosLike(net);
+  FeedForwardNet::Cache cache;
+  for (auto _ : state) {
+    double logit = net.Forward(x.data(), &cache);
+    net.Backward(cache, BceWithLogitsGrad(logit, 1.0), &grads, dx.data());
+    benchmark::DoNotOptimize(grads);
+  }
+}
+BENCHMARK(BM_FfnForwardBackward)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ScorerFullCatalogue(benchmark::State& state) {
+  // Cost of ranking all items for one user (the evaluation inner loop).
+  const size_t width = static_cast<size_t>(state.range(0));
+  const BaseModel model =
+      state.range(1) == 0 ? BaseModel::kNcf : BaseModel::kLightGcn;
+  Matrix table = RandomTable(kItems, width);
+  Matrix user = RandomTable(1, width, 11);
+  FeedForwardNet theta(2 * width, {8, 8});
+  Rng rng(13);
+  theta.InitXavier(&rng);
+  std::vector<ItemId> interacted;
+  for (ItemId i = 0; i < 64; ++i) interacted.push_back(i * 7 % kItems);
+
+  Scorer sc(model, width);
+  for (auto _ : state) {
+    sc.BeginUser(user.Row(0), table, interacted);
+    double sum = 0;
+    for (size_t j = 0; j < kItems; ++j) {
+      sum += sc.Score(table, theta, static_cast<ItemId>(j));
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+}
+BENCHMARK(BM_ScorerFullCatalogue)
+    ->Args({8, 0})
+    ->Args({32, 0})
+    ->Args({8, 1})
+    ->Args({32, 1});
+
+void BM_AdamStep(benchmark::State& state) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  Matrix param = RandomTable(kItems, width, 17);
+  Matrix grad = RandomTable(kItems, width, 19);
+  Adam adam;
+  for (auto _ : state) {
+    adam.Step(&param, grad);
+    benchmark::DoNotOptimize(param);
+  }
+  state.SetItemsProcessed(state.iterations() * param.size());
+}
+BENCHMARK(BM_AdamStep)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_DecorrelationLossAndGrad(benchmark::State& state) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  const size_t sample_rows = static_cast<size_t>(state.range(1));
+  Matrix table = RandomTable(kItems, width, 23);
+  Matrix grad(kItems, width);
+  Rng rng(29);
+  for (auto _ : state) {
+    grad.SetZero();
+    benchmark::DoNotOptimize(
+        DecorrelationLossAndGrad(table, 1.0, sample_rows, &rng, &grad));
+  }
+}
+BENCHMARK(BM_DecorrelationLossAndGrad)
+    ->Args({32, 0})
+    ->Args({32, 256})
+    ->Args({128, 256});
+
+void BM_EnsembleDistill(benchmark::State& state) {
+  const size_t kd_items = static_cast<size_t>(state.range(0));
+  Matrix s = RandomTable(kItems, 8, 31);
+  Matrix m = RandomTable(kItems, 16, 37);
+  Matrix l = RandomTable(kItems, 32, 41);
+  DistillationOptions opt;
+  opt.kd_items = kd_items;
+  opt.steps = 2;
+  opt.lr = 0.001;
+  Rng rng(43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EnsembleDistill({&s, &m, &l}, opt, &rng));
+  }
+}
+BENCHMARK(BM_EnsembleDistill)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SymmetricEigenvalues(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Matrix cov = CovarianceMatrix(RandomTable(512, n, 47));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SymmetricEigenvalues(cov));
+  }
+}
+BENCHMARK(BM_SymmetricEigenvalues)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_NegativeSampling(benchmark::State& state) {
+  SyntheticConfig cfg = MovieLensConfig(0.05);
+  auto ds = Dataset::FromInteractions(GenerateInteractions(cfg),
+                                      cfg.num_users, cfg.num_items)
+                .value();
+  Rng rng(53);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.BuildLocalEpoch(0, &rng));
+  }
+}
+BENCHMARK(BM_NegativeSampling);
+
+void BM_TopK(benchmark::State& state) {
+  Rng rng(59);
+  std::vector<double> scores(kItems);
+  for (auto& s : scores) s = rng.Uniform();
+  std::vector<bool> mask(kItems, false);
+  for (size_t i = 0; i < kItems; i += 13) mask[i] = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopKItems(scores, mask, 20));
+  }
+}
+BENCHMARK(BM_TopK);
+
+}  // namespace
+}  // namespace hetefedrec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Reproduces Table III: one-round transmission cost per client type for
+// All Small, All Large and HeteFedRec.
+//
+// Two views are printed: the analytic formulas of Table III evaluated for
+// the configured model sizes, and the costs actually *measured* by the
+// simulation's communication accounting — they must agree exactly.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/core/trainer.h"
+#include "src/models/ffn.h"
+#include "src/util/table_printer.h"
+
+namespace hetefedrec::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  CommandLine cli;
+  AddCommonFlags(&cli);
+  Status st = cli.Parse(argc, argv);
+  if (!st.ok()) return FailWith(st);
+  auto base_cfg = ConfigFromFlags(cli);
+  if (!base_cfg.ok()) return FailWith(base_cfg.status());
+
+  ExperimentConfig cfg = *base_cfg;
+  cfg.dataset =
+      cli.GetString("dataset").empty() ? "ml" : cli.GetString("dataset");
+  ApplyPaperDims(&cfg);
+  cfg.global_epochs = 1;  // cost per round is constant
+
+  auto runner = ExperimentRunner::Create(cfg);
+  if (!runner.ok()) return FailWith(runner.status());
+  const size_t items = (*runner)->dataset().num_items();
+
+  auto theta_params = [&](size_t w) {
+    return FeedForwardNet(2 * w, {cfg.ffn_hidden[0], cfg.ffn_hidden[1]})
+        .ParamCount();
+  };
+  const size_t vs = items * cfg.dims[0], vm = items * cfg.dims[1],
+               vl = items * cfg.dims[2];
+  const size_t ts = theta_params(cfg.dims[0]), tm = theta_params(cfg.dims[1]),
+               tl = theta_params(cfg.dims[2]);
+
+  std::printf(
+      "Model sizes (%s, %zu items): |Vs|=%s |Vm|=%s |Vl|=%s "
+      "|Θs|=%zu |Θm|=%zu |Θl|=%zu\n"
+      "(paper quotes 29,648 / 59,296 / 118,592 for V on full-size ML)\n\n",
+      cfg.dataset.c_str(), items, TablePrinter::Count(vs).c_str(),
+      TablePrinter::Count(vm).c_str(), TablePrinter::Count(vl).c_str(), ts,
+      tm, tl);
+
+  TablePrinter table(
+      "Table III: one-time transmission cost per client (scalars)",
+      {"Client", "All Small", "All Large", "HeteFedRec", "HeteFedRec formula"});
+  table.AddRow({"Us", TablePrinter::Count(vs + ts),
+                TablePrinter::Count(vl + tl), TablePrinter::Count(vs + ts),
+                "size(Vs+Θs)"});
+  table.AddRow({"Um", TablePrinter::Count(vs + ts),
+                TablePrinter::Count(vl + tl),
+                TablePrinter::Count(vm + ts + tm), "size(Vm+Θs,m)"});
+  table.AddRow({"Ul", TablePrinter::Count(vs + ts),
+                TablePrinter::Count(vl + tl),
+                TablePrinter::Count(vl + ts + tm + tl),
+                "size(Vl+Θs,m,l)"});
+  table.Print();
+  st = table.WriteCsv(CsvPath(cli, "table3_comm"));
+  if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
+
+  // Cross-check against the measured accounting.
+  TablePrinter measured("Measured average upload per participation",
+                        {"Client", "All Small", "All Large", "HeteFedRec"});
+  CommStats small = (*runner)->Run(Method::kAllSmall).comm;
+  CommStats large = (*runner)->Run(Method::kAllLarge).comm;
+  CommStats hete = (*runner)->Run(Method::kHeteFedRec).comm;
+  bool agree = true;
+  const Group groups[] = {Group::kSmall, Group::kMedium, Group::kLarge};
+  const size_t expect_hete[] = {vs + ts, vm + ts + tm, vl + ts + tm + tl};
+  for (int g = 0; g < kNumGroups; ++g) {
+    measured.AddRow({GroupName(groups[g]),
+                     TablePrinter::Num(small.AvgUpload(groups[g]), 0),
+                     TablePrinter::Num(large.AvgUpload(groups[g]), 0),
+                     TablePrinter::Num(hete.AvgUpload(groups[g]), 0)});
+    agree = agree &&
+            small.AvgUpload(groups[g]) == static_cast<double>(vs + ts) &&
+            large.AvgUpload(groups[g]) == static_cast<double>(vl + tl) &&
+            hete.AvgUpload(groups[g]) ==
+                static_cast<double>(expect_hete[g]);
+  }
+  measured.Print();
+  std::printf("\nFormulas and measured costs agree: %s\n",
+              agree ? "YES" : "NO");
+  std::printf(
+      "HeteFedRec's extra cost over a size-matched homogeneous scheme is "
+      "only Θs (+Θm) — %zu (+%zu) scalars, negligible next to V (paper "
+      "§V-F).\n",
+      ts, tm);
+  return agree ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace hetefedrec::bench
+
+int main(int argc, char** argv) { return hetefedrec::bench::Main(argc, argv); }

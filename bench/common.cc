@@ -1,0 +1,100 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hetefedrec::bench {
+
+void AddCommonFlags(CommandLine* cli) {
+  cli->AddFlag("scale", "bench", "scale preset: smoke | bench | paper");
+  cli->AddFlag("dataset", "", "restrict to one dataset (ml|anime|douban)");
+  cli->AddFlag("model", "", "restrict to one base model (ncf|lightgcn)");
+  cli->AddFlag("seed", "7", "experiment seed");
+  cli->AddFlag("epochs", "0", "override global epochs (0 = preset default)");
+  cli->AddFlag("out_dir", ".", "directory for CSV output");
+  cli->AddFlag("agg", "mean", "server aggregation: mean | sum | weighted");
+}
+
+StatusOr<ExperimentConfig> ConfigFromFlags(const CommandLine& cli) {
+  ExperimentConfig cfg;
+  cfg.seed = static_cast<uint64_t>(cli.GetInt("seed"));
+
+  // clients_per_round scales with the population: the paper selects 256 of
+  // 6,040+ users per round (~4%), giving hundreds of aggregation rounds per
+  // run. A shrunken population with round size 256 would collapse to a
+  // couple of rounds per epoch and under-aggregate every method.
+  const std::string scale = cli.GetString("scale");
+  if (scale == "smoke") {
+    cfg.data_scale = 0.02;
+    cfg.global_epochs = 4;
+    cfg.eval_user_sample = 150;
+    cfg.ddr_sample_rows = 128;
+    cfg.clients_per_round = 32;
+  } else if (scale == "bench") {
+    cfg.data_scale = 0.06;
+    cfg.global_epochs = 18;
+    cfg.eval_user_sample = 300;
+    cfg.ddr_sample_rows = 256;
+    cfg.clients_per_round = 64;
+  } else if (scale == "paper") {
+    cfg.data_scale = 1.0;
+    cfg.global_epochs = 20;
+    cfg.eval_user_sample = 0;
+    cfg.ddr_sample_rows = 1024;
+    cfg.clients_per_round = 256;
+  } else {
+    return Status::InvalidArgument("unknown --scale '" + scale + "'");
+  }
+
+  int epochs = cli.GetInt("epochs");
+  if (epochs > 0) cfg.global_epochs = epochs;
+
+  const std::string agg = cli.GetString("agg");
+  if (agg == "mean") {
+    cfg.aggregation = AggregationMode::kMean;
+  } else if (agg == "sum") {
+    cfg.aggregation = AggregationMode::kSum;
+  } else if (agg == "weighted") {
+    cfg.aggregation = AggregationMode::kDataWeighted;
+  } else {
+    return Status::InvalidArgument("unknown --agg '" + agg + "'");
+  }
+  return cfg;
+}
+
+void ApplyPaperDims(ExperimentConfig* config) {
+  if (config->dataset == "douban") {
+    config->dims = {32, 64, 128};
+  } else {
+    config->dims = {8, 16, 32};
+  }
+}
+
+std::string CsvPath(const CommandLine& cli, const std::string& name) {
+  return cli.GetString("out_dir") + "/" + name + ".csv";
+}
+
+std::vector<GridCase> EvaluationGrid(const CommandLine& cli) {
+  const std::string only_model = cli.GetString("model");
+  const std::string only_dataset = cli.GetString("dataset");
+  std::vector<GridCase> grid;
+  for (BaseModel model : {BaseModel::kNcf, BaseModel::kLightGcn}) {
+    if (!only_model.empty() &&
+        !(only_model == "ncf" && model == BaseModel::kNcf) &&
+        !(only_model == "lightgcn" && model == BaseModel::kLightGcn)) {
+      continue;
+    }
+    for (const char* dataset : {"ml", "anime", "douban"}) {
+      if (!only_dataset.empty() && only_dataset != dataset) continue;
+      grid.push_back(GridCase{model, dataset});
+    }
+  }
+  return grid;
+}
+
+int FailWith(const Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace hetefedrec::bench

@@ -1,0 +1,46 @@
+// Shared plumbing for the experiment bench binaries: the scale presets,
+// common flags, and paper-reference constants for side-by-side reporting.
+#ifndef HETEFEDREC_BENCH_COMMON_H_
+#define HETEFEDREC_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/util/cli.h"
+
+namespace hetefedrec::bench {
+
+/// Registers the flags every experiment bench shares.
+void AddCommonFlags(CommandLine* cli);
+
+/// Builds an ExperimentConfig from parsed common flags. The `--scale`
+/// presets trade fidelity for runtime:
+///   smoke: seconds (CI sanity),
+///   bench: minutes on one core (default; shapes comparable to the paper),
+///   paper: Table I dataset sizes and the paper's epoch counts.
+StatusOr<ExperimentConfig> ConfigFromFlags(const CommandLine& cli);
+
+/// Applies the per-dataset paper dimensions: {8,16,32} for ml/anime,
+/// {32,64,128} for douban (§V-D), unless --dims overrides.
+void ApplyPaperDims(ExperimentConfig* config);
+
+/// Output path helper: "<out_dir>/<name>.csv" (out_dir from flags).
+std::string CsvPath(const CommandLine& cli, const std::string& name);
+
+/// One (base model, dataset) cell of the paper's evaluation grid.
+struct GridCase {
+  BaseModel model;
+  std::string dataset;
+};
+
+/// The six (model × dataset) cells of Table II, filtered by the --model and
+/// --dataset flags when set.
+std::vector<GridCase> EvaluationGrid(const CommandLine& cli);
+
+/// Parses a CLI status into an exit code, printing the error.
+int FailWith(const Status& status);
+
+}  // namespace hetefedrec::bench
+
+#endif  // HETEFEDREC_BENCH_COMMON_H_

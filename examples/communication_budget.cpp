@@ -1,0 +1,55 @@
+// Communication budgeting: how much traffic each scheme costs per round
+// and per trained model quality (Table III's practical consequence).
+//
+// Shows the CommStats API: every public-parameter download/upload in the
+// simulation is metered, so you can compare schemes by "NDCG per scalar
+// transmitted".
+#include <cstdio>
+
+#include "src/core/trainer.h"
+#include "src/util/table_printer.h"
+
+int main() {
+  using namespace hetefedrec;
+
+  ExperimentConfig config;
+  config.dataset = "ml";
+  config.data_scale = 0.05;
+  config.global_epochs = 8;
+  // Round size scales with the population (the paper's 256 of 6,040);
+  // keeping 256 at example scale would mean ~1 aggregation round per epoch.
+  config.clients_per_round = 64;
+  config.eval_user_sample = 250;
+
+  auto runner = ExperimentRunner::Create(config);
+  if (!runner.ok()) {
+    std::fprintf(stderr, "%s\n", runner.status().ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table(
+      "Communication vs quality",
+      {"Method", "NDCG", "Total scalars moved", "Avg up Us", "Avg up Um",
+       "Avg up Ul", "NDCG per Mscalar"});
+  for (Method m : {Method::kAllSmall, Method::kAllLarge, Method::kStandalone,
+                   Method::kHeteFedRec}) {
+    ExperimentResult r = (*runner)->Run(m);
+    double mscalars =
+        static_cast<double>(r.comm.TotalTransmitted()) / 1e6;
+    table.AddRow(
+        {MethodName(m), TablePrinter::Num(r.final_eval.overall.ndcg),
+         TablePrinter::Count(static_cast<long long>(r.comm.TotalTransmitted())),
+         TablePrinter::Num(r.comm.AvgUpload(Group::kSmall), 0),
+         TablePrinter::Num(r.comm.AvgUpload(Group::kMedium), 0),
+         TablePrinter::Num(r.comm.AvgUpload(Group::kLarge), 0),
+         mscalars > 0
+             ? TablePrinter::Num(r.final_eval.overall.ndcg / mscalars, 5)
+             : "inf"});
+  }
+  table.Print();
+  std::printf(
+      "\nNote: HeteFedRec moves less traffic than All Large (small clients "
+      "ship small tables) while matching or beating its quality; Standalone "
+      "moves nothing but collapses in quality.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// MovieLens-style scenario: the paper's §V evaluation in miniature.
+//
+// Generates an ML-calibrated synthetic dataset, divides clients 5:3:2 by
+// interaction count, then compares HeteFedRec with the two homogeneous
+// baselines — overall, per client group, and over training epochs — the
+// way Table II / Fig. 6 / Fig. 7 slice the results.
+//
+//   ./build/examples/movielens_scenario [--scale=0.08] [--epochs=16]
+#include <cstdio>
+
+#include "src/core/trainer.h"
+#include "src/util/cli.h"
+#include "src/util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace hetefedrec;
+
+  CommandLine cli;
+  cli.AddFlag("scale", "0.06", "dataset scale in (0,1]");
+  cli.AddFlag("epochs", "12", "global training epochs");
+  cli.AddFlag("model", "ncf", "base model: ncf | lightgcn");
+  Status st = cli.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 cli.Usage(argv[0]).c_str());
+    return 1;
+  }
+
+  ExperimentConfig config;
+  config.dataset = "ml";
+  config.data_scale = cli.GetDouble("scale");
+  config.global_epochs = cli.GetInt("epochs");
+  // Round size scales with the population (the paper's 256 of 6,040);
+  // keeping 256 at example scale would mean ~1 aggregation round per epoch.
+  config.clients_per_round = 64;
+  config.eval_every = 2;  // record a convergence curve (Fig. 7 style)
+  config.eval_user_sample = 300;
+  auto model = BaseModelByName(cli.GetString("model"));
+  if (!model.ok()) return 1;
+  config.base_model = *model;
+
+  auto runner = ExperimentRunner::Create(config);
+  if (!runner.ok()) {
+    std::fprintf(stderr, "%s\n", runner.status().ToString().c_str());
+    return 1;
+  }
+  const auto& groups = (*runner)->groups();
+  std::printf(
+      "MovieLens-like dataset: %zu users, %zu items; division thresholds "
+      "(interactions): Us <= %.0f < Um <= %.0f < Ul\n\n",
+      (*runner)->dataset().num_users(), (*runner)->dataset().num_items(),
+      groups.thresholds[0], groups.thresholds[1]);
+
+  TablePrinter table("Overall and per-group NDCG@20",
+                     {"Method", "Recall", "NDCG", "Us", "Um", "Ul"});
+  for (Method m : {Method::kAllSmall, Method::kAllLarge,
+                   Method::kHeteFedRec}) {
+    ExperimentResult r = (*runner)->Run(m);
+    table.AddRow({MethodName(m), TablePrinter::Num(r.final_eval.overall.recall),
+                  TablePrinter::Num(r.final_eval.overall.ndcg),
+                  TablePrinter::Num(r.final_eval.group(Group::kSmall).ndcg),
+                  TablePrinter::Num(r.final_eval.group(Group::kMedium).ndcg),
+                  TablePrinter::Num(r.final_eval.group(Group::kLarge).ndcg)});
+    std::printf("%s convergence:", MethodName(m).c_str());
+    for (const EpochPoint& p : r.history) {
+      std::printf(" e%d=%.4f", p.epoch, p.eval.overall.ndcg);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+  table.Print();
+  return 0;
+}

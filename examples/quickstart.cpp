@@ -1,0 +1,59 @@
+// Quickstart: train HeteFedRec on a small synthetic MovieLens-like dataset
+// and print overall + per-group metrics.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/trainer.h"
+
+int main() {
+  using namespace hetefedrec;
+
+  // 1. Configure the experiment. Defaults follow the paper's §V-D settings
+  //    (dims {8,16,32}, 5:3:2 division, Adam lr 0.001); we shrink the
+  //    dataset so this runs in under a minute (HeteFedRec overtakes the
+  //    homogeneous baselines in the later epochs — Fig. 7).
+  ExperimentConfig config;
+  config.dataset = "ml";
+  config.data_scale = 0.05;  // ~300 users
+  config.base_model = BaseModel::kNcf;
+  config.global_epochs = 14;
+  // Round size scales with the population (the paper's 256 of 6,040);
+  // keeping 256 at example scale would mean ~1 aggregation round per epoch.
+  config.clients_per_round = 64;
+  config.eval_user_sample = 200;
+
+  // 2. Create a runner: generates the dataset, splits train/test, and
+  //    divides clients into Us/Um/Ul by interaction count.
+  auto runner = ExperimentRunner::Create(config);
+  if (!runner.ok()) {
+    std::fprintf(stderr, "config error: %s\n",
+                 runner.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("dataset: %zu users, %zu items, %zu interactions\n",
+              (*runner)->dataset().num_users(),
+              (*runner)->dataset().num_items(),
+              (*runner)->dataset().TotalInteractions());
+  std::printf("groups: |Us|=%zu |Um|=%zu |Ul|=%zu\n",
+              (*runner)->groups().size(Group::kSmall),
+              (*runner)->groups().size(Group::kMedium),
+              (*runner)->groups().size(Group::kLarge));
+
+  // 3. Train HeteFedRec and a homogeneous baseline for comparison.
+  for (Method method : {Method::kAllSmall, Method::kHeteFedRec}) {
+    ExperimentResult result = (*runner)->Run(method);
+    std::printf("\n%-20s Recall@20=%.5f NDCG@20=%.5f (%.1fs)\n",
+                MethodName(method).c_str(), result.final_eval.overall.recall,
+                result.final_eval.overall.ndcg, result.train_seconds);
+    for (Group g : {Group::kSmall, Group::kMedium, Group::kLarge}) {
+      std::printf("  %-4s NDCG@20=%.5f over %zu users\n",
+                  GroupName(g).c_str(), result.final_eval.group(g).ndcg,
+                  result.final_eval.group(g).users);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,233 @@
+#include "src/core/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "src/core/hetero_server.h"
+
+namespace hetefedrec {
+
+namespace {
+
+Status WriteRaw(std::ostream* out, const void* data, size_t bytes) {
+  out->write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(bytes));
+  if (!out->good()) return Status::IOError("checkpoint write failed");
+  return Status::OK();
+}
+
+Status ReadRaw(std::istream* in, void* data, size_t bytes) {
+  in->read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (in->gcount() != static_cast<std::streamsize>(bytes)) {
+    return Status::IOError("checkpoint truncated");
+  }
+  return Status::OK();
+}
+
+Status WriteU32(std::ostream* out, uint32_t v) {
+  return WriteRaw(out, &v, sizeof(v));
+}
+
+StatusOr<uint32_t> ReadU32(std::istream* in) {
+  uint32_t v = 0;
+  HFR_RETURN_NOT_OK(ReadRaw(in, &v, sizeof(v)));
+  return v;
+}
+
+Status WriteU64(std::ostream* out, uint64_t v) {
+  return WriteRaw(out, &v, sizeof(v));
+}
+
+StatusOr<uint64_t> ReadU64(std::istream* in) {
+  uint64_t v = 0;
+  HFR_RETURN_NOT_OK(ReadRaw(in, &v, sizeof(v)));
+  return v;
+}
+
+Status ExpectTag(std::istream* in, RecordTag expected) {
+  auto tag = ReadU32(in);
+  if (!tag.ok()) return tag.status();
+  if (*tag != static_cast<uint32_t>(expected)) {
+    return Status::InvalidArgument(
+        "unexpected checkpoint record tag " + std::to_string(*tag));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteCheckpointHeader(std::ostream* out) {
+  return WriteRaw(out, kCheckpointMagic, sizeof(kCheckpointMagic));
+}
+
+Status ReadCheckpointHeader(std::istream* in) {
+  char magic[4] = {};
+  HFR_RETURN_NOT_OK(ReadRaw(in, magic, sizeof(magic)));
+  if (std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("not a HeteFedRec checkpoint");
+  }
+  return Status::OK();
+}
+
+Status WriteMatrix(std::ostream* out, const Matrix& m) {
+  HFR_RETURN_NOT_OK(WriteU32(out, static_cast<uint32_t>(RecordTag::kMatrix)));
+  HFR_RETURN_NOT_OK(WriteU64(out, m.rows()));
+  HFR_RETURN_NOT_OK(WriteU64(out, m.cols()));
+  return WriteRaw(out, m.data().data(), m.size() * sizeof(double));
+}
+
+StatusOr<Matrix> ReadMatrix(std::istream* in) {
+  HFR_RETURN_NOT_OK(ExpectTag(in, RecordTag::kMatrix));
+  auto rows = ReadU64(in);
+  if (!rows.ok()) return rows.status();
+  auto cols = ReadU64(in);
+  if (!cols.ok()) return cols.status();
+  // 1 GiB sanity cap: dimensions beyond any model in this project signal a
+  // corrupt stream, not a big model.
+  if (*rows * *cols > (1ull << 27)) {
+    return Status::InvalidArgument("checkpoint matrix implausibly large");
+  }
+  Matrix m(*rows, *cols);
+  HFR_RETURN_NOT_OK(ReadRaw(in, m.data().data(), m.size() * sizeof(double)));
+  return m;
+}
+
+Status WriteMeta(std::ostream* out, const std::string& key,
+                 const std::string& value) {
+  HFR_RETURN_NOT_OK(WriteU32(out, static_cast<uint32_t>(RecordTag::kMeta)));
+  HFR_RETURN_NOT_OK(WriteU64(out, key.size()));
+  HFR_RETURN_NOT_OK(WriteRaw(out, key.data(), key.size()));
+  HFR_RETURN_NOT_OK(WriteU64(out, value.size()));
+  return WriteRaw(out, value.data(), value.size());
+}
+
+StatusOr<std::pair<std::string, std::string>> ReadMeta(std::istream* in) {
+  HFR_RETURN_NOT_OK(ExpectTag(in, RecordTag::kMeta));
+  auto read_string = [in]() -> StatusOr<std::string> {
+    auto len = ReadU64(in);
+    if (!len.ok()) return len.status();
+    if (*len > (1ull << 20)) {
+      return Status::InvalidArgument("checkpoint string implausibly large");
+    }
+    std::string s(*len, '\0');
+    HFR_RETURN_NOT_OK(ReadRaw(in, s.data(), s.size()));
+    return s;
+  };
+  auto key = read_string();
+  if (!key.ok()) return key.status();
+  auto value = read_string();
+  if (!value.ok()) return value.status();
+  return std::make_pair(*key, *value);
+}
+
+Status WriteEnd(std::ostream* out) {
+  return WriteU32(out, static_cast<uint32_t>(RecordTag::kEnd));
+}
+
+StatusOr<RecordTag> PeekTag(std::istream* in) {
+  auto pos = in->tellg();
+  auto tag = ReadU32(in);
+  if (!tag.ok()) return tag.status();
+  in->seekg(pos);
+  return static_cast<RecordTag>(*tag);
+}
+
+Status WriteFfn(std::ostream* out, const FeedForwardNet& net) {
+  HFR_RETURN_NOT_OK(WriteU32(out, static_cast<uint32_t>(RecordTag::kFfn)));
+  HFR_RETURN_NOT_OK(WriteU64(out, net.num_layers()));
+  for (size_t l = 0; l < net.num_layers(); ++l) {
+    HFR_RETURN_NOT_OK(WriteMatrix(out, net.weight(l)));
+    HFR_RETURN_NOT_OK(WriteMatrix(out, net.bias(l)));
+  }
+  return Status::OK();
+}
+
+StatusOr<FeedForwardNet> ReadFfn(std::istream* in) {
+  HFR_RETURN_NOT_OK(ExpectTag(in, RecordTag::kFfn));
+  auto layers = ReadU64(in);
+  if (!layers.ok()) return layers.status();
+  if (*layers == 0 || *layers > 64) {
+    return Status::InvalidArgument("checkpoint FFN layer count implausible");
+  }
+  std::vector<Matrix> weights, biases;
+  for (size_t l = 0; l < *layers; ++l) {
+    auto w = ReadMatrix(in);
+    if (!w.ok()) return w.status();
+    auto b = ReadMatrix(in);
+    if (!b.ok()) return b.status();
+    weights.push_back(std::move(w).value());
+    biases.push_back(std::move(b).value());
+  }
+  // Reconstruct the architecture from the matrix shapes, then install the
+  // parameters.
+  std::vector<size_t> hidden;
+  for (size_t l = 0; l + 1 < weights.size(); ++l) {
+    hidden.push_back(weights[l].cols());
+  }
+  FeedForwardNet net(weights[0].rows(), hidden);
+  for (size_t l = 0; l < weights.size(); ++l) {
+    if (!net.weight(l).SameShape(weights[l]) ||
+        !net.bias(l).SameShape(biases[l])) {
+      return Status::InvalidArgument("checkpoint FFN shapes inconsistent");
+    }
+    net.weight(l) = std::move(weights[l]);
+    net.bias(l) = std::move(biases[l]);
+  }
+  return net;
+}
+
+Status SaveServerCheckpoint(const std::string& path,
+                            const HeteroServer& server,
+                            const std::string& base_model_name) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path);
+  HFR_RETURN_NOT_OK(WriteCheckpointHeader(&out));
+  HFR_RETURN_NOT_OK(WriteMeta(&out, "base_model", base_model_name));
+  HFR_RETURN_NOT_OK(
+      WriteMeta(&out, "num_slots", std::to_string(server.num_slots())));
+  for (size_t s = 0; s < server.num_slots(); ++s) {
+    HFR_RETURN_NOT_OK(WriteMatrix(&out, server.table(s)));
+    HFR_RETURN_NOT_OK(WriteFfn(&out, server.theta(s)));
+  }
+  return WriteEnd(&out);
+}
+
+StatusOr<ServerCheckpoint> LoadServerCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  HFR_RETURN_NOT_OK(ReadCheckpointHeader(&in));
+  ServerCheckpoint ckpt;
+  size_t num_slots = 0;
+  while (true) {
+    auto meta = ReadMeta(&in);
+    if (!meta.ok()) return meta.status();
+    if (meta->first == "base_model") {
+      ckpt.base_model_name = meta->second;
+    } else if (meta->first == "num_slots") {
+      num_slots = static_cast<size_t>(std::stoul(meta->second));
+      break;
+    } else {
+      return Status::InvalidArgument("unknown checkpoint meta key " +
+                                     meta->first);
+    }
+  }
+  if (num_slots == 0 || num_slots > 16) {
+    return Status::InvalidArgument("checkpoint slot count implausible");
+  }
+  for (size_t s = 0; s < num_slots; ++s) {
+    auto table = ReadMatrix(&in);
+    if (!table.ok()) return table.status();
+    auto theta = ReadFfn(&in);
+    if (!theta.ok()) return theta.status();
+    ckpt.tables.push_back(std::move(table).value());
+    ckpt.thetas.push_back(std::move(theta).value());
+  }
+  auto end = PeekTag(&in);
+  if (!end.ok()) return end.status();
+  if (*end != RecordTag::kEnd) {
+    return Status::InvalidArgument("checkpoint missing end sentinel");
+  }
+  return ckpt;
+}
+
+}  // namespace hetefedrec

@@ -1,0 +1,85 @@
+#include "src/core/config.h"
+
+namespace hetefedrec {
+
+std::string MethodName(Method m) {
+  switch (m) {
+    case Method::kAllSmall:
+      return "All Small";
+    case Method::kAllLarge:
+      return "All Large";
+    case Method::kAllLargeExclusive:
+      return "All Large/Exclusive";
+    case Method::kStandalone:
+      return "Standalone";
+    case Method::kClusteredFedRec:
+      return "Clustered FedRec";
+    case Method::kDirectlyAggregate:
+      return "Directly Aggregate";
+    case Method::kHeteFedRec:
+      return "HeteFedRec(Ours)";
+  }
+  return "?";
+}
+
+StatusOr<Method> MethodByName(const std::string& name) {
+  if (name == "all_small") return Method::kAllSmall;
+  if (name == "all_large") return Method::kAllLarge;
+  if (name == "all_large_exclusive") return Method::kAllLargeExclusive;
+  if (name == "standalone") return Method::kStandalone;
+  if (name == "clustered") return Method::kClusteredFedRec;
+  if (name == "direct") return Method::kDirectlyAggregate;
+  if (name == "hetefedrec") return Method::kHeteFedRec;
+  return Status::InvalidArgument(
+      "unknown method '" + name +
+      "' (expected all_small|all_large|all_large_exclusive|standalone|"
+      "clustered|direct|hetefedrec)");
+}
+
+bool IsHeterogeneous(Method m) {
+  switch (m) {
+    case Method::kStandalone:
+    case Method::kClusteredFedRec:
+    case Method::kDirectlyAggregate:
+    case Method::kHeteFedRec:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status ExperimentConfig::Validate() const {
+  if (dims[0] == 0 || dims[0] > dims[1] || dims[1] > dims[2]) {
+    return Status::InvalidArgument("dims must satisfy 0 < Ns <= Nm <= Nl");
+  }
+  if (data_scale <= 0.0 || data_scale > 1.0) {
+    return Status::InvalidArgument("data_scale must be in (0, 1]");
+  }
+  if (global_epochs <= 0 || local_epochs <= 0) {
+    return Status::InvalidArgument("epoch counts must be positive");
+  }
+  if (clients_per_round == 0) {
+    return Status::InvalidArgument("clients_per_round must be positive");
+  }
+  if (lr <= 0.0) return Status::InvalidArgument("lr must be positive");
+  if (alpha < 0.0) return Status::InvalidArgument("alpha must be >= 0");
+  if (kd_items == 0 && ensemble_distillation) {
+    return Status::InvalidArgument("kd_items must be positive with RESKD on");
+  }
+  if (kd_steps < 0 || kd_lr < 0.0) {
+    return Status::InvalidArgument("kd_steps/kd_lr must be non-negative");
+  }
+  if (top_k == 0) return Status::InvalidArgument("top_k must be positive");
+  if (local_validation_fraction < 0.0 || local_validation_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "local_validation_fraction must be in [0, 1)");
+  }
+  double frac_total =
+      group_fractions[0] + group_fractions[1] + group_fractions[2];
+  if (frac_total <= 0.0) {
+    return Status::InvalidArgument("group fractions must sum to > 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace hetefedrec

@@ -1,0 +1,92 @@
+#include "src/core/decorrelation.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace hetefedrec {
+
+double DecorrelationLossAndGrad(const Matrix& table, double alpha,
+                                size_t sample_rows, Rng* rng, Matrix* grad) {
+  const size_t n_cols = table.cols();
+  HFR_CHECK_GT(n_cols, 0u);
+  if (grad) {
+    HFR_CHECK_GE(grad->cols(), n_cols);
+    HFR_CHECK_EQ(grad->rows(), table.rows());
+  }
+  if (table.rows() < 2) return 0.0;
+
+  // Row sample (or all rows).
+  std::vector<size_t> rows;
+  if (sample_rows > 0 && sample_rows < table.rows()) {
+    HFR_CHECK(rng != nullptr);
+    rows.reserve(sample_rows);
+    for (size_t k = 0; k < sample_rows; ++k) {
+      rows.push_back(rng->UniformInt(table.rows()));
+    }
+  } else {
+    rows.resize(table.rows());
+    std::iota(rows.begin(), rows.end(), 0);
+  }
+  const size_t m = rows.size();
+  const double inv_m = 1.0 / static_cast<double>(m);
+
+  // Column means and variances over the sample.
+  std::vector<double> mean(n_cols, 0.0), inv_sd(n_cols, 0.0);
+  for (size_t r : rows) {
+    const double* row = table.Row(r);
+    for (size_t c = 0; c < n_cols; ++c) mean[c] += row[c];
+  }
+  for (double& v : mean) v *= inv_m;
+  std::vector<double> var(n_cols, 0.0);
+  for (size_t r : rows) {
+    const double* row = table.Row(r);
+    for (size_t c = 0; c < n_cols; ++c) {
+      double d = row[c] - mean[c];
+      var[c] += d * d;
+    }
+  }
+  constexpr double kEps = 1e-8;
+  for (size_t c = 0; c < n_cols; ++c) {
+    inv_sd[c] = 1.0 / std::sqrt(var[c] * inv_m + kEps);
+  }
+
+  // Standardized sample X (m x N) and C = XᵀX / m.
+  Matrix x(m, n_cols);
+  for (size_t k = 0; k < m; ++k) {
+    const double* row = table.Row(rows[k]);
+    double* xrow = x.Row(k);
+    for (size_t c = 0; c < n_cols; ++c) {
+      xrow[c] = (row[c] - mean[c]) * inv_sd[c];
+    }
+  }
+  Matrix c_mat = Matrix::MatMul(x.Transposed(), x);
+  c_mat.Scale(inv_m);
+
+  const double c_norm = c_mat.FrobeniusNorm();
+  const double loss = c_norm / static_cast<double>(n_cols);
+  if (!grad || c_norm < 1e-12 || alpha == 0.0) return loss;
+
+  // dL/dX = 2 X C / (m N ||C||_F); then exact centering backprop with the
+  // per-column sd treated as constant.
+  Matrix g = Matrix::MatMul(x, c_mat);
+  g.Scale(2.0 * inv_m / (static_cast<double>(n_cols) * c_norm));
+
+  std::vector<double> col_mean_g(n_cols, 0.0);
+  for (size_t k = 0; k < m; ++k) {
+    const double* grow = g.Row(k);
+    for (size_t c = 0; c < n_cols; ++c) col_mean_g[c] += grow[c];
+  }
+  for (double& v : col_mean_g) v *= inv_m;
+
+  for (size_t k = 0; k < m; ++k) {
+    const double* grow = g.Row(k);
+    double* out = grad->Row(rows[k]);
+    for (size_t c = 0; c < n_cols; ++c) {
+      out[c] += alpha * (grow[c] - col_mean_g[c]) * inv_sd[c];
+    }
+  }
+  return loss;
+}
+
+}  // namespace hetefedrec

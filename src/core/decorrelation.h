@@ -1,0 +1,44 @@
+// Dimensional Decorrelation Regularization (DDR), Eq. 12-14.
+//
+// UDL alone lets a large embedding table satisfy all of its objectives
+// inside the low-dimensional prefix shared with small models — dimensional
+// collapse. The paper's fix penalizes the Frobenius norm of the correlation
+// matrix of the (column-standardized) embedding table:
+//
+//   Lreg(V) = (1/N) || corr( (V - V̄) / sqrt(var V) ) ||_F        (Eq. 13)
+//
+// which is an efficient surrogate for equalizing the singular values of the
+// covariance matrix (Eq. 12; see Hua et al. 2021, Shi et al. 2022).
+//
+// Gradient derivation (see DESIGN.md §3): with X the standardized table
+// (M rows) and C = XᵀX / M,
+//   dL/dX = 2 · X · C / (M · N · ||C||_F),
+// backpropagated exactly through the per-column centering; the per-column
+// standard deviation is treated as a constant (stop-gradient), the standard
+// simplification in decorrelation losses.
+#ifndef HETEFEDREC_CORE_DECORRELATION_H_
+#define HETEFEDREC_CORE_DECORRELATION_H_
+
+#include "src/math/matrix.h"
+#include "src/util/rng.h"
+
+namespace hetefedrec {
+
+/// \brief Computes Lreg(V) and accumulates alpha * dLreg/dV into `grad`.
+///
+/// \param table item embedding table (rows = items, cols = dims).
+/// \param alpha regularization weight (the loss returned is unweighted;
+///   the gradient is scaled by alpha, matching Eq. 14's α·Lreg term).
+/// \param sample_rows if > 0 and < rows, the correlation matrix and its
+///   gradient are estimated on this many uniformly sampled rows.
+/// \param rng used only for row sampling.
+/// \param grad accumulator with at least as many columns as `table`;
+///   gradients land in the leading table.cols() columns. May be null to
+///   compute the loss only.
+/// \returns Lreg(V) (the unweighted loss value).
+double DecorrelationLossAndGrad(const Matrix& table, double alpha,
+                                size_t sample_rows, Rng* rng, Matrix* grad);
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_CORE_DECORRELATION_H_

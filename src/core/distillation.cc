@@ -1,0 +1,117 @@
+#include "src/core/distillation.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/data/types.h"
+
+namespace hetefedrec {
+
+Matrix RelationMatrix(const Matrix& table, const std::vector<ItemId>& items) {
+  const size_t k = items.size();
+  const size_t n = table.cols();
+  Matrix rel(k, k);
+  for (size_t a = 0; a < k; ++a) {
+    rel(a, a) = 1.0;
+    const double* xa = table.Row(items[a]);
+    for (size_t b = a + 1; b < k; ++b) {
+      double s = CosineSimilarity(xa, table.Row(items[b]), n);
+      rel(a, b) = s;
+      rel(b, a) = s;
+    }
+  }
+  return rel;
+}
+
+double RelationLoss(const Matrix& relation, const Matrix& target) {
+  HFR_CHECK(relation.SameShape(target));
+  double loss = 0.0;
+  for (size_t i = 0; i < relation.data().size(); ++i) {
+    double d = relation.data()[i] - target.data()[i];
+    loss += d * d;
+  }
+  return loss;
+}
+
+namespace {
+
+// One gradient-descent step of || rel(V) - target ||² on the selected rows.
+void DistillStep(Matrix* table, const std::vector<ItemId>& items,
+                 const Matrix& target, double lr) {
+  const size_t k = items.size();
+  const size_t n = table->cols();
+  // Normalized copies ẑ_a and norms of the selected rows.
+  Matrix z(k, n);
+  std::vector<double> norm(k, 0.0);
+  for (size_t a = 0; a < k; ++a) {
+    const double* row = table->Row(items[a]);
+    norm[a] = Norm2(row, n);
+    if (norm[a] > 0) {
+      double inv = 1.0 / norm[a];
+      double* zr = z.Row(a);
+      for (size_t d = 0; d < n; ++d) zr[d] = row[d] * inv;
+    }
+  }
+  Matrix rel = RelationMatrix(*table, items);
+
+  // Accumulate gradients; entries (a,b) and (b,a) both appear in the
+  // squared norm, so each unordered pair contributes coefficient
+  // 4 (s_ab - t_ab); ds_ab/dx_a = (ẑ_b - s_ab ẑ_a) / ||x_a||.
+  Matrix grads(k, n);
+  for (size_t a = 0; a < k; ++a) {
+    if (norm[a] == 0.0) continue;
+    const double* za = z.Row(a);
+    double* ga = grads.Row(a);
+    for (size_t b = 0; b < k; ++b) {
+      if (b == a || norm[b] == 0.0) continue;
+      double coef = 4.0 * (rel(a, b) - target(a, b)) / norm[a];
+      const double* zb = z.Row(b);
+      double s = rel(a, b);
+      for (size_t d = 0; d < n; ++d) ga[d] += coef * (zb[d] - s * za[d]);
+    }
+  }
+  for (size_t a = 0; a < k; ++a) {
+    double* row = table->Row(items[a]);
+    const double* ga = grads.Row(a);
+    for (size_t d = 0; d < n; ++d) row[d] -= lr * ga[d];
+  }
+}
+
+}  // namespace
+
+double EnsembleDistill(std::vector<Matrix*> tables,
+                       const DistillationOptions& options, Rng* rng) {
+  HFR_CHECK(!tables.empty());
+  const size_t num_items = tables[0]->rows();
+  for (const Matrix* t : tables) HFR_CHECK_EQ(t->rows(), num_items);
+
+  // Sample Vkd (distinct items).
+  size_t k = std::min(options.kd_items, num_items);
+  std::vector<ItemId> all(num_items);
+  for (size_t i = 0; i < num_items; ++i) all[i] = static_cast<ItemId>(i);
+  rng->Shuffle(&all);
+  std::vector<ItemId> items(all.begin(), all.begin() + k);
+
+  // Ensemble relation d_ens (Eq. 16), fixed during the descent.
+  Matrix ens(k, k);
+  std::vector<Matrix> relations;
+  relations.reserve(tables.size());
+  for (Matrix* t : tables) {
+    relations.push_back(RelationMatrix(*t, items));
+    ens.AddScaled(relations.back(), 1.0);
+  }
+  ens.Scale(1.0 / static_cast<double>(tables.size()));
+
+  double pre_loss = 0.0;
+  for (const Matrix& rel : relations) pre_loss += RelationLoss(rel, ens);
+  pre_loss /= static_cast<double>(tables.size());
+
+  for (Matrix* t : tables) {
+    for (int s = 0; s < options.steps; ++s) {
+      DistillStep(t, items, ens, options.lr);
+    }
+  }
+  return pre_loss;
+}
+
+}  // namespace hetefedrec

@@ -1,0 +1,151 @@
+#include "src/core/hetero_server.h"
+
+#include "src/math/init.h"
+
+namespace hetefedrec {
+
+HeteroServer::HeteroServer(const Options& options)
+    : aggregation_(options.aggregation),
+      shared_aggregation_(options.shared_aggregation) {
+  HFR_CHECK(!options.widths.empty());
+  HFR_CHECK_GT(options.num_items, 0u);
+  for (size_t s = 1; s < options.widths.size(); ++s) {
+    HFR_CHECK_LT(options.widths[s - 1], options.widths[s]);
+  }
+
+  Rng rng(options.seed);
+  const size_t max_width = options.widths.back();
+
+  // Initialize the widest table, then share prefixes downwards so Eq. 10's
+  // invariant holds from t = 0.
+  Matrix widest(options.num_items, max_width);
+  InitNormal(&widest, options.embed_init_std, &rng);
+  for (size_t w : options.widths) {
+    tables_.push_back(widest.LeadingCols(w));
+    FeedForwardNet theta(2 * w, {options.ffn_hidden[0],
+                                 options.ffn_hidden[1]});
+    theta.InitXavier(&rng);
+    thetas_.push_back(std::move(theta));
+  }
+
+  v_agg_ = Matrix(options.num_items, max_width);
+  if (!shared_aggregation_) {
+    for (size_t w : options.widths) {
+      v_agg_per_slot_.emplace_back(options.num_items, w);
+    }
+  }
+  segment_weight_.assign(tables_.size(), 0.0);
+  slot_weight_.assign(tables_.size(), 0.0);
+  theta_agg_.reserve(thetas_.size());
+  for (const auto& t : thetas_) theta_agg_.push_back(
+      FeedForwardNet::ZerosLike(t));
+  theta_weight_.assign(thetas_.size(), 0.0);
+}
+
+void HeteroServer::BeginRound() {
+  v_agg_.SetZero();
+  for (auto& m : v_agg_per_slot_) m.SetZero();
+  std::fill(segment_weight_.begin(), segment_weight_.end(), 0.0);
+  std::fill(slot_weight_.begin(), slot_weight_.end(), 0.0);
+  for (auto& t : theta_agg_) t.SetZero();
+  std::fill(theta_weight_.begin(), theta_weight_.end(), 0.0);
+  round_open_ = true;
+}
+
+void HeteroServer::Accumulate(const std::vector<LocalTaskSpec>& tasks,
+                              const LocalUpdateResult& update,
+                              double weight) {
+  HFR_CHECK(round_open_);
+  HFR_CHECK(!tasks.empty());
+  HFR_CHECK_GE(weight, 0.0);
+  const size_t client_width = update.v_delta.cols();
+  HFR_CHECK_EQ(tasks.back().width, client_width);
+
+  if (shared_aggregation_) {
+    // Eq. 7-8: zero-pad to the widest slot and sum.
+    v_agg_.AddScaledIntoLeadingCols(update.v_delta, weight);
+    for (size_t s = 0; s < tables_.size(); ++s) {
+      if (width(s) <= client_width) segment_weight_[s] += weight;
+    }
+  } else {
+    const size_t slot = tasks.back().slot;
+    HFR_CHECK_LT(slot, v_agg_per_slot_.size());
+    HFR_CHECK_EQ(v_agg_per_slot_[slot].cols(), client_width);
+    v_agg_per_slot_[slot].AddScaled(update.v_delta, weight);
+    slot_weight_[slot] += weight;
+  }
+
+  HFR_CHECK_EQ(tasks.size(), update.theta_deltas.size());
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    const size_t slot = tasks[t].slot;
+    HFR_CHECK_LT(slot, theta_agg_.size());
+    theta_agg_[slot].AddScaled(update.theta_deltas[t], weight);
+    theta_weight_[slot] += weight;
+  }
+}
+
+void HeteroServer::FinishRound() {
+  HFR_CHECK(round_open_);
+  round_open_ = false;
+
+  if (shared_aggregation_) {
+    // Eq. 8-9: every slot applies the leading-column slice of the padded
+    // aggregate. Under kMean/kDataWeighted each *width segment* is
+    // normalized by the total weight of clients wide enough to have
+    // updated it — the natural extension of FedAvg to padded aggregation.
+    // Segment `seg` spans the columns [width(seg-1), width(seg)), whose
+    // accumulated weight is segment_weight_[seg].
+    for (size_t s = 0; s < tables_.size(); ++s) {
+      size_t col0 = 0;
+      for (size_t seg = 0; seg <= s; ++seg) {
+        const size_t col1 = width(seg);
+        double seg_scale = 1.0;
+        if (aggregation_ != AggregationMode::kSum) {
+          if (segment_weight_[seg] == 0.0) {
+            col0 = col1;
+            continue;
+          }
+          seg_scale = 1.0 / segment_weight_[seg];
+        }
+        for (size_t r = 0; r < tables_[s].rows(); ++r) {
+          const double* src = v_agg_.Row(r);
+          double* dst = tables_[s].Row(r);
+          for (size_t c = col0; c < col1; ++c) dst[c] += seg_scale * src[c];
+        }
+        col0 = col1;
+      }
+    }
+  } else {
+    for (size_t s = 0; s < tables_.size(); ++s) {
+      if (slot_weight_[s] == 0.0) continue;
+      double scale = aggregation_ == AggregationMode::kSum
+                         ? 1.0
+                         : 1.0 / slot_weight_[s];
+      tables_[s].AddScaled(v_agg_per_slot_[s], scale);
+    }
+  }
+
+  // Eq. 15: Θ slots aggregate across every client that trained them.
+  for (size_t s = 0; s < thetas_.size(); ++s) {
+    if (theta_weight_[s] == 0.0) continue;
+    double scale = aggregation_ == AggregationMode::kSum
+                       ? 1.0
+                       : 1.0 / theta_weight_[s];
+    thetas_[s].AddScaled(theta_agg_[s], scale);
+  }
+}
+
+double HeteroServer::Distill(const DistillationOptions& options, Rng* rng) {
+  if (tables_.size() < 2) return 0.0;
+  std::vector<Matrix*> ptrs;
+  ptrs.reserve(tables_.size());
+  for (auto& t : tables_) ptrs.push_back(&t);
+  return EnsembleDistill(ptrs, options, rng);
+}
+
+size_t HeteroServer::SlotParamCount(size_t slot) const {
+  HFR_CHECK_LT(slot, tables_.size());
+  return tables_[slot].size() + thetas_[slot].ParamCount();
+}
+
+}  // namespace hetefedrec

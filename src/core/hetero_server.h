@@ -1,0 +1,95 @@
+// Central server: heterogeneous parameter storage and aggregation
+// (Algorithm 1 server side; Eq. 7-9 for V, Eq. 15 for Θ).
+//
+// The server owns one (V, Θ) pair per model slot (small/medium/large — or a
+// single slot for homogeneous baselines). Client deltas are accumulated
+// into a padded buffer of the widest slot (Eq. 7-8), and at round end each
+// slot applies the leading-column slice of the aggregate (Eq. 8-9). With
+// identical leading-column initialization this preserves the invariant
+// Vs = Vm[:, :Ns] = Vl[:, :Ns] (Eq. 10) until RESKD perturbs the tables
+// independently. Clustered aggregation (per-slot accumulation, no padding)
+// is also supported for the "Clustered FedRec" baseline.
+#ifndef HETEFEDREC_CORE_HETERO_SERVER_H_
+#define HETEFEDREC_CORE_HETERO_SERVER_H_
+
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/distillation.h"
+#include "src/core/local_trainer.h"
+#include "src/models/ffn.h"
+#include "src/util/rng.h"
+
+namespace hetefedrec {
+
+/// \brief Heterogeneous federated server state.
+class HeteroServer {
+ public:
+  struct Options {
+    /// Embedding width per slot, strictly ascending. One entry =
+    /// homogeneous FedRec.
+    std::vector<size_t> widths;
+    std::array<size_t, 2> ffn_hidden = {8, 8};
+    size_t num_items = 0;
+    double embed_init_std = 0.1;
+    /// Learning rate used when applying aggregated updates (Eq. 9; the
+    /// uploaded quantities are local deltas, i.e. -lr·∇ already, so the
+    /// server applies them with unit step).
+    AggregationMode aggregation = AggregationMode::kMean;
+    /// Padded cross-slot aggregation (HeteFedRec / Directly Aggregate) vs
+    /// isolated per-slot aggregation (Clustered FedRec).
+    bool shared_aggregation = true;
+    uint64_t seed = 1;
+  };
+
+  explicit HeteroServer(const Options& options);
+
+  size_t num_slots() const { return tables_.size(); }
+  size_t width(size_t slot) const { return tables_[slot].cols(); }
+  const Matrix& table(size_t slot) const { return tables_[slot]; }
+  Matrix& mutable_table(size_t slot) { return tables_[slot]; }
+  const FeedForwardNet& theta(size_t slot) const { return thetas_[slot]; }
+
+  /// Clears the round accumulators. Call before the first Accumulate.
+  void BeginRound();
+
+  /// Adds one client's uploaded update. `tasks` describes which slot each
+  /// theta delta belongs to and the width of v_delta (its last entry).
+  /// `weight` scales the update's contribution (1.0 for kSum/kMean;
+  /// the client's |Di| under kDataWeighted).
+  void Accumulate(const std::vector<LocalTaskSpec>& tasks,
+                  const LocalUpdateResult& update, double weight = 1.0);
+
+  /// Applies the aggregated updates to every slot (Eq. 9 / Eq. 15).
+  void FinishRound();
+
+  /// Runs RESKD across all slots' tables (Eq. 16-17). Returns the mean
+  /// pre-distillation relation loss. No-op (returns 0) with one slot.
+  double Distill(const DistillationOptions& options, Rng* rng);
+
+  /// Total public parameters of slot (V + Θ) — Table III accounting.
+  size_t SlotParamCount(size_t slot) const;
+
+ private:
+  std::vector<Matrix> tables_;
+  std::vector<FeedForwardNet> thetas_;
+  AggregationMode aggregation_;
+  bool shared_aggregation_;
+
+  // Round accumulators. Contributor totals are *weights*: 1 per client
+  // under kSum/kMean, the client's data size under kDataWeighted.
+  Matrix v_agg_;                        // widest-slot padded buffer (shared)
+  std::vector<Matrix> v_agg_per_slot_;  // clustered mode
+  /// Weight per width segment: segment s covers columns
+  /// [widths[s-1], widths[s]); a client of width w contributes to all
+  /// segments below w (shared mode).
+  std::vector<double> segment_weight_;
+  std::vector<double> slot_weight_;  // clustered mode
+  std::vector<FeedForwardNet> theta_agg_;
+  std::vector<double> theta_weight_;
+  bool round_open_ = false;
+};
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_CORE_HETERO_SERVER_H_

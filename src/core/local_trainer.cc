@@ -1,0 +1,170 @@
+#include "src/core/local_trainer.h"
+
+#include <limits>
+
+#include "src/core/decorrelation.h"
+#include "src/math/activations.h"
+#include "src/math/adam.h"
+
+namespace hetefedrec {
+
+LocalTrainer::LocalTrainer(const Dataset& ds, BaseModel model)
+    : ds_(ds), model_(model) {}
+
+LocalUpdateResult LocalTrainer::Train(
+    ClientState* client, const Matrix& global_table,
+    const std::vector<const FeedForwardNet*>& thetas,
+    const std::vector<LocalTaskSpec>& tasks,
+    const LocalTrainerOptions& options) {
+  HFR_CHECK(!tasks.empty());
+  HFR_CHECK_EQ(tasks.size(), thetas.size());
+  const size_t width = tasks.back().width;
+  HFR_CHECK_EQ(global_table.cols(), width);
+  HFR_CHECK_EQ(client->user_embedding.cols(), width);
+  for (size_t t = 0; t + 1 < tasks.size(); ++t) {
+    HFR_CHECK_LE(tasks[t].width, tasks[t + 1].width);
+  }
+
+  // Local working copies ("download", counted once per round).
+  v_local_ = global_table;
+  std::vector<FeedForwardNet> theta_local;
+  theta_local.reserve(tasks.size());
+  size_t theta_params = 0;
+  for (const FeedForwardNet* g : thetas) {
+    HFR_CHECK(g != nullptr);
+    theta_local.push_back(*g);
+    theta_params += g->ParamCount();
+  }
+
+  // Gradient accumulators and fresh optimizer state for this round.
+  if (!v_grad_.SameShape(v_local_)) v_grad_ = Matrix(v_local_.rows(), width);
+  if (u_grad_.cols() != width) u_grad_ = Matrix(1, width);
+  std::vector<FeedForwardNet> theta_grad = theta_local;
+
+  AdamOptions adam_opt;
+  adam_opt.lr = options.lr;
+  Adam adam_v(adam_opt);
+  Adam adam_u(adam_opt);
+  std::vector<FfnAdam> adam_theta(tasks.size(), FfnAdam(adam_opt));
+
+  // One Scorer per task width.
+  std::vector<Scorer> scorers;
+  scorers.reserve(tasks.size());
+  for (const LocalTaskSpec& task : tasks) {
+    scorers.emplace_back(model_, task.width);
+  }
+
+  // Validation carve-out (§III-A): hold out the tail of the (already
+  // shuffled) training list; fit on the rest; keep the epoch with the best
+  // validation BCE.
+  const std::vector<ItemId>& all_train = ds_.TrainItems(client->id);
+  std::vector<ItemId> fit_items = all_train;
+  std::vector<Sample> val_samples;
+  const bool use_validation =
+      options.validation_fraction > 0.0 &&
+      all_train.size() >= options.min_validation_positives;
+  if (use_validation) {
+    size_t n_val = std::max<size_t>(
+        1, static_cast<size_t>(options.validation_fraction *
+                               static_cast<double>(all_train.size())));
+    std::vector<ItemId> val_items(all_train.end() - n_val, all_train.end());
+    fit_items.assign(all_train.begin(), all_train.end() - n_val);
+    val_samples =
+        ds_.BuildEpochFromPositives(client->id, val_items, &client->rng);
+  }
+  const std::vector<ItemId>& train_items = fit_items;
+
+  // Best-epoch snapshot state for validation-guided selection.
+  double best_val_loss = std::numeric_limits<double>::infinity();
+  Matrix best_v;
+  Matrix best_u;
+  std::vector<FeedForwardNet> best_theta;
+
+  LocalUpdateResult result;
+
+  for (int epoch = 0; epoch < options.local_epochs; ++epoch) {
+    std::vector<Sample> samples = ds_.BuildEpochFromPositives(
+        client->id, fit_items, &client->rng);
+    v_grad_.SetZero();
+    u_grad_.SetZero();
+    for (auto& g : theta_grad) g.SetZero();
+
+    double bce_loss = 0.0;
+    Scorer::TrainCache cache;
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      Scorer& sc = scorers[t];
+      sc.BeginUser(client->user_embedding.Row(0), v_local_, train_items);
+      for (const Sample& s : samples) {
+        double logit = sc.ScoreForTrain(v_local_, theta_local[t], s.item,
+                                        &cache);
+        bce_loss += BceWithLogits(logit, s.label);
+        sc.BackwardSample(theta_local[t], cache,
+                          BceWithLogitsGrad(logit, s.label), &v_grad_,
+                          u_grad_.Row(0), &theta_grad[t]);
+      }
+      sc.FinishUserBackward(&v_grad_, u_grad_.Row(0));
+    }
+
+    double reg_loss = 0.0;
+    if (options.apply_ddr) {
+      reg_loss = DecorrelationLossAndGrad(v_local_, options.alpha,
+                                          options.ddr_sample_rows,
+                                          &client->rng, &v_grad_);
+    }
+
+    adam_v.Step(&v_local_, v_grad_);
+    adam_u.Step(&client->user_embedding, u_grad_);
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      adam_theta[t].Step(&theta_local[t], theta_grad[t]);
+    }
+
+    if (epoch + 1 == options.local_epochs) {
+      result.train_loss =
+          samples.empty()
+              ? 0.0
+              : bce_loss / (static_cast<double>(samples.size()) *
+                            static_cast<double>(tasks.size()));
+      result.reg_loss = reg_loss;
+    }
+
+    if (use_validation && !val_samples.empty()) {
+      // Validation BCE of the client's own-width model after this epoch.
+      Scorer& own = scorers.back();
+      own.BeginUser(client->user_embedding.Row(0), v_local_, fit_items);
+      double val = 0.0;
+      for (const Sample& s : val_samples) {
+        val += BceWithLogits(own.Score(v_local_, theta_local.back(), s.item),
+                             s.label);
+      }
+      val /= static_cast<double>(val_samples.size());
+      if (val < best_val_loss) {
+        best_val_loss = val;
+        best_v = v_local_;
+        best_u = client->user_embedding;
+        best_theta = theta_local;
+      }
+    }
+  }
+
+  if (use_validation && !best_v.empty()) {
+    v_local_ = best_v;
+    client->user_embedding = best_u;
+    theta_local = std::move(best_theta);
+    result.validation_loss = best_val_loss;
+  }
+
+  // Deltas to upload.
+  result.v_delta = v_local_;
+  result.v_delta.AddScaled(global_table, -1.0);
+  result.theta_deltas.reserve(tasks.size());
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    FeedForwardNet d = theta_local[t];
+    d.AddScaled(*thetas[t], -1.0);
+    result.theta_deltas.push_back(std::move(d));
+  }
+  result.params_down = v_local_.size() + theta_params;
+  result.params_up = result.params_down;
+  return result;
+}
+
+}  // namespace hetefedrec

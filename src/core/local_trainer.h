@@ -1,0 +1,99 @@
+// Client-side local training (Algorithm 1, CLIENT_TRAIN).
+//
+// A client downloads its group's public parameters, trains local copies for
+// `local_epochs` full-batch Adam steps, and uploads the resulting parameter
+// deltas. Under unified dual-task learning (Eq. 11) a client in group a
+// optimizes one BCE objective per width Ns..Na over *shared* embedding
+// storage, so sub-slices of its update are meaningful updates for the
+// smaller models; medium/large clients additionally apply the DDR
+// regularizer (Eq. 14). The private user embedding is updated in place
+// (Eq. 3) and never leaves the client.
+#ifndef HETEFEDREC_CORE_LOCAL_TRAINER_H_
+#define HETEFEDREC_CORE_LOCAL_TRAINER_H_
+
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/fed/client.h"
+#include "src/models/ffn.h"
+#include "src/models/scorer.h"
+
+namespace hetefedrec {
+
+/// One dual-task objective: train at `width` against the Θ of `slot`.
+struct LocalTaskSpec {
+  size_t slot = 0;   // server model slot owning the Θ for this width
+  size_t width = 0;  // embedding slice width
+};
+
+/// \brief What a client uploads after local training.
+struct LocalUpdateResult {
+  /// V_local - V_received (dense, |V| x client width).
+  Matrix v_delta;
+  /// Θ_local - Θ_received per task, aligned with the task list.
+  std::vector<FeedForwardNet> theta_deltas;
+  /// Mean per-sample BCE loss (summed over tasks) in the final local epoch.
+  double train_loss = 0.0;
+  /// Unweighted DDR loss in the final local epoch (0 when DDR off).
+  double reg_loss = 0.0;
+  /// Mean per-sample validation BCE of the *selected* epoch (0 when the
+  /// validation carve-out is disabled or the client is too small).
+  double validation_loss = 0.0;
+  /// Scalars downloaded / uploaded (Table III accounting).
+  size_t params_down = 0;
+  size_t params_up = 0;
+};
+
+/// \brief Options controlling local optimization.
+struct LocalTrainerOptions {
+  int local_epochs = 2;
+  double lr = 0.001;
+  bool apply_ddr = false;      // DDR active for this client
+  double alpha = 1.0;          // DDR weight
+  size_t ddr_sample_rows = 0;  // 0 = all rows
+  /// Fraction of the client's training positives held out as a local
+  /// validation set (§III-A: "10% of its training data will be used as the
+  /// validation set to guide the local training"). When > 0 and the client
+  /// has at least `min_validation_positives` training items, the client
+  /// keeps the parameters of the local epoch with the lowest validation
+  /// BCE instead of the final epoch. 0 disables the carve-out.
+  double validation_fraction = 0.0;
+  size_t min_validation_positives = 10;
+};
+
+/// \brief Executes CLIENT_TRAIN for one client.
+///
+/// Stateless across clients apart from scratch buffers, so one instance is
+/// reused for the whole simulation (buffers are re-sized per width).
+class LocalTrainer {
+ public:
+  LocalTrainer(const Dataset& ds, BaseModel model);
+
+  /// Runs local training.
+  ///
+  /// \param client persistent client state; its user embedding is updated
+  ///   in place and its RNG advanced.
+  /// \param global_table the client's group item embedding table (width =
+  ///   client width = tasks.back().width).
+  /// \param thetas global Θ per task (same order as `tasks`; the last task
+  ///   is the client's own width).
+  /// \param tasks the dual-task list, widths ascending.
+  /// \param options optimization parameters.
+  LocalUpdateResult Train(ClientState* client, const Matrix& global_table,
+                          const std::vector<const FeedForwardNet*>& thetas,
+                          const std::vector<LocalTaskSpec>& tasks,
+                          const LocalTrainerOptions& options);
+
+ private:
+  const Dataset& ds_;
+  BaseModel model_;
+
+  // Scratch reused across clients to limit allocator churn.
+  Matrix v_local_;
+  Matrix v_grad_;
+  Matrix u_grad_;
+};
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_CORE_LOCAL_TRAINER_H_

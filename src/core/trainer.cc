@@ -1,0 +1,296 @@
+#include "src/core/trainer.h"
+
+#include <array>
+
+#include "src/core/checkpoint.h"
+#include "src/core/local_trainer.h"
+#include "src/data/synthetic.h"
+#include "src/fed/scheduler.h"
+#include "src/math/eigen.h"
+#include "src/math/init.h"
+#include "src/math/stats.h"
+#include "src/util/timer.h"
+
+namespace hetefedrec {
+
+namespace {
+
+/// Derived per-method wiring: slots, group->slot map, dual-task lists,
+/// aggregation flavor and component toggles.
+struct MethodSetup {
+  std::vector<size_t> widths;
+  bool shared_aggregation = true;
+  std::array<size_t, kNumGroups> slot_of_group = {0, 0, 0};
+  std::array<std::vector<LocalTaskSpec>, kNumGroups> tasks_of_group;
+  std::array<bool, kNumGroups> excluded = {false, false, false};
+  std::array<bool, kNumGroups> apply_ddr = {false, false, false};
+  bool reskd = false;
+};
+
+MethodSetup BuildSetup(const ExperimentConfig& cfg, Method method) {
+  MethodSetup s;
+  const auto& dims = cfg.dims;
+  auto homogeneous = [&](size_t width) {
+    s.widths = {width};
+    for (int g = 0; g < kNumGroups; ++g) {
+      s.slot_of_group[g] = 0;
+      s.tasks_of_group[g] = {LocalTaskSpec{0, width}};
+    }
+  };
+  switch (method) {
+    case Method::kAllSmall:
+      homogeneous(dims[0]);
+      break;
+    case Method::kAllLarge:
+      homogeneous(dims[2]);
+      break;
+    case Method::kAllLargeExclusive:
+      homogeneous(dims[2]);
+      s.excluded[static_cast<int>(Group::kSmall)] = true;
+      break;
+    case Method::kClusteredFedRec:
+    case Method::kDirectlyAggregate:
+    case Method::kStandalone:
+      s.widths = {dims[0], dims[1], dims[2]};
+      s.shared_aggregation = (method == Method::kDirectlyAggregate);
+      for (int g = 0; g < kNumGroups; ++g) {
+        s.slot_of_group[g] = static_cast<size_t>(g);
+        s.tasks_of_group[g] = {
+            LocalTaskSpec{static_cast<size_t>(g), dims[g]}};
+      }
+      break;
+    case Method::kHeteFedRec:
+      s.widths = {dims[0], dims[1], dims[2]};
+      s.shared_aggregation = true;
+      for (int g = 0; g < kNumGroups; ++g) {
+        s.slot_of_group[g] = static_cast<size_t>(g);
+        if (cfg.unified_dual_task) {
+          // Eq. 11: one objective per width Ns..Ng over shared storage.
+          for (int t = 0; t <= g; ++t) {
+            s.tasks_of_group[g].push_back(
+                LocalTaskSpec{static_cast<size_t>(t), dims[t]});
+          }
+        } else {
+          s.tasks_of_group[g] = {
+              LocalTaskSpec{static_cast<size_t>(g), dims[g]}};
+        }
+        // Eq. 14: DDR applies to medium and large clients.
+        s.apply_ddr[g] = cfg.decorrelation && g > 0;
+      }
+      s.reskd = cfg.ensemble_distillation;
+      break;
+  }
+  return s;
+}
+
+}  // namespace
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig config, Dataset dataset,
+                                   GroupAssignment groups)
+    : config_(std::move(config)),
+      dataset_(std::move(dataset)),
+      groups_(std::move(groups)) {}
+
+StatusOr<std::unique_ptr<ExperimentRunner>> ExperimentRunner::Create(
+    const ExperimentConfig& config) {
+  HFR_RETURN_NOT_OK(config.Validate());
+  auto data_cfg = DatasetConfigByName(config.dataset, config.data_scale);
+  if (!data_cfg.ok()) return data_cfg.status();
+  std::vector<Interaction> interactions = GenerateInteractions(*data_cfg);
+  SplitOptions split;
+  split.seed = config.seed ^ 0x5eedULL;
+  auto ds = Dataset::FromInteractions(interactions, data_cfg->num_users,
+                                      data_cfg->num_items, split);
+  if (!ds.ok()) return ds.status();
+  auto groups = AssignGroups(*ds, config.group_fractions);
+  if (!groups.ok()) return groups.status();
+  return std::unique_ptr<ExperimentRunner>(new ExperimentRunner(
+      config, std::move(ds).value(), std::move(groups).value()));
+}
+
+ExperimentResult ExperimentRunner::Run(Method method) const {
+  if (method == Method::kStandalone) return RunStandalone();
+  return RunFederated(method);
+}
+
+ExperimentResult ExperimentRunner::RunFederated(Method method) const {
+  const ExperimentConfig& cfg = config_;
+  MethodSetup setup = BuildSetup(cfg, method);
+  if (setup.widths.size() > 1) {
+    HFR_CHECK_LT(cfg.dims[0], cfg.dims[1]);
+    HFR_CHECK_LT(cfg.dims[1], cfg.dims[2]);
+  }
+
+  Timer timer;
+  Rng root(cfg.seed);
+
+  HeteroServer::Options server_opts;
+  server_opts.widths = setup.widths;
+  server_opts.ffn_hidden = cfg.ffn_hidden;
+  server_opts.num_items = dataset_.num_items();
+  server_opts.embed_init_std = cfg.embed_init_std;
+  server_opts.aggregation = cfg.aggregation;
+  server_opts.shared_aggregation = setup.shared_aggregation;
+  server_opts.seed = root.Fork(1).Next();
+  HeteroServer server(server_opts);
+
+  std::vector<ClientState> clients(dataset_.num_users());
+  for (size_t u = 0; u < clients.size(); ++u) {
+    Group g = groups_.of(static_cast<UserId>(u));
+    size_t width = setup.widths[setup.slot_of_group[static_cast<int>(g)]];
+    InitClient(&clients[u], static_cast<UserId>(u), g, width,
+               cfg.embed_init_std, root);
+  }
+
+  LocalTrainer local(dataset_, cfg.base_model);
+  RoundScheduler scheduler(dataset_.num_users(), cfg.clients_per_round);
+  Rng sched_rng = root.Fork(2);
+  Rng kd_rng = root.Fork(3);
+  DistillationOptions kd_opts;
+  kd_opts.kd_items = cfg.kd_items;
+  kd_opts.steps = cfg.kd_steps;
+  kd_opts.lr = cfg.kd_lr;
+
+  Evaluator evaluator(dataset_, groups_, cfg.top_k, cfg.eval_user_sample,
+                      cfg.seed ^ 0xe5a1ULL);
+  auto score_fn = [&](UserId u, std::vector<double>* scores) {
+    const ClientState& c = clients[u];
+    size_t slot = setup.slot_of_group[static_cast<int>(c.group)];
+    Scorer sc(cfg.base_model, server.width(slot));
+    sc.BeginUser(c.user_embedding.Row(0), server.table(slot),
+                 dataset_.TrainItems(u));
+    scores->resize(dataset_.num_items());
+    for (size_t j = 0; j < dataset_.num_items(); ++j) {
+      (*scores)[j] = sc.Score(server.table(slot), server.theta(slot),
+                              static_cast<ItemId>(j));
+    }
+  };
+
+  ExperimentResult result;
+  for (int epoch = 1; epoch <= cfg.global_epochs; ++epoch) {
+    double loss_sum = 0.0;
+    size_t loss_count = 0;
+    for (const auto& batch : scheduler.EpochBatches(&sched_rng)) {
+      server.BeginRound();
+      for (UserId u : batch) {
+        ClientState& client = clients[u];
+        const int g = static_cast<int>(client.group);
+        // "All Large/Exclusive": data-poor clients are excluded from the
+        // federation entirely — they receive the global model for
+        // inference but are never selected for training, so even their
+        // private user embeddings stay at initialization. This matches the
+        // severity of the paper's reported drop (Table II).
+        if (setup.excluded[g]) continue;
+        const auto& tasks = setup.tasks_of_group[g];
+        std::vector<const FeedForwardNet*> thetas;
+        thetas.reserve(tasks.size());
+        for (const auto& task : tasks) thetas.push_back(&server.theta(task.slot));
+
+        LocalTrainerOptions lopt;
+        lopt.local_epochs = cfg.local_epochs;
+        lopt.lr = cfg.lr;
+        lopt.apply_ddr = setup.apply_ddr[g];
+        lopt.alpha = cfg.alpha;
+        lopt.ddr_sample_rows = cfg.ddr_sample_rows;
+        lopt.validation_fraction = cfg.local_validation_fraction;
+
+        size_t slot = setup.slot_of_group[g];
+        LocalUpdateResult update =
+            local.Train(&client, server.table(slot), thetas, tasks, lopt);
+        result.comm.RecordDownload(client.group, update.params_down);
+        result.comm.RecordUpload(client.group, update.params_up);
+        loss_sum += update.train_loss;
+        loss_count++;
+        double weight =
+            cfg.aggregation == AggregationMode::kDataWeighted
+                ? static_cast<double>(dataset_.TrainItems(u).size())
+                : 1.0;
+        server.Accumulate(tasks, update, weight);
+      }
+      server.FinishRound();
+      if (setup.reskd) server.Distill(kd_opts, &kd_rng);
+    }
+
+    const bool last = (epoch == cfg.global_epochs);
+    if ((cfg.eval_every > 0 && epoch % cfg.eval_every == 0) || last) {
+      EpochPoint point;
+      point.epoch = epoch;
+      point.eval = evaluator.Evaluate(score_fn);
+      point.mean_train_loss =
+          loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;
+      if (cfg.eval_every > 0) result.history.push_back(point);
+      if (last) result.final_eval = point.eval;
+    }
+  }
+
+  {
+    const Matrix& largest = server.table(server.num_slots() - 1);
+    std::vector<double> eig = SymmetricEigenvalues(CovarianceMatrix(largest));
+    result.collapse_variance = Variance(eig);
+    double mean = Mean(eig);
+    result.collapse_cv =
+        mean > 0 ? result.collapse_variance / (mean * mean) : 0.0;
+  }
+  if (!cfg.checkpoint_path.empty()) {
+    Status st = SaveServerCheckpoint(cfg.checkpoint_path, server,
+                                     BaseModelName(cfg.base_model));
+    if (!st.ok()) {
+      HFR_LOG(Warning) << "checkpoint save failed: " << st.ToString();
+    }
+  }
+  result.train_seconds = timer.Seconds();
+  return result;
+}
+
+ExperimentResult ExperimentRunner::RunStandalone() const {
+  const ExperimentConfig& cfg = config_;
+  Timer timer;
+  Rng root(cfg.seed);
+  Rng init_rng = root.Fork(4);
+
+  LocalTrainer local(dataset_, cfg.base_model);
+  Evaluator evaluator(dataset_, groups_, cfg.top_k, cfg.eval_user_sample,
+                      cfg.seed ^ 0xe5a1ULL);
+
+  // Train-and-score each evaluated user in isolation: no parameters are
+  // ever exchanged, which is exactly the baseline's premise. Training
+  // budget matches federated clients: global_epochs x local_epochs local
+  // passes over the user's own data.
+  auto score_fn = [&](UserId u, std::vector<double>* scores) {
+    Group g = groups_.of(u);
+    size_t width = cfg.dims[static_cast<int>(g)];
+    Matrix table(dataset_.num_items(), width);
+    Rng user_init = init_rng.Fork(u);
+    InitNormal(&table, cfg.embed_init_std, &user_init);
+    FeedForwardNet theta(2 * width, {cfg.ffn_hidden[0], cfg.ffn_hidden[1]});
+    theta.InitXavier(&user_init);
+
+    ClientState client;
+    InitClient(&client, u, g, width, cfg.embed_init_std, root);
+
+    std::vector<LocalTaskSpec> tasks = {LocalTaskSpec{0, width}};
+    LocalTrainerOptions lopt;
+    lopt.local_epochs = cfg.global_epochs * cfg.local_epochs;
+    lopt.lr = cfg.lr;
+    lopt.apply_ddr = false;
+    LocalUpdateResult update =
+        local.Train(&client, table, {&theta}, tasks, lopt);
+    table.AddScaled(update.v_delta, 1.0);
+    theta.AddScaled(update.theta_deltas[0], 1.0);
+
+    Scorer sc(cfg.base_model, width);
+    sc.BeginUser(client.user_embedding.Row(0), table,
+                 dataset_.TrainItems(u));
+    scores->resize(dataset_.num_items());
+    for (size_t j = 0; j < dataset_.num_items(); ++j) {
+      (*scores)[j] = sc.Score(table, theta, static_cast<ItemId>(j));
+    }
+  };
+
+  ExperimentResult result;
+  result.final_eval = evaluator.Evaluate(score_fn);
+  result.train_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace hetefedrec

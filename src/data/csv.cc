@@ -1,0 +1,85 @@
+#include "src/data/csv.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace hetefedrec {
+
+namespace {
+
+bool ParseField(const std::string& field, long* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  long v = std::strtol(field.c_str(), &end, 10);
+  if (end == field.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char ch : line) {
+    if (ch == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else if (ch != '\r' && ch != ' ') {
+      cur.push_back(ch);
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Interaction>> LoadInteractionsCsv(const std::string& path,
+                                                       size_t* num_users,
+                                                       size_t* num_items) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  std::vector<Interaction> out;
+  std::unordered_map<long, UserId> user_map;
+  std::unordered_map<long, ItemId> item_map;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto fields = SplitCsvLine(line);
+    if (fields.size() < 2) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": expected at least 2 fields");
+    }
+    long raw_user, raw_item;
+    if (!ParseField(fields[0], &raw_user) || !ParseField(fields[1], &raw_item)) {
+      if (line_no == 1) continue;  // header row
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": non-numeric user/item id");
+    }
+    auto [uit, _u] = user_map.try_emplace(
+        raw_user, static_cast<UserId>(user_map.size()));
+    auto [iit, _i] = item_map.try_emplace(
+        raw_item, static_cast<ItemId>(item_map.size()));
+    out.push_back(Interaction{uit->second, iit->second});
+  }
+  if (num_users) *num_users = user_map.size();
+  if (num_items) *num_items = item_map.size();
+  return out;
+}
+
+Status SaveInteractionsCsv(const std::string& path,
+                           const std::vector<Interaction>& interactions) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "user,item\n";
+  for (const Interaction& x : interactions) {
+    out << x.user << "," << x.item << "\n";
+  }
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+}  // namespace hetefedrec

@@ -1,0 +1,30 @@
+// CSV import/export so real datasets (MovieLens etc.) can be dropped in.
+//
+// Format: one `user,item[,rating]` row per interaction; a header row is
+// detected and skipped; ratings are binarized (any value counts as an
+// implicit positive, matching §V-A).
+#ifndef HETEFEDREC_DATA_CSV_H_
+#define HETEFEDREC_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/types.h"
+#include "src/util/status.h"
+
+namespace hetefedrec {
+
+/// Loads interactions from `path`. User/item ids are remapped to a dense
+/// [0, n) range in first-appearance order; the mapping sizes are returned
+/// through the out-parameters.
+StatusOr<std::vector<Interaction>> LoadInteractionsCsv(const std::string& path,
+                                                       size_t* num_users,
+                                                       size_t* num_items);
+
+/// Writes interactions as `user,item` rows with a header.
+Status SaveInteractionsCsv(const std::string& path,
+                           const std::vector<Interaction>& interactions);
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_DATA_CSV_H_

@@ -1,0 +1,66 @@
+#include "src/data/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/math/stats.h"
+
+namespace hetefedrec {
+
+DatasetStats ComputeDatasetStats(const Dataset& ds) {
+  DatasetStats s;
+  s.num_users = ds.num_users();
+  s.num_items = ds.num_items();
+  std::vector<double> counts(ds.num_users());
+  for (size_t u = 0; u < ds.num_users(); ++u) {
+    counts[u] =
+        static_cast<double>(ds.InteractionCount(static_cast<UserId>(u)));
+    s.num_interactions += static_cast<size_t>(counts[u]);
+  }
+  s.avg_interactions = Mean(counts);
+  s.median_interactions = Percentile(counts, 50.0);
+  s.p80_interactions = Percentile(counts, 80.0);
+  s.stddev_interactions = StdDev(counts);
+  return s;
+}
+
+std::vector<HistogramBucket> InteractionHistogram(const Dataset& ds,
+                                                  size_t num_buckets) {
+  std::vector<HistogramBucket> buckets(std::max<size_t>(1, num_buckets));
+  double max_count = 0.0;
+  std::vector<double> counts(ds.num_users());
+  for (size_t u = 0; u < ds.num_users(); ++u) {
+    counts[u] =
+        static_cast<double>(ds.InteractionCount(static_cast<UserId>(u)));
+    max_count = std::max(max_count, counts[u]);
+  }
+  double width = (max_count + 1.0) / static_cast<double>(buckets.size());
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    buckets[b].lo = width * static_cast<double>(b);
+    buckets[b].hi = width * static_cast<double>(b + 1);
+  }
+  for (double c : counts) {
+    size_t b = std::min(buckets.size() - 1,
+                        static_cast<size_t>(c / width));
+    buckets[b].count++;
+  }
+  return buckets;
+}
+
+std::string RenderHistogram(const std::vector<HistogramBucket>& buckets,
+                            size_t max_width) {
+  size_t peak = 1;
+  for (const auto& b : buckets) peak = std::max(peak, b.count);
+  std::ostringstream os;
+  for (const auto& b : buckets) {
+    size_t bar = (b.count * max_width + peak - 1) / peak;
+    char label[48];
+    std::snprintf(label, sizeof(label), "[%6.0f,%6.0f) %6zu ", b.lo, b.hi,
+                  b.count);
+    os << label << std::string(bar, '#') << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hetefedrec

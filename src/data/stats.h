@@ -1,0 +1,45 @@
+// Dataset summary statistics (Table I) and interaction-count histograms
+// (Fig. 1).
+#ifndef HETEFEDREC_DATA_STATS_H_
+#define HETEFEDREC_DATA_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+
+namespace hetefedrec {
+
+/// \brief The per-dataset summary the paper reports in Table I.
+struct DatasetStats {
+  size_t num_users = 0;
+  size_t num_items = 0;
+  size_t num_interactions = 0;
+  double avg_interactions = 0.0;     // "Avg." column
+  double median_interactions = 0.0;  // "< 50%" column
+  double p80_interactions = 0.0;     // "< 80%" column
+  double stddev_interactions = 0.0;  // §I quotes these (154.2 / 79.8 / 105.2)
+};
+
+/// Computes Table I statistics for `ds`.
+DatasetStats ComputeDatasetStats(const Dataset& ds);
+
+/// \brief One bar of the Fig. 1 histogram.
+struct HistogramBucket {
+  double lo = 0.0;  // inclusive
+  double hi = 0.0;  // exclusive
+  size_t count = 0;
+};
+
+/// Histogram of users' interaction counts with `num_buckets` equal-width
+/// buckets over [0, max_count] — the Fig. 1 distribution plot.
+std::vector<HistogramBucket> InteractionHistogram(const Dataset& ds,
+                                                  size_t num_buckets);
+
+/// Renders the histogram as ASCII art (one row per bucket) for bench output.
+std::string RenderHistogram(const std::vector<HistogramBucket>& buckets,
+                            size_t max_width = 50);
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_DATA_STATS_H_

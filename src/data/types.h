@@ -1,0 +1,34 @@
+// Core data types for implicit-feedback recommendation.
+#ifndef HETEFEDREC_DATA_TYPES_H_
+#define HETEFEDREC_DATA_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hetefedrec {
+
+using UserId = int32_t;
+using ItemId = int32_t;
+
+/// One observed user-item interaction. Ratings are binarized to implicit
+/// feedback (r = 1) as in the paper (§V-A); negatives are sampled, never
+/// stored.
+struct Interaction {
+  UserId user = 0;
+  ItemId item = 0;
+
+  bool operator==(const Interaction& o) const {
+    return user == o.user && item == o.item;
+  }
+};
+
+/// A training sample after negative sampling: label 1 for an observed
+/// interaction, 0 for a sampled negative.
+struct Sample {
+  ItemId item = 0;
+  double label = 0.0;
+};
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_DATA_TYPES_H_

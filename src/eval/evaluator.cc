@@ -1,0 +1,69 @@
+#include "src/eval/evaluator.h"
+
+#include <numeric>
+#include <unordered_set>
+
+#include "src/eval/metrics.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace hetefedrec {
+
+Evaluator::Evaluator(const Dataset& ds, const GroupAssignment& assignment,
+                     size_t top_k, size_t user_sample, uint64_t seed)
+    : ds_(ds), assignment_(assignment), top_k_(top_k) {
+  users_.resize(ds.num_users());
+  std::iota(users_.begin(), users_.end(), 0);
+  if (user_sample > 0 && user_sample < users_.size()) {
+    Rng rng(seed);
+    rng.Shuffle(&users_);
+    users_.resize(user_sample);
+  }
+}
+
+GroupedEval Evaluator::Evaluate(const ScoreFn& score_fn) const {
+  GroupedEval out;
+  std::vector<double> scores;
+  std::vector<bool> masked(ds_.num_items());
+  double sum_recall[1 + kNumGroups] = {0};
+  double sum_ndcg[1 + kNumGroups] = {0};
+  size_t counts[1 + kNumGroups] = {0};
+
+  for (UserId u : users_) {
+    const auto& test_items = ds_.TestItems(u);
+    if (test_items.empty()) continue;
+    score_fn(u, &scores);
+    HFR_CHECK_EQ(scores.size(), ds_.num_items());
+
+    std::fill(masked.begin(), masked.end(), false);
+    for (ItemId i : ds_.TrainItems(u)) masked[i] = true;
+
+    std::unordered_set<ItemId> relevant(test_items.begin(), test_items.end());
+    std::vector<ItemId> topk = TopKItems(scores, masked, top_k_);
+    double recall = RecallAtK(topk, relevant);
+    double ndcg = NdcgAtK(topk, relevant);
+
+    int g = 1 + static_cast<int>(assignment_.of(u));
+    sum_recall[0] += recall;
+    sum_ndcg[0] += ndcg;
+    counts[0]++;
+    sum_recall[g] += recall;
+    sum_ndcg[g] += ndcg;
+    counts[g]++;
+  }
+
+  auto finalize = [&](int idx) {
+    EvalResult r;
+    r.users = counts[idx];
+    if (counts[idx] > 0) {
+      r.recall = sum_recall[idx] / static_cast<double>(counts[idx]);
+      r.ndcg = sum_ndcg[idx] / static_cast<double>(counts[idx]);
+    }
+    return r;
+  };
+  out.overall = finalize(0);
+  for (int g = 0; g < kNumGroups; ++g) out.per_group[g] = finalize(1 + g);
+  return out;
+}
+
+}  // namespace hetefedrec

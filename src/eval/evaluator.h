@@ -1,0 +1,67 @@
+// Top-K ranking evaluation over the full catalogue.
+//
+// Protocol (§V-A/B): for each user, score every item the user has not
+// trained on, take the top-20, and compute Recall@20 / NDCG@20 against the
+// held-out 20% test interactions. Reported overall and per client group
+// (Fig. 6 breaks NDCG down by Us/Um/Ul).
+#ifndef HETEFEDREC_EVAL_EVALUATOR_H_
+#define HETEFEDREC_EVAL_EVALUATOR_H_
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/fed/group.h"
+#include "src/fed/groups.h"
+
+namespace hetefedrec {
+
+/// \brief Mean metrics over a set of users.
+struct EvalResult {
+  double recall = 0.0;
+  double ndcg = 0.0;
+  size_t users = 0;  // users contributing (non-empty test set)
+};
+
+/// \brief Overall + per-group evaluation.
+struct GroupedEval {
+  EvalResult overall;
+  std::array<EvalResult, kNumGroups> per_group;
+
+  const EvalResult& group(Group g) const {
+    return per_group[static_cast<int>(g)];
+  }
+};
+
+/// \brief Runs the ranking protocol against a scoring callback.
+class Evaluator {
+ public:
+  /// Scores all items for a user: fills `scores` (resized to num_items).
+  using ScoreFn =
+      std::function<void(UserId user, std::vector<double>* scores)>;
+
+  /// \param ds dataset (test sets + train masks).
+  /// \param assignment client group division (for the per-group breakdown).
+  /// \param top_k recommendation list length (paper: 20).
+  /// \param user_sample evaluate only this many users (0 = all); users are
+  ///   drawn deterministically from `seed` so curves are comparable across
+  ///   epochs and methods.
+  Evaluator(const Dataset& ds, const GroupAssignment& assignment,
+            size_t top_k = 20, size_t user_sample = 0, uint64_t seed = 9177);
+
+  /// Evaluates `score_fn` over the (sampled) user population.
+  GroupedEval Evaluate(const ScoreFn& score_fn) const;
+
+  const std::vector<UserId>& eval_users() const { return users_; }
+
+ private:
+  const Dataset& ds_;
+  const GroupAssignment& assignment_;
+  size_t top_k_;
+  std::vector<UserId> users_;
+};
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_EVAL_EVALUATOR_H_

@@ -1,0 +1,96 @@
+#include "src/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace hetefedrec {
+
+double RecallAtK(const std::vector<ItemId>& topk,
+                 const std::unordered_set<ItemId>& relevant) {
+  if (relevant.empty()) return 0.0;
+  size_t hits = 0;
+  for (ItemId i : topk) hits += relevant.count(i);
+  return static_cast<double>(hits) / static_cast<double>(relevant.size());
+}
+
+double NdcgAtK(const std::vector<ItemId>& topk,
+               const std::unordered_set<ItemId>& relevant) {
+  if (relevant.empty()) return 0.0;
+  double dcg = 0.0;
+  for (size_t p = 0; p < topk.size(); ++p) {
+    if (relevant.count(topk[p])) {
+      dcg += 1.0 / std::log2(static_cast<double>(p) + 2.0);
+    }
+  }
+  double idcg = 0.0;
+  size_t ideal_hits = std::min(topk.size(), relevant.size());
+  for (size_t p = 0; p < ideal_hits; ++p) {
+    idcg += 1.0 / std::log2(static_cast<double>(p) + 2.0);
+  }
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+double HitRateAtK(const std::vector<ItemId>& topk,
+                  const std::unordered_set<ItemId>& relevant) {
+  for (ItemId i : topk) {
+    if (relevant.count(i)) return 1.0;
+  }
+  return 0.0;
+}
+
+double PrecisionAtK(const std::vector<ItemId>& topk,
+                    const std::unordered_set<ItemId>& relevant) {
+  if (topk.empty()) return 0.0;
+  size_t hits = 0;
+  for (ItemId i : topk) hits += relevant.count(i);
+  return static_cast<double>(hits) / static_cast<double>(topk.size());
+}
+
+double MrrAtK(const std::vector<ItemId>& topk,
+              const std::unordered_set<ItemId>& relevant) {
+  for (size_t p = 0; p < topk.size(); ++p) {
+    if (relevant.count(topk[p])) {
+      return 1.0 / static_cast<double>(p + 1);
+    }
+  }
+  return 0.0;
+}
+
+double AveragePrecisionAtK(const std::vector<ItemId>& topk,
+                           const std::unordered_set<ItemId>& relevant) {
+  if (relevant.empty() || topk.empty()) return 0.0;
+  size_t hits = 0;
+  double sum = 0.0;
+  for (size_t p = 0; p < topk.size(); ++p) {
+    if (relevant.count(topk[p])) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(p + 1);
+    }
+  }
+  size_t denom = std::min(topk.size(), relevant.size());
+  return denom > 0 ? sum / static_cast<double>(denom) : 0.0;
+}
+
+std::vector<ItemId> TopKItems(const std::vector<double>& scores,
+                              const std::vector<bool>& masked, size_t k) {
+  HFR_CHECK_EQ(scores.size(), masked.size());
+  std::vector<ItemId> candidates;
+  candidates.reserve(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (!masked[i]) candidates.push_back(static_cast<ItemId>(i));
+  }
+  k = std::min(k, candidates.size());
+  // Stable ordering for ties: higher score first, then lower item id.
+  auto better = [&scores](ItemId a, ItemId b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  };
+  std::partial_sort(candidates.begin(), candidates.begin() + k,
+                    candidates.end(), better);
+  candidates.resize(k);
+  return candidates;
+}
+
+}  // namespace hetefedrec

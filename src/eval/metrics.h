@@ -1,0 +1,54 @@
+// Ranking metrics: Recall@K and NDCG@K (§V-B).
+#ifndef HETEFEDREC_EVAL_METRICS_H_
+#define HETEFEDREC_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "src/data/types.h"
+
+namespace hetefedrec {
+
+/// Recall@K = |topk ∩ relevant| / |relevant|. `topk` is the recommendation
+/// list in rank order; `relevant` the user's held-out test items.
+double RecallAtK(const std::vector<ItemId>& topk,
+                 const std::unordered_set<ItemId>& relevant);
+
+/// NDCG@K with binary relevance: DCG = Σ_{hit at rank p} 1/log2(p+1)
+/// (1-indexed ranks), normalized by the ideal DCG for min(K, |relevant|).
+double NdcgAtK(const std::vector<ItemId>& topk,
+               const std::unordered_set<ItemId>& relevant);
+
+/// Extracts the indices of the K largest scores in descending order.
+/// `masked` entries (same length as scores) are skipped — used to exclude
+/// a user's training items from ranking.
+std::vector<ItemId> TopKItems(const std::vector<double>& scores,
+                              const std::vector<bool>& masked, size_t k);
+
+// --- Supplementary ranking metrics ----------------------------------------
+// The paper reports Recall@20 and NDCG@20; these are provided for users of
+// the library who want the other standard top-K diagnostics.
+
+/// HitRate@K: 1 if any relevant item appears in the list, else 0.
+double HitRateAtK(const std::vector<ItemId>& topk,
+                  const std::unordered_set<ItemId>& relevant);
+
+/// Precision@K: fraction of the list that is relevant (divides by the
+/// list's actual length).
+double PrecisionAtK(const std::vector<ItemId>& topk,
+                    const std::unordered_set<ItemId>& relevant);
+
+/// MRR@K: reciprocal rank of the first relevant item (1-indexed), 0 if the
+/// list contains none.
+double MrrAtK(const std::vector<ItemId>& topk,
+              const std::unordered_set<ItemId>& relevant);
+
+/// Average Precision@K (binary relevance), normalized by
+/// min(K, |relevant|); the mean over users is MAP@K.
+double AveragePrecisionAtK(const std::vector<ItemId>& topk,
+                           const std::unordered_set<ItemId>& relevant);
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_EVAL_METRICS_H_

@@ -1,0 +1,16 @@
+#include "src/fed/client.h"
+
+#include "src/math/init.h"
+
+namespace hetefedrec {
+
+void InitClient(ClientState* client, UserId id, Group group, size_t width,
+                double init_std, const Rng& root_rng) {
+  client->id = id;
+  client->group = group;
+  client->rng = root_rng.Fork(0x10000 + static_cast<uint64_t>(id));
+  client->user_embedding = Matrix(1, width);
+  InitNormal(&client->user_embedding, init_std, &client->rng);
+}
+
+}  // namespace hetefedrec

@@ -1,0 +1,33 @@
+// Per-client state in the federated simulation.
+//
+// A client is one user (§III-A, footnote 4). Its *private* parameters — the
+// user embedding — never leave this struct, mirroring the privacy boundary:
+// the server and other clients only ever see public-parameter updates.
+#ifndef HETEFEDREC_FED_CLIENT_H_
+#define HETEFEDREC_FED_CLIENT_H_
+
+#include "src/data/types.h"
+#include "src/fed/group.h"
+#include "src/math/matrix.h"
+#include "src/util/rng.h"
+
+namespace hetefedrec {
+
+/// \brief One participant's persistent local state.
+struct ClientState {
+  UserId id = 0;
+  Group group = Group::kSmall;
+  /// Private user embedding (1 x width of the client's model). Updated
+  /// locally per Eq. 3 and never uploaded.
+  Matrix user_embedding;
+  /// Deterministic per-client stream for negative sampling etc.
+  Rng rng{0};
+};
+
+/// Initializes a client's embedding to N(0, init_std) at the given width.
+void InitClient(ClientState* client, UserId id, Group group, size_t width,
+                double init_std, const Rng& root_rng);
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_FED_CLIENT_H_

@@ -1,0 +1,42 @@
+#include "src/fed/comm.h"
+
+namespace hetefedrec {
+
+void CommStats::RecordDownload(Group g, size_t params) {
+  auto& pg = groups_[static_cast<int>(g)];
+  pg.downloads++;
+  pg.down_params += params;
+}
+
+void CommStats::RecordUpload(Group g, size_t params) {
+  auto& pg = groups_[static_cast<int>(g)];
+  pg.uploads++;
+  pg.up_params += params;
+}
+
+size_t CommStats::Participations(Group g) const {
+  return groups_[static_cast<int>(g)].uploads;
+}
+
+double CommStats::AvgUpload(Group g) const {
+  const auto& pg = groups_[static_cast<int>(g)];
+  if (pg.uploads == 0) return 0.0;
+  return static_cast<double>(pg.up_params) / static_cast<double>(pg.uploads);
+}
+
+double CommStats::AvgDownload(Group g) const {
+  const auto& pg = groups_[static_cast<int>(g)];
+  if (pg.downloads == 0) return 0.0;
+  return static_cast<double>(pg.down_params) /
+         static_cast<double>(pg.downloads);
+}
+
+size_t CommStats::TotalTransmitted() const {
+  size_t total = 0;
+  for (const auto& pg : groups_) total += pg.up_params + pg.down_params;
+  return total;
+}
+
+void CommStats::Reset() { groups_ = {}; }
+
+}  // namespace hetefedrec

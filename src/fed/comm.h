@@ -1,0 +1,51 @@
+// Communication accounting for Table III.
+//
+// The simulation never serializes bytes; instead every download/upload of
+// public parameters is recorded as a scalar count, which is exactly the
+// quantity Table III compares (size(V_a + Θ...) per client per round).
+#ifndef HETEFEDREC_FED_COMM_H_
+#define HETEFEDREC_FED_COMM_H_
+
+#include <array>
+#include <cstddef>
+
+#include "src/fed/group.h"
+
+namespace hetefedrec {
+
+/// \brief Accumulates per-group transmission counts.
+class CommStats {
+ public:
+  /// Records one client download of `params` scalars.
+  void RecordDownload(Group g, size_t params);
+
+  /// Records one client upload of `params` scalars.
+  void RecordUpload(Group g, size_t params);
+
+  /// Number of (download+upload) participations recorded for the group.
+  size_t Participations(Group g) const;
+
+  /// Mean scalars uploaded per participation for the group (0 if none).
+  double AvgUpload(Group g) const;
+
+  /// Mean scalars downloaded per participation for the group.
+  double AvgDownload(Group g) const;
+
+  /// Total scalars transmitted either direction across all groups.
+  size_t TotalTransmitted() const;
+
+  void Reset();
+
+ private:
+  struct PerGroup {
+    size_t uploads = 0;
+    size_t downloads = 0;
+    size_t up_params = 0;
+    size_t down_params = 0;
+  };
+  std::array<PerGroup, kNumGroups> groups_;
+};
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_FED_COMM_H_

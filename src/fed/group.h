@@ -1,0 +1,30 @@
+// Client resource groups (§IV-A): small / medium / large, assigned by
+// interaction count.
+#ifndef HETEFEDREC_FED_GROUP_H_
+#define HETEFEDREC_FED_GROUP_H_
+
+#include <string>
+
+namespace hetefedrec {
+
+/// The paper's three client groups Us, Um, Ul.
+enum class Group : int { kSmall = 0, kMedium = 1, kLarge = 2 };
+
+inline constexpr int kNumGroups = 3;
+
+/// "Us" / "Um" / "Ul".
+inline std::string GroupName(Group g) {
+  switch (g) {
+    case Group::kSmall:
+      return "Us";
+    case Group::kMedium:
+      return "Um";
+    case Group::kLarge:
+      return "Ul";
+  }
+  return "?";
+}
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_FED_GROUP_H_

@@ -1,0 +1,52 @@
+#include "src/fed/groups.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hetefedrec {
+
+StatusOr<GroupAssignment> AssignGroups(
+    const Dataset& ds, const std::array<double, 3>& fractions) {
+  double total = fractions[0] + fractions[1] + fractions[2];
+  if (total <= 0.0 || fractions[0] < 0 || fractions[1] < 0 ||
+      fractions[2] < 0) {
+    return Status::InvalidArgument("group fractions must be non-negative "
+                                   "and not all zero");
+  }
+  const size_t n = ds.num_users();
+  std::vector<UserId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](UserId a, UserId b) {
+    size_t ca = ds.InteractionCount(a);
+    size_t cb = ds.InteractionCount(b);
+    if (ca != cb) return ca < cb;
+    return a < b;
+  });
+
+  GroupAssignment out;
+  out.group_of.assign(n, Group::kSmall);
+  size_t n_small = static_cast<size_t>(
+      static_cast<double>(n) * fractions[0] / total + 0.5);
+  size_t n_medium = static_cast<size_t>(
+      static_cast<double>(n) * (fractions[0] + fractions[1]) / total + 0.5);
+  n_small = std::min(n_small, n);
+  n_medium = std::clamp(n_medium, n_small, n);
+
+  for (size_t r = 0; r < n; ++r) {
+    Group g = r < n_small             ? Group::kSmall
+              : (r < n_medium ? Group::kMedium : Group::kLarge);
+    out.group_of[order[r]] = g;
+    out.sizes[static_cast<int>(g)]++;
+  }
+  if (n_small > 0) {
+    out.thresholds[0] =
+        static_cast<double>(ds.InteractionCount(order[n_small - 1]));
+  }
+  if (n_medium > 0) {
+    out.thresholds[1] =
+        static_cast<double>(ds.InteractionCount(order[n_medium - 1]));
+  }
+  return out;
+}
+
+}  // namespace hetefedrec

@@ -1,0 +1,41 @@
+// Quantile-based division of clients into Us / Um / Ul.
+//
+// Table I's "< 50%" and "< 80%" columns are exactly the thresholds the paper
+// uses for its default 5:3:2 division: the half of users with the fewest
+// interactions form Us, the next 30% Um, the rest Ul. Generalized here to
+// arbitrary fractions (Table VI sweeps 5:3:2, 1:1:1, 2:3:5).
+#ifndef HETEFEDREC_FED_GROUPS_H_
+#define HETEFEDREC_FED_GROUPS_H_
+
+#include <array>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/fed/group.h"
+#include "src/util/status.h"
+
+namespace hetefedrec {
+
+/// \brief Result of dividing clients by interaction count.
+struct GroupAssignment {
+  /// Group of each user, indexed by UserId.
+  std::vector<Group> group_of;
+  /// Number of users per group.
+  std::array<size_t, kNumGroups> sizes = {0, 0, 0};
+  /// Interaction-count thresholds implied by the division: users with count
+  /// <= thresholds[0] are (mostly) small, <= thresholds[1] medium.
+  std::array<double, 2> thresholds = {0.0, 0.0};
+
+  size_t size(Group g) const { return sizes[static_cast<int>(g)]; }
+  Group of(UserId u) const { return group_of[u]; }
+};
+
+/// Divides users into groups with proportions fractions = {fs, fm, fl}
+/// (normalized internally) by ascending interaction count; ties broken by
+/// user id so the assignment is deterministic and the proportions exact.
+StatusOr<GroupAssignment> AssignGroups(const Dataset& ds,
+                                       const std::array<double, 3>& fractions);
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_FED_GROUPS_H_

@@ -1,0 +1,37 @@
+// Client selection: the paper's shuffled-queue protocol (§V-D).
+//
+// "At the beginning of an epoch, the server shuffles the queue of clients.
+//  Then, at each epoch, there are several rounds for the central server to
+//  traverse the client queue. During each round, the central server selects
+//  256 users for training."
+#ifndef HETEFEDREC_FED_SCHEDULER_H_
+#define HETEFEDREC_FED_SCHEDULER_H_
+
+#include <vector>
+
+#include "src/data/types.h"
+#include "src/util/rng.h"
+
+namespace hetefedrec {
+
+/// \brief Produces per-epoch round batches covering every client once.
+class RoundScheduler {
+ public:
+  /// \param num_users total client population.
+  /// \param clients_per_round batch size (paper: 256).
+  RoundScheduler(size_t num_users, size_t clients_per_round);
+
+  /// Shuffles the queue and splits it into consecutive round batches. Every
+  /// user appears in exactly one batch; the last batch may be smaller.
+  std::vector<std::vector<UserId>> EpochBatches(Rng* rng) const;
+
+  size_t rounds_per_epoch() const;
+
+ private:
+  size_t num_users_;
+  size_t clients_per_round_;
+};
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_FED_SCHEDULER_H_

@@ -1,0 +1,30 @@
+#include "src/math/activations.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetefedrec {
+
+double Sigmoid(double x) {
+  if (x >= 0) {
+    double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+double Relu(double x) { return x > 0 ? x : 0.0; }
+
+double ReluGrad(double x) { return x > 0 ? 1.0 : 0.0; }
+
+double BceWithLogits(double logit, double label) {
+  return std::max(logit, 0.0) - logit * label +
+         std::log1p(std::exp(-std::abs(logit)));
+}
+
+double BceWithLogitsGrad(double logit, double label) {
+  return Sigmoid(logit) - label;
+}
+
+}  // namespace hetefedrec

@@ -1,0 +1,33 @@
+// Scalar activations and the binary cross-entropy loss (Eq. 2).
+//
+// Everything is written against logits where possible for numerical
+// stability: the recommendation loss is computed as BCE-with-logits so no
+// intermediate sigmoid can saturate to exactly 0 or 1.
+#ifndef HETEFEDREC_MATH_ACTIVATIONS_H_
+#define HETEFEDREC_MATH_ACTIVATIONS_H_
+
+#include <cstddef>
+
+namespace hetefedrec {
+
+/// Numerically stable logistic function.
+double Sigmoid(double x);
+
+/// ReLU.
+double Relu(double x);
+
+/// dReLU/dx given the forward input.
+double ReluGrad(double x);
+
+/// \brief Stable binary cross entropy on a logit.
+///
+/// Computes -[y log sigmoid(z) + (1-y) log(1 - sigmoid(z))] without forming
+/// the sigmoid: max(z,0) - z*y + log(1 + exp(-|z|)).
+double BceWithLogits(double logit, double label);
+
+/// dBCE/dlogit = sigmoid(logit) - label.
+double BceWithLogitsGrad(double logit, double label);
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_MATH_ACTIVATIONS_H_

@@ -1,0 +1,39 @@
+#include "src/math/adam.h"
+
+#include <cmath>
+
+namespace hetefedrec {
+
+void Adam::Step(Matrix* param, const Matrix& grad) {
+  HFR_CHECK(param->SameShape(grad));
+  if (m_.empty()) {
+    m_ = Matrix(param->rows(), param->cols());
+    v_ = Matrix(param->rows(), param->cols());
+  }
+  HFR_CHECK(m_.SameShape(*param));
+  ++t_;
+  const double b1 = options_.beta1;
+  const double b2 = options_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  double* p = param->data().data();
+  double* m = m_.data().data();
+  double* v = v_.data().data();
+  const double* g = grad.data().data();
+  const size_t n = param->size();
+  for (size_t i = 0; i < n; ++i) {
+    m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+    v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+    double mhat = m[i] / bias1;
+    double vhat = v[i] / bias2;
+    p[i] -= options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
+  }
+}
+
+void Adam::Reset() {
+  m_ = Matrix();
+  v_ = Matrix();
+  t_ = 0;
+}
+
+}  // namespace hetefedrec

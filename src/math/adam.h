@@ -1,0 +1,49 @@
+// Adam optimizer (Kingma & Ba, 2015) over Matrix parameters.
+//
+// Clients run Adam locally (the paper's optimizer, lr = 0.001); the server
+// applies aggregated *updates*, not Adam, per Eq. 4/9.
+#ifndef HETEFEDREC_MATH_ADAM_H_
+#define HETEFEDREC_MATH_ADAM_H_
+
+#include "src/math/matrix.h"
+
+namespace hetefedrec {
+
+/// Hyper-parameters for Adam; defaults follow the original paper.
+struct AdamOptions {
+  double lr = 0.001;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+};
+
+/// \brief Per-parameter Adam state (first/second moments + step count).
+///
+/// One `Adam` instance owns the state for exactly one Matrix-shaped
+/// parameter. State is created lazily on the first `Step` so the class can
+/// be declared before parameter shapes are known.
+class Adam {
+ public:
+  explicit Adam(AdamOptions options = {}) : options_(options) {}
+
+  /// Applies one Adam update: param -= lr * mhat / (sqrt(vhat) + eps).
+  /// Shapes of `param` and `grad` must match across all calls.
+  void Step(Matrix* param, const Matrix& grad);
+
+  /// Resets moments and the step counter (used when a client receives fresh
+  /// global parameters at the start of a round).
+  void Reset();
+
+  const AdamOptions& options() const { return options_; }
+  long long step_count() const { return t_; }
+
+ private:
+  AdamOptions options_;
+  Matrix m_;
+  Matrix v_;
+  long long t_ = 0;
+};
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_MATH_ADAM_H_

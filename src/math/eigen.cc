@@ -1,0 +1,68 @@
+#include "src/math/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/math/stats.h"
+
+namespace hetefedrec {
+
+std::vector<double> SymmetricEigenvalues(const Matrix& sym, int max_sweeps) {
+  HFR_CHECK_EQ(sym.rows(), sym.cols());
+  const size_t n = sym.rows();
+  Matrix a = sym;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      HFR_CHECK_LE(std::abs(a(i, j) - a(j, i)), 1e-9 + 1e-9 * a.MaxAbs());
+      // Symmetrize to wash out representational round-off.
+      double v = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) off += a(i, j) * a(i, j);
+    }
+    if (off < 1e-24) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double apq = a(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        // Apply the rotation J(p,q,theta)^T A J(p,q,theta).
+        for (size_t k = 0; k < n; ++k) {
+          double akp = a(k, p);
+          double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double apk = a(p, k);
+          double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+
+  std::vector<double> eig(n);
+  for (size_t i = 0; i < n; ++i) eig[i] = a(i, i);
+  std::sort(eig.begin(), eig.end(), std::greater<double>());
+  return eig;
+}
+
+double SingularValueVariance(const Matrix& m) {
+  Matrix cov = CovarianceMatrix(m);
+  std::vector<double> eig = SymmetricEigenvalues(cov);
+  return Variance(eig);
+}
+
+}  // namespace hetefedrec

@@ -1,0 +1,30 @@
+// Cyclic Jacobi eigensolver for symmetric matrices.
+//
+// Used for Table V: the paper reports the variance of the singular values of
+// the covariance matrix of the largest item embedding table. A covariance
+// matrix is symmetric positive semi-definite, so its singular values equal
+// its eigenvalues; Jacobi rotation is exact enough and trivial to verify.
+#ifndef HETEFEDREC_MATH_EIGEN_H_
+#define HETEFEDREC_MATH_EIGEN_H_
+
+#include <vector>
+
+#include "src/math/matrix.h"
+
+namespace hetefedrec {
+
+/// \brief Eigenvalues of a symmetric matrix via cyclic Jacobi rotations.
+///
+/// \param sym symmetric square matrix (asserted up to 1e-9 asymmetry).
+/// \param max_sweeps upper bound on full Jacobi sweeps.
+/// \returns eigenvalues sorted in descending order.
+std::vector<double> SymmetricEigenvalues(const Matrix& sym,
+                                         int max_sweeps = 64);
+
+/// Variance of the eigenvalues of cov(columns of m) — the paper's
+/// dimensional-collapse measure (Table V, Eq. 12 without the constant).
+double SingularValueVariance(const Matrix& m);
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_MATH_EIGEN_H_

@@ -1,0 +1,20 @@
+#include "src/math/init.h"
+
+#include <cmath>
+
+namespace hetefedrec {
+
+void InitNormal(Matrix* m, double stddev, Rng* rng) {
+  for (double& v : m->data()) v = rng->Normal(0.0, stddev);
+}
+
+void InitXavierUniform(Matrix* m, size_t fan_in, size_t fan_out, Rng* rng) {
+  double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (double& v : m->data()) v = rng->Uniform(-a, a);
+}
+
+void InitXavierUniform(Matrix* m, Rng* rng) {
+  InitXavierUniform(m, m->rows(), m->cols(), rng);
+}
+
+}  // namespace hetefedrec

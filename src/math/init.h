@@ -1,0 +1,22 @@
+// Parameter initialization schemes.
+#ifndef HETEFEDREC_MATH_INIT_H_
+#define HETEFEDREC_MATH_INIT_H_
+
+#include "src/math/matrix.h"
+#include "src/util/rng.h"
+
+namespace hetefedrec {
+
+/// Fills `m` with N(0, stddev^2) entries.
+void InitNormal(Matrix* m, double stddev, Rng* rng);
+
+/// Xavier/Glorot uniform init U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+void InitXavierUniform(Matrix* m, size_t fan_in, size_t fan_out, Rng* rng);
+
+/// Xavier for a weight matrix with shape (fan_in, fan_out) taken from its
+/// own dimensions.
+void InitXavierUniform(Matrix* m, Rng* rng);
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_MATH_INIT_H_

@@ -1,0 +1,106 @@
+#include "src/math/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetefedrec {
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::AddScaled(const Matrix& other, double scale) {
+  HFR_CHECK(SameShape(other));
+  const double* src = other.data_.data();
+  double* dst = data_.data();
+  for (size_t i = 0; i < data_.size(); ++i) dst[i] += scale * src[i];
+}
+
+void Matrix::AddScaledIntoLeadingCols(const Matrix& other, double scale) {
+  HFR_CHECK_EQ(rows_, other.rows_);
+  HFR_CHECK_LE(other.cols_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* src = other.Row(r);
+    double* dst = Row(r);
+    for (size_t c = 0; c < other.cols_; ++c) dst[c] += scale * src[c];
+  }
+}
+
+void Matrix::Scale(double scale) {
+  for (double& v : data_) v *= scale;
+}
+
+Matrix Matrix::LeadingCols(size_t n_cols) const {
+  HFR_CHECK_LE(n_cols, cols_);
+  Matrix out(rows_, n_cols);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* src = Row(r);
+    double* dst = out.Row(r);
+    std::copy(src, src + n_cols, dst);
+  }
+  return out;
+}
+
+Matrix Matrix::RowSlice(size_t row0, size_t n_rows) const {
+  HFR_CHECK_LE(row0 + n_rows, rows_);
+  Matrix out(n_rows, cols_);
+  std::copy(data_.begin() + row0 * cols_,
+            data_.begin() + (row0 + n_rows) * cols_, out.data_.begin());
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::MatMul(const Matrix& a, const Matrix& b) {
+  HFR_CHECK_EQ(a.cols(), b.rows());
+  Matrix out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.Row(k);
+      double* orow = out.Row(i);
+      for (size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double Dot(const double* a, const double* b, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void Axpy(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double Norm2(const double* a, size_t n) { return std::sqrt(Dot(a, a, n)); }
+
+double CosineSimilarity(const double* a, const double* b, size_t n) {
+  double na = Norm2(a, n);
+  double nb = Norm2(b, n);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b, n) / (na * nb);
+}
+
+}  // namespace hetefedrec

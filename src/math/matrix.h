@@ -1,0 +1,117 @@
+// Dense row-major matrix of doubles.
+//
+// This is the single numeric container used across the library: embedding
+// tables, feed-forward weights, gradient accumulators, covariance and
+// correlation matrices. It is deliberately small — the models in the paper
+// are tiny (embedding widths 2..128, FFN hidden size 8) and clarity wins
+// over BLAS-grade machinery.
+#ifndef HETEFEDREC_MATH_MATRIX_H_
+#define HETEFEDREC_MATH_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace hetefedrec {
+
+/// \brief Row-major dense matrix.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix initialized to zero.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    HFR_CHECK_LT(r, rows_);
+    HFR_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    HFR_CHECK_LT(r, rows_);
+    HFR_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw pointer to the start of row r (contiguous, cols() doubles).
+  double* Row(size_t r) {
+    HFR_CHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* Row(size_t r) const {
+    HFR_CHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// Sets every element to `value`.
+  void Fill(double value);
+
+  /// Sets every element to zero.
+  void SetZero() { Fill(0.0); }
+
+  /// this += scale * other. Shapes must match.
+  void AddScaled(const Matrix& other, double scale);
+
+  /// Adds `scale * other` into the leading columns of this matrix;
+  /// `other` may be narrower (used by padding aggregation, Eq. 7–8).
+  void AddScaledIntoLeadingCols(const Matrix& other, double scale);
+
+  /// this *= scale.
+  void Scale(double scale);
+
+  /// Copy of the first `n_cols` columns (all rows). Eq. 8's `[: Nx]` slice.
+  Matrix LeadingCols(size_t n_cols) const;
+
+  /// Copy of `n_rows` rows starting at `row0` (all columns).
+  Matrix RowSlice(size_t row0, size_t n_rows) const;
+
+  /// Matrix transpose.
+  Matrix Transposed() const;
+
+  /// Dense matmul: (m x k) * (k x n) -> (m x n).
+  static Matrix MatMul(const Matrix& a, const Matrix& b);
+
+  /// Frobenius norm sqrt(sum of squares).
+  double FrobeniusNorm() const;
+
+  /// Largest |element|.
+  double MaxAbs() const;
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// --- Free vector helpers over raw rows ------------------------------------
+
+/// Dot product of two length-n arrays.
+double Dot(const double* a, const double* b, size_t n);
+
+/// y += alpha * x (length n).
+void Axpy(double alpha, const double* x, double* y, size_t n);
+
+/// Euclidean norm of a length-n array.
+double Norm2(const double* a, size_t n);
+
+/// Cosine similarity; returns 0 when either vector is all-zero.
+double CosineSimilarity(const double* a, const double* b, size_t n);
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_MATH_MATRIX_H_

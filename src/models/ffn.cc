@@ -1,0 +1,151 @@
+#include "src/models/ffn.h"
+
+#include "src/math/activations.h"
+#include "src/math/init.h"
+
+namespace hetefedrec {
+
+FeedForwardNet::FeedForwardNet(size_t input_dim, std::vector<size_t> hidden)
+    : input_dim_(input_dim) {
+  HFR_CHECK_GT(input_dim, 0u);
+  size_t in = input_dim;
+  for (size_t h : hidden) {
+    HFR_CHECK_GT(h, 0u);
+    weights_.emplace_back(in, h);
+    biases_.emplace_back(1, h);
+    in = h;
+  }
+  weights_.emplace_back(in, 1);  // output logit
+  biases_.emplace_back(1, 1);
+}
+
+void FeedForwardNet::InitXavier(Rng* rng) {
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    InitXavierUniform(&weights_[l], rng);
+    biases_[l].SetZero();
+  }
+}
+
+double FeedForwardNet::Forward(const double* x, Cache* cache) const {
+  HFR_CHECK(!weights_.empty());
+  if (cache) {
+    cache->input.assign(x, x + input_dim_);
+    cache->pre.resize(weights_.size());
+    cache->post.resize(weights_.size());
+  }
+  std::vector<double> cur(x, x + input_dim_);
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    const Matrix& w = weights_[l];
+    const Matrix& b = biases_[l];
+    std::vector<double> next(w.cols(), 0.0);
+    for (size_t j = 0; j < w.cols(); ++j) next[j] = b(0, j);
+    for (size_t i = 0; i < w.rows(); ++i) {
+      double xi = cur[i];
+      if (xi == 0.0) continue;
+      const double* wrow = w.Row(i);
+      for (size_t j = 0; j < w.cols(); ++j) next[j] += xi * wrow[j];
+    }
+    if (cache) cache->pre[l] = next;
+    const bool is_output = (l + 1 == weights_.size());
+    if (!is_output) {
+      for (double& v : next) v = Relu(v);
+    }
+    if (cache) cache->post[l] = next;
+    cur = std::move(next);
+  }
+  return cur[0];
+}
+
+void FeedForwardNet::Backward(const Cache& cache, double dlogit,
+                              FeedForwardNet* grads, double* dx) const {
+  HFR_CHECK(grads != nullptr);
+  HFR_CHECK_EQ(grads->weights_.size(), weights_.size());
+  const size_t L = weights_.size();
+  // delta = dL/d(pre-activation of layer l), starting at the output logit.
+  std::vector<double> delta = {dlogit};
+  for (size_t l = L; l-- > 0;) {
+    const std::vector<double>& layer_in =
+        (l == 0) ? cache.input : cache.post[l - 1];
+    const Matrix& w = weights_[l];
+    Matrix& gw = grads->weights_[l];
+    Matrix& gb = grads->biases_[l];
+    // Bias and weight grads: gb += delta; gw += layer_in ⊗ delta.
+    for (size_t j = 0; j < w.cols(); ++j) gb(0, j) += delta[j];
+    for (size_t i = 0; i < w.rows(); ++i) {
+      double xi = layer_in[i];
+      if (xi == 0.0) continue;
+      double* grow = gw.Row(i);
+      for (size_t j = 0; j < w.cols(); ++j) grow[j] += xi * delta[j];
+    }
+    // Propagate to the previous layer (or the input).
+    std::vector<double> prev_delta(w.rows(), 0.0);
+    for (size_t i = 0; i < w.rows(); ++i) {
+      const double* wrow = w.Row(i);
+      double acc = 0.0;
+      for (size_t j = 0; j < w.cols(); ++j) acc += wrow[j] * delta[j];
+      prev_delta[i] = acc;
+    }
+    if (l > 0) {
+      // Through the ReLU of layer l-1.
+      for (size_t i = 0; i < prev_delta.size(); ++i) {
+        prev_delta[i] *= ReluGrad(cache.pre[l - 1][i]);
+      }
+      delta = std::move(prev_delta);
+    } else if (dx) {
+      for (size_t i = 0; i < input_dim_; ++i) dx[i] = prev_delta[i];
+    }
+  }
+}
+
+void FeedForwardNet::SetZero() {
+  for (auto& w : weights_) w.SetZero();
+  for (auto& b : biases_) b.SetZero();
+}
+
+void FeedForwardNet::AddScaled(const FeedForwardNet& other, double scale) {
+  HFR_CHECK_EQ(weights_.size(), other.weights_.size());
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    weights_[l].AddScaled(other.weights_[l], scale);
+    biases_[l].AddScaled(other.biases_[l], scale);
+  }
+}
+
+size_t FeedForwardNet::ParamCount() const {
+  size_t n = 0;
+  for (const auto& w : weights_) n += w.size();
+  for (const auto& b : biases_) n += b.size();
+  return n;
+}
+
+double FeedForwardNet::MaxAbs() const {
+  double m = 0.0;
+  for (const auto& w : weights_) m = std::max(m, w.MaxAbs());
+  for (const auto& b : biases_) m = std::max(m, b.MaxAbs());
+  return m;
+}
+
+FeedForwardNet FeedForwardNet::ZerosLike(const FeedForwardNet& other) {
+  FeedForwardNet out = other;
+  out.SetZero();
+  return out;
+}
+
+void FfnAdam::Step(FeedForwardNet* net, const FeedForwardNet& grads) {
+  const size_t layers = net->num_layers();
+  if (weight_state_.empty()) {
+    weight_state_.assign(layers, Adam(options_));
+    bias_state_.assign(layers, Adam(options_));
+  }
+  HFR_CHECK_EQ(weight_state_.size(), layers);
+  for (size_t l = 0; l < layers; ++l) {
+    weight_state_[l].Step(&net->weight(l), grads.weight(l));
+    bias_state_[l].Step(&net->bias(l), grads.bias(l));
+  }
+}
+
+void FfnAdam::Reset() {
+  weight_state_.clear();
+  bias_state_.clear();
+}
+
+}  // namespace hetefedrec

@@ -1,0 +1,100 @@
+// Feed-forward preference predictor (the paper's Θ).
+//
+// Architecture per §V-D: input [u, v] of size 2N, hidden layers [8, 8] with
+// ReLU, and a single output logit (Eq. 5 applies the sigmoid; we keep logits
+// and use BCE-with-logits for stability). One FeedForwardNet instance also
+// serves as the gradient container for another of the same shape, which
+// keeps aggregation code uniform (server sums Θ updates exactly like item
+// embedding updates, Eq. 15).
+#ifndef HETEFEDREC_MODELS_FFN_H_
+#define HETEFEDREC_MODELS_FFN_H_
+
+#include <vector>
+
+#include "src/math/adam.h"
+#include "src/math/matrix.h"
+#include "src/util/rng.h"
+
+namespace hetefedrec {
+
+/// \brief Multi-layer perceptron with ReLU hidden activations and a single
+/// linear output (logit).
+class FeedForwardNet {
+ public:
+  /// Empty network (no layers). Usable only after assignment.
+  FeedForwardNet() = default;
+
+  /// \param input_dim size of the input vector (2N for NCF/LightGCN).
+  /// \param hidden sizes of the hidden layers (paper: {8, 8}).
+  FeedForwardNet(size_t input_dim, std::vector<size_t> hidden);
+
+  /// Xavier-uniform initialization of all weights; biases to zero.
+  void InitXavier(Rng* rng);
+
+  size_t input_dim() const { return input_dim_; }
+  size_t num_layers() const { return weights_.size(); }
+
+  /// Per-sample activations needed by Backward.
+  struct Cache {
+    std::vector<double> input;               // copy of x
+    std::vector<std::vector<double>> pre;    // pre-activation per layer
+    std::vector<std::vector<double>> post;   // post-activation per layer
+  };
+
+  /// Computes the output logit for input `x` (length input_dim). If `cache`
+  /// is non-null it is filled for a subsequent Backward call.
+  double Forward(const double* x, Cache* cache) const;
+
+  /// Accumulates gradients into `grads` (a same-shape FeedForwardNet) given
+  /// dL/dlogit. If `dx` is non-null, writes dL/dx (length input_dim) —
+  /// the path through which item/user embeddings receive gradient.
+  void Backward(const Cache& cache, double dlogit, FeedForwardNet* grads,
+                double* dx) const;
+
+  /// Zeroes all parameters (turns the net into a gradient accumulator).
+  void SetZero();
+
+  /// this += scale * other (same shape).
+  void AddScaled(const FeedForwardNet& other, double scale);
+
+  /// Total number of scalar parameters (Table III accounting).
+  size_t ParamCount() const;
+
+  /// Largest |parameter| across all layers.
+  double MaxAbs() const;
+
+  /// Same-shape zero-initialized copy (gradient accumulator factory).
+  static FeedForwardNet ZerosLike(const FeedForwardNet& other);
+
+  /// Layer parameter access (weights[l] is in x out; biases[l] is 1 x out).
+  const Matrix& weight(size_t l) const { return weights_[l]; }
+  Matrix& weight(size_t l) { return weights_[l]; }
+  const Matrix& bias(size_t l) const { return biases_[l]; }
+  Matrix& bias(size_t l) { return biases_[l]; }
+
+ private:
+  size_t input_dim_ = 0;
+  std::vector<Matrix> weights_;
+  std::vector<Matrix> biases_;
+};
+
+/// \brief Adam optimizer state spanning all layers of a FeedForwardNet.
+class FfnAdam {
+ public:
+  explicit FfnAdam(AdamOptions options = {}) : options_(options) {}
+
+  /// One Adam step per layer; `grads` must have the same shape as `net`.
+  void Step(FeedForwardNet* net, const FeedForwardNet& grads);
+
+  /// Drops all moment state.
+  void Reset();
+
+ private:
+  AdamOptions options_;
+  std::vector<Adam> weight_state_;
+  std::vector<Adam> bias_state_;
+};
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_MODELS_FFN_H_

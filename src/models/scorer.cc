@@ -1,0 +1,140 @@
+#include "src/models/scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetefedrec {
+
+StatusOr<BaseModel> BaseModelByName(const std::string& name) {
+  if (name == "ncf") return BaseModel::kNcf;
+  if (name == "lightgcn") return BaseModel::kLightGcn;
+  return Status::InvalidArgument("unknown base model '" + name +
+                                 "' (expected ncf|lightgcn)");
+}
+
+std::string BaseModelName(BaseModel model) {
+  return model == BaseModel::kNcf ? "Fed-NCF" : "Fed-LightGCN";
+}
+
+Scorer::Scorer(BaseModel model, size_t width) : model_(model), width_(width) {
+  HFR_CHECK_GT(width, 0u);
+  x_.resize(2 * width);
+  dx_.resize(2 * width);
+}
+
+void Scorer::BeginUser(const double* user_emb, const Matrix& item_table,
+                       const std::vector<ItemId>& interacted) {
+  HFR_CHECK_GE(item_table.cols(), width_);
+  raw_user_.assign(user_emb, user_emb + width_);
+  interacted_ = &interacted;
+  pending_backward_ = false;
+
+  if (model_ == BaseModel::kNcf) {
+    pu_ = raw_user_;
+    return;
+  }
+
+  // LightGCN local propagation.
+  is_interacted_.assign(item_table.rows(), false);
+  for (ItemId i : interacted) {
+    HFR_CHECK_LT(static_cast<size_t>(i), item_table.rows());
+    is_interacted_[i] = true;
+  }
+  const double deg = static_cast<double>(interacted.size());
+  inv_sqrt_deg_ = deg > 0 ? 1.0 / std::sqrt(deg) : 0.0;
+
+  pu_.assign(width_, 0.0);
+  for (ItemId i : interacted) {
+    const double* row = item_table.Row(i);
+    for (size_t d = 0; d < width_; ++d) pu_[d] += row[d];
+  }
+  for (size_t d = 0; d < width_; ++d) {
+    pu_[d] = 0.5 * (raw_user_[d] + inv_sqrt_deg_ * pu_[d]);
+  }
+  dpu_accum_.assign(width_, 0.0);
+}
+
+double Scorer::Score(const Matrix& item_table, const FeedForwardNet& theta,
+                     ItemId j) const {
+  HFR_CHECK_EQ(theta.input_dim(), 2 * width_);
+  HFR_CHECK_LT(static_cast<size_t>(j), item_table.rows());
+  const double* vj = item_table.Row(j);
+  std::copy(pu_.begin(), pu_.end(), x_.begin());
+  if (model_ == BaseModel::kNcf) {
+    std::copy(vj, vj + width_, x_.begin() + width_);
+  } else {
+    const bool linked = is_interacted_[j];
+    for (size_t d = 0; d < width_; ++d) {
+      double prop = linked ? inv_sqrt_deg_ * raw_user_[d] : 0.0;
+      x_[width_ + d] = 0.5 * (vj[d] + prop);
+    }
+  }
+  return theta.Forward(x_.data(), nullptr);
+}
+
+double Scorer::ScoreForTrain(const Matrix& item_table,
+                             const FeedForwardNet& theta, ItemId j,
+                             TrainCache* cache) {
+  HFR_CHECK_EQ(theta.input_dim(), 2 * width_);
+  HFR_CHECK_LT(static_cast<size_t>(j), item_table.rows());
+  const double* vj = item_table.Row(j);
+  std::copy(pu_.begin(), pu_.end(), x_.begin());
+  cache->item = j;
+  if (model_ == BaseModel::kNcf) {
+    cache->item_is_interacted = false;
+    std::copy(vj, vj + width_, x_.begin() + width_);
+  } else {
+    cache->item_is_interacted = is_interacted_[j];
+    for (size_t d = 0; d < width_; ++d) {
+      double prop =
+          cache->item_is_interacted ? inv_sqrt_deg_ * raw_user_[d] : 0.0;
+      x_[width_ + d] = 0.5 * (vj[d] + prop);
+    }
+  }
+  pending_backward_ = true;
+  return theta.Forward(x_.data(), &cache->ffn);
+}
+
+void Scorer::BackwardSample(const FeedForwardNet& theta,
+                            const TrainCache& cache, double dlogit,
+                            Matrix* d_item_table, double* d_user,
+                            FeedForwardNet* d_theta) {
+  HFR_CHECK_GE(d_item_table->cols(), width_);
+  theta.Backward(cache.ffn, dlogit, d_theta, dx_.data());
+  const double* dpu = dx_.data();
+  const double* dpv = dx_.data() + width_;
+  double* dvj = d_item_table->Row(cache.item);
+
+  if (model_ == BaseModel::kNcf) {
+    for (size_t d = 0; d < width_; ++d) {
+      d_user[d] += dpu[d];
+      dvj[d] += dpv[d];
+    }
+    return;
+  }
+
+  // LightGCN: pu = (u + Σ v_i /√d)/2 ; pv_j = (v_j + 1{j∈N(u)} u/√d)/2.
+  for (size_t d = 0; d < width_; ++d) {
+    d_user[d] += 0.5 * dpu[d];
+    dpu_accum_[d] += dpu[d];  // scattered to v_i rows in FinishUserBackward
+    dvj[d] += 0.5 * dpv[d];
+  }
+  if (cache.item_is_interacted) {
+    const double s = 0.5 * inv_sqrt_deg_;
+    for (size_t d = 0; d < width_; ++d) d_user[d] += s * dpv[d];
+  }
+}
+
+void Scorer::FinishUserBackward(Matrix* d_item_table, double* d_user) {
+  (void)d_user;
+  pending_backward_ = false;
+  if (model_ == BaseModel::kNcf || interacted_ == nullptr) return;
+  const double s = 0.5 * inv_sqrt_deg_;
+  for (ItemId i : *interacted_) {
+    double* row = d_item_table->Row(i);
+    for (size_t d = 0; d < width_; ++d) row[d] += s * dpu_accum_[d];
+  }
+  std::fill(dpu_accum_.begin(), dpu_accum_.end(), 0.0);
+}
+
+}  // namespace hetefedrec

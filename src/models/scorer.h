@@ -1,0 +1,115 @@
+// Slice-aware scoring for the two base recommenders (NCF, LightGCN).
+//
+// A `Scorer` evaluates r̂ = FFN([pu, pv]) at a chosen embedding width `w`,
+// reading only the first `w` columns of the item embedding table and the
+// first `w` entries of the user embedding. This "sliced view" is the
+// mechanism behind unified dual-task learning (Eq. 11): a client holding a
+// width-Nl model trains the same parameters at widths Ns, Nm and Nl by
+// instantiating three scorers over shared storage.
+//
+//   NCF (He et al. 2017):      pu = u,            pv = v_j
+//   LightGCN (He et al. 2020): one propagation layer over the client's
+//   *local* bipartite graph (privacy: the user sees only its own edges), so
+//   every interacted item has degree 1 and
+//       pu = (u + Σ_{i∈N(u)} v_i / √d_u) / 2,
+//       pv = (v_j + 1{j∈N(u)} · u / √d_u) / 2,
+//   i.e. the mean of the layer-0 and layer-1 embeddings.
+//
+// Backward accumulates into caller-owned gradient buffers. LightGCN's
+// gradient into Σ v_i is identical for every interacted item, so it is
+// accumulated once per user and scattered by `FinishUserBackward`.
+#ifndef HETEFEDREC_MODELS_SCORER_H_
+#define HETEFEDREC_MODELS_SCORER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/types.h"
+#include "src/math/matrix.h"
+#include "src/models/ffn.h"
+#include "src/util/status.h"
+
+namespace hetefedrec {
+
+/// Which base recommendation algorithm F to use (§III-B).
+enum class BaseModel { kNcf, kLightGcn };
+
+/// Parses "ncf" / "lightgcn".
+StatusOr<BaseModel> BaseModelByName(const std::string& name);
+
+/// Human-readable name ("Fed-NCF" / "Fed-LightGCN").
+std::string BaseModelName(BaseModel model);
+
+/// \brief Width-w scoring view over shared parameters.
+///
+/// Usage per user and pass:
+///   scorer.BeginUser(user_emb, V, interacted);
+///   for each item: Score(...) or ScoreForTrain(...) + BackwardSample(...);
+///   scorer.FinishUserBackward(...);   // training passes only
+class Scorer {
+ public:
+  /// \param model base algorithm.
+  /// \param width embedding slice width w (first w dims are used).
+  Scorer(BaseModel model, size_t width);
+
+  size_t width() const { return width_; }
+  BaseModel model() const { return model_; }
+
+  /// Prepares per-user state: copies the user slice and, for LightGCN, runs
+  /// the local propagation over `interacted` (the user's training items).
+  /// `V` must have at least `width` columns.
+  void BeginUser(const double* user_emb, const Matrix& item_table,
+                 const std::vector<ItemId>& interacted);
+
+  /// Per-sample context for BackwardSample.
+  struct TrainCache {
+    FeedForwardNet::Cache ffn;
+    ItemId item = 0;
+    bool item_is_interacted = false;
+  };
+
+  /// Scores item `j` (logit). Requires a prior BeginUser.
+  double Score(const Matrix& item_table, const FeedForwardNet& theta,
+               ItemId j) const;
+
+  /// Scores item `j` and fills `cache` for BackwardSample.
+  double ScoreForTrain(const Matrix& item_table, const FeedForwardNet& theta,
+                       ItemId j, TrainCache* cache);
+
+  /// Accumulates gradients for one sample given dL/dlogit.
+  /// \param d_item_table dense |V| x width (or wider; leading cols used).
+  /// \param d_user length >= width; first `width` entries accumulated.
+  /// \param d_theta same-shape gradient accumulator for `theta`.
+  void BackwardSample(const FeedForwardNet& theta, const TrainCache& cache,
+                      double dlogit, Matrix* d_item_table, double* d_user,
+                      FeedForwardNet* d_theta);
+
+  /// Flushes LightGCN's deferred propagation gradient into the interacted
+  /// items' rows and the user embedding. No-op for NCF. Must be called once
+  /// after the last BackwardSample of a pass.
+  void FinishUserBackward(Matrix* d_item_table, double* d_user);
+
+ private:
+  BaseModel model_;
+  size_t width_;
+
+  // Per-user state set by BeginUser.
+  std::vector<double> pu_;             // propagated user embedding
+  std::vector<double> raw_user_;       // first `width` entries of u
+  const std::vector<ItemId>* interacted_ = nullptr;
+  std::vector<bool> is_interacted_;    // indexed by item id
+  double inv_sqrt_deg_ = 0.0;
+
+  // Deferred LightGCN gradient: sum over samples of dL/d(pu).
+  std::vector<double> dpu_accum_;
+  bool pending_backward_ = false;
+
+  // Scratch buffers.
+  mutable std::vector<double> x_;   // FFN input [pu, pv]
+  std::vector<double> dx_;          // FFN input gradient
+  mutable FeedForwardNet::Cache eval_cache_;
+};
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_MODELS_SCORER_H_

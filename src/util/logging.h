@@ -1,0 +1,79 @@
+// Minimal leveled logging to stderr plus CHECK macros.
+//
+// Experiments are long-running batch jobs; logging is line-oriented with a
+// level prefix so output can be grepped. CHECK macros abort on programmer
+// errors (contract violations), while recoverable conditions use Status.
+#ifndef HETEFEDREC_UTIL_LOGGING_H_
+#define HETEFEDREC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hetefedrec {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process after emitting.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define HFR_LOG(level)                                                    \
+  ::hetefedrec::internal::LogMessage(::hetefedrec::LogLevel::k##level,    \
+                                     __FILE__, __LINE__)
+
+#define HFR_CHECK(cond)                                                   \
+  if (!(cond))                                                            \
+  ::hetefedrec::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define HFR_CHECK_EQ(a, b) HFR_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define HFR_CHECK_NE(a, b) HFR_CHECK((a) != (b))
+#define HFR_CHECK_LT(a, b) HFR_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define HFR_CHECK_LE(a, b) HFR_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define HFR_CHECK_GT(a, b) HFR_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define HFR_CHECK_GE(a, b) HFR_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_UTIL_LOGGING_H_

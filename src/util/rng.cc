@@ -1,0 +1,109 @@
+#include "src/util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hetefedrec {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) : origin_seed_(seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t limit = (~uint64_t{0}) - (~uint64_t{0}) % n;
+  uint64_t draw;
+  do {
+    draw = Next();
+  } while (draw >= limit);
+  return draw % n;
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 in (0,1] to keep the log finite.
+  double u1 = 1.0 - Uniform();
+  double u2 = Uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  assert(total > 0.0);
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  // Floating-point round-off: return the last positively weighted index.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork(uint64_t stream_id) const {
+  // Mix the origin seed with the stream id through splitmix64 twice so that
+  // consecutive stream ids land far apart in seed space.
+  uint64_t mix = origin_seed_ ^ (0x632be59bd9b4e019ULL * (stream_id + 1));
+  uint64_t sm = mix;
+  uint64_t derived = SplitMix64(&sm) ^ SplitMix64(&sm);
+  return Rng(derived);
+}
+
+}  // namespace hetefedrec

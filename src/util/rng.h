@@ -1,0 +1,78 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component in the library (initialization, client
+// sampling, negative sampling, synthetic data) draws from an `Rng` that is
+// seeded explicitly, so a fixed experiment seed reproduces a run bit-for-bit
+// on one machine. `Rng::Fork(stream_id)` derives an independent stream, which
+// lets each federated client own its own generator without coordination.
+#ifndef HETEFEDREC_UTIL_RNG_H_
+#define HETEFEDREC_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hetefedrec {
+
+/// \brief xoshiro256** generator with splitmix64 seeding.
+///
+/// Small, fast, and high quality; avoids the heavyweight state of
+/// std::mt19937_64 when thousands of clients each hold a generator.
+class Rng {
+ public:
+  /// Seeds the four-word state by iterating splitmix64 over `seed`.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit draw.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box–Muller (cached second deviate).
+  double Normal();
+
+  /// Normal with the given mean / standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Log-normal draw: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p);
+
+  /// Samples an index from an unnormalized non-negative weight vector.
+  /// Requires at least one strictly positive weight.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = UniformInt(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent generator for stream `stream_id`.
+  /// Distinct ids give (statistically) non-overlapping streams.
+  Rng Fork(uint64_t stream_id) const;
+
+ private:
+  uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+  uint64_t origin_seed_ = 0;
+};
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_UTIL_RNG_H_

@@ -1,0 +1,112 @@
+#include "src/util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace hetefedrec {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header)) {
+  HFR_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  HFR_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << " " << cells[c]
+         << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    os << "\n";
+    return os.str();
+  };
+  auto render_rule = [&]() {
+    std::ostringstream os;
+    os << "+";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << "+";
+    }
+    os << "\n";
+    return os.str();
+  };
+
+  std::ostringstream os;
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  os << render_rule() << render_line(header_) << render_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      os << render_rule();
+    } else {
+      os << render_line(row);
+    }
+  }
+  os << render_rule();
+  return os.str();
+}
+
+void TablePrinter::Print() const { std::fputs(Render().c_str(), stdout); }
+
+Status TablePrinter::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  auto write_row = [&out](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << ",";
+      // Quote cells containing commas.
+      if (cells[c].find(',') != std::string::npos) {
+        out << '"' << cells[c] << '"';
+      } else {
+        out << cells[c];
+      }
+    }
+    out << "\n";
+  };
+  write_row(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty()) write_row(row);
+  }
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+std::string TablePrinter::Num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string TablePrinter::Count(long long v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  int since_sep = 0;
+  for (size_t i = raw.size(); i-- > 0;) {
+    out.push_back(raw[i]);
+    if (++since_sep == 3 && i > 0 && raw[i - 1] != '-') {
+      out.push_back(',');
+      since_sep = 0;
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace hetefedrec

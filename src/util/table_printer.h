@@ -1,0 +1,52 @@
+// Console table rendering shared by all bench binaries.
+//
+// Every experiment binary prints rows in the same layout as the paper's
+// tables; TablePrinter keeps columns aligned and can additionally dump the
+// same rows as CSV for machine consumption.
+#ifndef HETEFEDREC_UTIL_TABLE_PRINTER_H_
+#define HETEFEDREC_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace hetefedrec {
+
+/// \brief Collects rows of string cells and renders them aligned.
+class TablePrinter {
+ public:
+  /// \param title caption printed above the table.
+  /// \param header column names.
+  TablePrinter(std::string title, std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the aligned table to a string.
+  std::string Render() const;
+
+  /// Prints Render() to stdout.
+  void Print() const;
+
+  /// Writes header + rows as CSV. Separator rows are skipped.
+  Status WriteCsv(const std::string& path) const;
+
+  /// Formats a double with `digits` places after the decimal point.
+  static std::string Num(double v, int digits = 5);
+
+  /// Formats an integer with thousands separators, e.g. 1,000,209.
+  static std::string Count(long long v);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_UTIL_TABLE_PRINTER_H_

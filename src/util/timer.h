@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for coarse experiment timing.
+#ifndef HETEFEDREC_UTIL_TIMER_H_
+#define HETEFEDREC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace hetefedrec {
+
+/// \brief Starts on construction; `Seconds()` reads elapsed wall time.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_UTIL_TIMER_H_

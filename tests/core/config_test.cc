@@ -1,0 +1,84 @@
+#include "src/core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace hetefedrec {
+namespace {
+
+TEST(ConfigTest, DefaultsValid) {
+  ExperimentConfig cfg;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, DimOrderingEnforced) {
+  ExperimentConfig cfg;
+  cfg.dims = {16, 8, 32};
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg.dims = {0, 8, 16};
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg.dims = {8, 8, 8};  // equal allowed (homogeneous runs)
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, RangeChecks) {
+  ExperimentConfig cfg;
+  cfg.data_scale = 0.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.global_epochs = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.lr = -0.1;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.alpha = -1;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.top_k = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.group_fractions = {0, 0, 0};
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.kd_items = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg.ensemble_distillation = false;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, MethodNamesMatchTableTwo) {
+  EXPECT_EQ(MethodName(Method::kAllSmall), "All Small");
+  EXPECT_EQ(MethodName(Method::kAllLargeExclusive), "All Large/Exclusive");
+  EXPECT_EQ(MethodName(Method::kHeteFedRec), "HeteFedRec(Ours)");
+}
+
+TEST(ConfigTest, MethodByNameRoundTrip) {
+  EXPECT_EQ(MethodByName("all_small").value(), Method::kAllSmall);
+  EXPECT_EQ(MethodByName("all_large").value(), Method::kAllLarge);
+  EXPECT_EQ(MethodByName("all_large_exclusive").value(),
+            Method::kAllLargeExclusive);
+  EXPECT_EQ(MethodByName("standalone").value(), Method::kStandalone);
+  EXPECT_EQ(MethodByName("clustered").value(), Method::kClusteredFedRec);
+  EXPECT_EQ(MethodByName("direct").value(), Method::kDirectlyAggregate);
+  EXPECT_EQ(MethodByName("hetefedrec").value(), Method::kHeteFedRec);
+  EXPECT_FALSE(MethodByName("fedavg").ok());
+}
+
+TEST(ConfigTest, HeterogeneityClassification) {
+  EXPECT_FALSE(IsHeterogeneous(Method::kAllSmall));
+  EXPECT_FALSE(IsHeterogeneous(Method::kAllLarge));
+  EXPECT_FALSE(IsHeterogeneous(Method::kAllLargeExclusive));
+  EXPECT_TRUE(IsHeterogeneous(Method::kStandalone));
+  EXPECT_TRUE(IsHeterogeneous(Method::kClusteredFedRec));
+  EXPECT_TRUE(IsHeterogeneous(Method::kDirectlyAggregate));
+  EXPECT_TRUE(IsHeterogeneous(Method::kHeteFedRec));
+}
+
+TEST(ConfigTest, AllMethodsListComplete) {
+  EXPECT_EQ(kAllMethods.size(), 7u);
+  EXPECT_EQ(kAllMethods.front(), Method::kAllSmall);
+  EXPECT_EQ(kAllMethods.back(), Method::kHeteFedRec);
+}
+
+}  // namespace
+}  // namespace hetefedrec

@@ -1,0 +1,143 @@
+#include "src/core/decorrelation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/math/adam.h"
+#include "src/math/eigen.h"
+#include "src/math/init.h"
+#include "src/math/stats.h"
+
+namespace hetefedrec {
+namespace {
+
+Matrix CorrelatedTable(size_t rows, size_t cols, uint64_t seed) {
+  // All columns are noisy copies of one factor: heavily collapsed.
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    double t = rng.Normal();
+    for (size_t c = 0; c < cols; ++c) m(r, c) = t + 0.05 * rng.Normal();
+  }
+  return m;
+}
+
+Matrix IsotropicTable(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  InitNormal(&m, 1.0, &rng);
+  return m;
+}
+
+TEST(DecorrelationTest, LossHigherForCorrelatedTable) {
+  double collapsed = DecorrelationLossAndGrad(CorrelatedTable(300, 6, 1), 1.0,
+                                              0, nullptr, nullptr);
+  double isotropic = DecorrelationLossAndGrad(IsotropicTable(300, 6, 2), 1.0,
+                                              0, nullptr, nullptr);
+  EXPECT_GT(collapsed, isotropic);
+  // Fully correlated: C ~ all-ones -> ||C||_F ~ N -> loss ~ 1.
+  EXPECT_NEAR(collapsed, 1.0, 0.05);
+  // Independent columns: C ~ I -> loss ~ sqrt(N)/N = 1/sqrt(N).
+  EXPECT_NEAR(isotropic, 1.0 / std::sqrt(6.0), 0.05);
+}
+
+TEST(DecorrelationTest, GradientDescendsTheLossUnderAdam) {
+  // Matches real usage: clients feed the DDR gradient to Adam (lr 0.001-
+  // 0.01); plain gradient steps would crawl because the loss scales the
+  // gradient by 1/(M·N·||C||_F).
+  Matrix v = CorrelatedTable(120, 5, 3);
+  double before = DecorrelationLossAndGrad(v, 1.0, 0, nullptr, nullptr);
+  AdamOptions opt;
+  opt.lr = 0.01;
+  Adam adam(opt);
+  for (int step = 0; step < 300; ++step) {
+    Matrix grad(v.rows(), v.cols());
+    DecorrelationLossAndGrad(v, 1.0, 0, nullptr, &grad);
+    adam.Step(&v, grad);
+  }
+  double after = DecorrelationLossAndGrad(v, 1.0, 0, nullptr, nullptr);
+  EXPECT_LT(after, before * 0.7);
+}
+
+TEST(DecorrelationTest, OptimizationReducesSingularValueVariance) {
+  // The Table V story: descending Lreg equalizes the covariance
+  // eigenvalues.
+  Matrix v = CorrelatedTable(200, 4, 5);
+  // Normalize scale so the eigenvalue variance comparison is meaningful.
+  double before = SingularValueVariance(StandardizeColumns(v));
+  AdamOptions opt;
+  opt.lr = 0.01;
+  Adam adam(opt);
+  for (int step = 0; step < 300; ++step) {
+    Matrix grad(v.rows(), v.cols());
+    DecorrelationLossAndGrad(v, 1.0, 0, nullptr, &grad);
+    adam.Step(&v, grad);
+  }
+  double after = SingularValueVariance(StandardizeColumns(v));
+  EXPECT_LT(after, before * 0.5);
+}
+
+TEST(DecorrelationTest, GradientScalesLinearlyWithAlpha) {
+  Matrix v = CorrelatedTable(80, 4, 7);
+  Matrix g1(v.rows(), v.cols());
+  Matrix g2(v.rows(), v.cols());
+  DecorrelationLossAndGrad(v, 1.0, 0, nullptr, &g1);
+  DecorrelationLossAndGrad(v, 2.0, 0, nullptr, &g2);
+  for (size_t i = 0; i < g1.data().size(); ++i) {
+    EXPECT_NEAR(g2.data()[i], 2.0 * g1.data()[i], 1e-12);
+  }
+}
+
+TEST(DecorrelationTest, LossInvariantToColumnScaling) {
+  // Correlation is scale-free; standardization must absorb column scales.
+  Matrix v = CorrelatedTable(150, 4, 9);
+  double base = DecorrelationLossAndGrad(v, 1.0, 0, nullptr, nullptr);
+  Matrix scaled = v;
+  for (size_t r = 0; r < scaled.rows(); ++r) {
+    scaled(r, 1) *= 7.0;
+    scaled(r, 3) *= 0.01;
+  }
+  double after = DecorrelationLossAndGrad(scaled, 1.0, 0, nullptr, nullptr);
+  // The eps guard in the standardization makes invariance approximate.
+  EXPECT_NEAR(base, after, 1e-3);
+}
+
+TEST(DecorrelationTest, GradientColumnMeansNearZero) {
+  // Exact centering backprop: the gradient of each column sums to ~0.
+  Matrix v = CorrelatedTable(100, 5, 11);
+  Matrix grad(v.rows(), v.cols());
+  DecorrelationLossAndGrad(v, 1.0, 0, nullptr, &grad);
+  auto means = ColumnMeans(grad);
+  for (double m : means) EXPECT_NEAR(m, 0.0, 1e-12);
+}
+
+TEST(DecorrelationTest, RowSamplingApproximatesFullLoss) {
+  Matrix v = CorrelatedTable(2000, 4, 13);
+  double full = DecorrelationLossAndGrad(v, 1.0, 0, nullptr, nullptr);
+  Rng rng(17);
+  double sampled = DecorrelationLossAndGrad(v, 1.0, 500, &rng, nullptr);
+  EXPECT_NEAR(sampled, full, 0.1 * full);
+}
+
+TEST(DecorrelationTest, DegenerateInputsSafe) {
+  Matrix one_row(1, 4);
+  EXPECT_DOUBLE_EQ(
+      DecorrelationLossAndGrad(one_row, 1.0, 0, nullptr, nullptr), 0.0);
+  // Constant columns: loss must be finite (eps guards the sd).
+  Matrix constant(50, 3);
+  constant.Fill(2.5);
+  double loss = DecorrelationLossAndGrad(constant, 1.0, 0, nullptr, nullptr);
+  EXPECT_FALSE(std::isnan(loss));
+}
+
+TEST(DecorrelationTest, ZeroAlphaComputesLossWithoutGrad) {
+  Matrix v = CorrelatedTable(60, 4, 19);
+  Matrix grad(v.rows(), v.cols());
+  double loss = DecorrelationLossAndGrad(v, 0.0, 0, nullptr, &grad);
+  EXPECT_GT(loss, 0.0);
+  EXPECT_DOUBLE_EQ(grad.MaxAbs(), 0.0);
+}
+
+}  // namespace
+}  // namespace hetefedrec

@@ -1,0 +1,112 @@
+#include "src/data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace hetefedrec {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(CsvTest, RoundTrip) {
+  std::vector<Interaction> xs = {{0, 1}, {0, 2}, {1, 0}, {2, 2}};
+  std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(SaveInteractionsCsv(path, xs).ok());
+  size_t users = 0, items = 0;
+  auto loaded = LoadInteractionsCsv(path, &users, &items);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 4u);
+  EXPECT_EQ(users, 3u);
+  EXPECT_EQ(items, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RemapsSparseIdsDense) {
+  std::string path = TempPath("sparse.csv");
+  {
+    std::ofstream out(path);
+    out << "1000,777\n1000,888\n2000,777\n";
+  }
+  size_t users = 0, items = 0;
+  auto loaded = LoadInteractionsCsv(path, &users, &items);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(users, 2u);
+  EXPECT_EQ(items, 2u);
+  // First appearance order: user 1000 -> 0, 2000 -> 1; item 777 -> 0.
+  EXPECT_EQ((*loaded)[0].user, 0);
+  EXPECT_EQ((*loaded)[0].item, 0);
+  EXPECT_EQ((*loaded)[2].user, 1);
+  EXPECT_EQ((*loaded)[2].item, 0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, HeaderRowSkipped) {
+  std::string path = TempPath("header.csv");
+  {
+    std::ofstream out(path);
+    out << "user,item\n3,4\n";
+  }
+  auto loaded = LoadInteractionsCsv(path, nullptr, nullptr);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ExtraRatingColumnIgnored) {
+  std::string path = TempPath("rating.csv");
+  {
+    std::ofstream out(path);
+    out << "1,2,5\n1,3,1\n";
+  }
+  auto loaded = LoadInteractionsCsv(path, nullptr, nullptr);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);  // both binarized to positives
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileFails) {
+  auto loaded = LoadInteractionsCsv(TempPath("nope.csv"), nullptr, nullptr);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, MalformedRowFails) {
+  std::string path = TempPath("bad.csv");
+  {
+    std::ofstream out(path);
+    out << "1,2\nxyz,abc\n";
+  }
+  auto loaded = LoadInteractionsCsv(path, nullptr, nullptr);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, TooFewFieldsFails) {
+  std::string path = TempPath("narrow.csv");
+  {
+    std::ofstream out(path);
+    out << "42\n";
+  }
+  EXPECT_FALSE(LoadInteractionsCsv(path, nullptr, nullptr).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, EmptyLinesSkipped) {
+  std::string path = TempPath("empty_lines.csv");
+  {
+    std::ofstream out(path);
+    out << "1,2\n\n3,4\n";
+  }
+  auto loaded = LoadInteractionsCsv(path, nullptr, nullptr);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hetefedrec

@@ -1,0 +1,55 @@
+#include "src/data/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace hetefedrec {
+namespace {
+
+Dataset MakeDataset() {
+  // users with 10, 5, 1 interactions (split keeps totals intact).
+  std::vector<Interaction> xs;
+  for (ItemId i = 0; i < 10; ++i) xs.push_back({0, i});
+  for (ItemId i = 0; i < 5; ++i) xs.push_back({1, i});
+  xs.push_back({2, 5});
+  return Dataset::FromInteractions(xs, 3, 12).value();
+}
+
+TEST(DataStatsTest, TableOneFields) {
+  DatasetStats s = ComputeDatasetStats(MakeDataset());
+  EXPECT_EQ(s.num_users, 3u);
+  EXPECT_EQ(s.num_items, 12u);
+  EXPECT_EQ(s.num_interactions, 16u);
+  EXPECT_NEAR(s.avg_interactions, 16.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.median_interactions, 5.0);
+  EXPECT_GT(s.stddev_interactions, 0.0);
+}
+
+TEST(DataStatsTest, HistogramCountsAllUsers) {
+  auto buckets = InteractionHistogram(MakeDataset(), 5);
+  ASSERT_EQ(buckets.size(), 5u);
+  size_t total = 0;
+  for (const auto& b : buckets) {
+    EXPECT_LT(b.lo, b.hi);
+    total += b.count;
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(DataStatsTest, HistogramBucketsContiguous) {
+  auto buckets = InteractionHistogram(MakeDataset(), 4);
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(buckets[i].lo, buckets[i - 1].hi);
+  }
+}
+
+TEST(DataStatsTest, RenderHistogramHasOneRowPerBucket) {
+  auto buckets = InteractionHistogram(MakeDataset(), 4);
+  std::string art = RenderHistogram(buckets, 20);
+  size_t rows = 0;
+  for (char c : art) rows += (c == '\n');
+  EXPECT_EQ(rows, 4u);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetefedrec

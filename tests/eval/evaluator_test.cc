@@ -1,0 +1,113 @@
+#include "src/eval/evaluator.h"
+
+#include <gtest/gtest.h>
+
+namespace hetefedrec {
+namespace {
+
+// Deterministic dataset: 6 users, 10 items; user u interacted with items
+// u..u+4 so everyone has 4 train + 1 test item.
+Dataset MakeDataset() {
+  std::vector<Interaction> xs;
+  for (UserId u = 0; u < 6; ++u) {
+    for (ItemId k = 0; k < 5; ++k) xs.push_back({u, static_cast<ItemId>(u + k)});
+  }
+  return Dataset::FromInteractions(xs, 6, 10).value();
+}
+
+GroupAssignment MakeGroups(const Dataset& ds) {
+  return AssignGroups(ds, {2, 2, 2}).value();
+}
+
+TEST(EvaluatorTest, OracleScorerGetsPerfectMetrics) {
+  Dataset ds = MakeDataset();
+  GroupAssignment groups = MakeGroups(ds);
+  Evaluator ev(ds, groups, 5);
+  // Oracle: test items score 1, everything else 0.
+  auto oracle = [&](UserId u, std::vector<double>* scores) {
+    scores->assign(ds.num_items(), 0.0);
+    for (ItemId i : ds.TestItems(u)) (*scores)[i] = 1.0;
+  };
+  GroupedEval r = ev.Evaluate(oracle);
+  EXPECT_DOUBLE_EQ(r.overall.recall, 1.0);
+  EXPECT_DOUBLE_EQ(r.overall.ndcg, 1.0);
+  EXPECT_EQ(r.overall.users, 6u);
+}
+
+TEST(EvaluatorTest, AdversarialScorerGetsZero) {
+  Dataset ds = MakeDataset();
+  GroupAssignment groups = MakeGroups(ds);
+  Evaluator ev(ds, groups, 2);
+  // Anti-oracle: test items score lowest.
+  auto anti = [&](UserId u, std::vector<double>* scores) {
+    scores->assign(ds.num_items(), 1.0);
+    for (ItemId i : ds.TestItems(u)) (*scores)[i] = -1.0;
+  };
+  GroupedEval r = ev.Evaluate(anti);
+  EXPECT_DOUBLE_EQ(r.overall.recall, 0.0);
+  EXPECT_DOUBLE_EQ(r.overall.ndcg, 0.0);
+}
+
+TEST(EvaluatorTest, TrainItemsNeverRecommended) {
+  Dataset ds = MakeDataset();
+  GroupAssignment groups = MakeGroups(ds);
+  Evaluator ev(ds, groups, 10);
+  // Score train items maximally; they must be masked, so recall stays
+  // driven by test items only.
+  auto cheater = [&](UserId u, std::vector<double>* scores) {
+    scores->assign(ds.num_items(), 0.0);
+    for (ItemId i : ds.TrainItems(u)) (*scores)[i] = 100.0;
+    for (ItemId i : ds.TestItems(u)) (*scores)[i] = 1.0;
+  };
+  GroupedEval r = ev.Evaluate(cheater);
+  EXPECT_DOUBLE_EQ(r.overall.recall, 1.0);  // K=10 covers all unmasked
+}
+
+TEST(EvaluatorTest, PerGroupCountsSumToOverall) {
+  Dataset ds = MakeDataset();
+  GroupAssignment groups = MakeGroups(ds);
+  Evaluator ev(ds, groups, 5);
+  auto zero = [&](UserId, std::vector<double>* scores) {
+    scores->assign(ds.num_items(), 0.0);
+  };
+  GroupedEval r = ev.Evaluate(zero);
+  size_t total = 0;
+  for (int g = 0; g < kNumGroups; ++g) total += r.per_group[g].users;
+  EXPECT_EQ(total, r.overall.users);
+}
+
+TEST(EvaluatorTest, UserSamplingReducesPopulation) {
+  Dataset ds = MakeDataset();
+  GroupAssignment groups = MakeGroups(ds);
+  Evaluator ev(ds, groups, 5, /*user_sample=*/3);
+  EXPECT_EQ(ev.eval_users().size(), 3u);
+  Evaluator full(ds, groups, 5, /*user_sample=*/0);
+  EXPECT_EQ(full.eval_users().size(), 6u);
+  Evaluator big(ds, groups, 5, /*user_sample=*/100);
+  EXPECT_EQ(big.eval_users().size(), 6u);
+}
+
+TEST(EvaluatorTest, SampleDeterministicPerSeed) {
+  Dataset ds = MakeDataset();
+  GroupAssignment groups = MakeGroups(ds);
+  Evaluator a(ds, groups, 5, 3, 42);
+  Evaluator b(ds, groups, 5, 3, 42);
+  EXPECT_EQ(a.eval_users(), b.eval_users());
+}
+
+TEST(EvaluatorTest, UsersWithoutTestItemsSkipped) {
+  // One user with a single interaction has no test item.
+  std::vector<Interaction> xs = {{0, 0}};
+  for (ItemId k = 0; k < 5; ++k) xs.push_back({1, k});
+  Dataset ds = Dataset::FromInteractions(xs, 2, 6).value();
+  GroupAssignment groups = AssignGroups(ds, {1, 1, 1}).value();
+  Evaluator ev(ds, groups, 3);
+  auto zero = [&](UserId, std::vector<double>* scores) {
+    scores->assign(ds.num_items(), 0.0);
+  };
+  GroupedEval r = ev.Evaluate(zero);
+  EXPECT_EQ(r.overall.users, 1u);
+}
+
+}  // namespace
+}  // namespace hetefedrec

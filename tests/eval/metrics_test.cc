@@ -1,0 +1,111 @@
+#include "src/eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hetefedrec {
+namespace {
+
+TEST(MetricsTest, RecallCountsHitsOverRelevant) {
+  std::unordered_set<ItemId> rel = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 9, 2, 8}, rel), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK({5, 6, 7}, rel), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 2, 3, 4}, rel), 1.0);
+}
+
+TEST(MetricsTest, RecallEmptyRelevantIsZero) {
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 2}, {}), 0.0);
+}
+
+TEST(MetricsTest, NdcgPerfectRankingIsOne) {
+  std::unordered_set<ItemId> rel = {3, 5};
+  EXPECT_DOUBLE_EQ(NdcgAtK({3, 5, 1, 2}, rel), 1.0);
+}
+
+TEST(MetricsTest, NdcgPositionSensitive) {
+  std::unordered_set<ItemId> rel = {7};
+  double at_rank1 = NdcgAtK({7, 1, 2}, rel);
+  double at_rank3 = NdcgAtK({1, 2, 7}, rel);
+  EXPECT_DOUBLE_EQ(at_rank1, 1.0);
+  // Hit at rank 3 (1-indexed): DCG = 1/log2(4) = 0.5; IDCG = 1.
+  EXPECT_DOUBLE_EQ(at_rank3, 0.5);
+  EXPECT_GT(at_rank1, at_rank3);
+}
+
+TEST(MetricsTest, NdcgHandComputedMixedCase) {
+  std::unordered_set<ItemId> rel = {1, 2, 3};
+  // Hits at ranks 1 and 3 of a K=3 list; |rel| = 3 -> ideal hits = 3.
+  double dcg = 1.0 / std::log2(2.0) + 1.0 / std::log2(4.0);
+  double idcg =
+      1.0 / std::log2(2.0) + 1.0 / std::log2(3.0) + 1.0 / std::log2(4.0);
+  EXPECT_NEAR(NdcgAtK({1, 9, 2}, rel), dcg / idcg, 1e-12);
+}
+
+TEST(MetricsTest, NdcgIdealTruncatedAtK) {
+  // More relevant items than list length: IDCG uses min(K, |rel|).
+  std::unordered_set<ItemId> rel = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(NdcgAtK({1, 2}, rel), 1.0);
+}
+
+TEST(ExtendedMetricsTest, HitRate) {
+  std::unordered_set<ItemId> rel = {5};
+  EXPECT_DOUBLE_EQ(HitRateAtK({1, 2, 5}, rel), 1.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK({1, 2, 3}, rel), 0.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK({}, rel), 0.0);
+}
+
+TEST(ExtendedMetricsTest, Precision) {
+  std::unordered_set<ItemId> rel = {1, 2};
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2, 3, 4}, rel), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({3, 4}, rel), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, rel), 0.0);
+}
+
+TEST(ExtendedMetricsTest, MrrFirstHitPosition) {
+  std::unordered_set<ItemId> rel = {9};
+  EXPECT_DOUBLE_EQ(MrrAtK({9, 1, 2}, rel), 1.0);
+  EXPECT_DOUBLE_EQ(MrrAtK({1, 9, 2}, rel), 0.5);
+  EXPECT_DOUBLE_EQ(MrrAtK({1, 2, 9}, rel), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(MrrAtK({1, 2, 3}, rel), 0.0);
+}
+
+TEST(ExtendedMetricsTest, AveragePrecisionHandComputed) {
+  std::unordered_set<ItemId> rel = {1, 3};
+  // Hits at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+  EXPECT_NEAR(AveragePrecisionAtK({1, 5, 3}, rel), (1.0 + 2.0 / 3.0) / 2.0,
+              1e-12);
+  // Perfect ranking: AP = 1.
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK({1, 3}, rel), 1.0);
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK({5, 6}, rel), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK({1}, {}), 0.0);
+}
+
+TEST(TopKTest, OrdersByScoreDescending) {
+  std::vector<double> scores = {0.1, 0.9, 0.5, 0.7};
+  std::vector<bool> mask(4, false);
+  auto top = TopKItems(scores, mask, 3);
+  EXPECT_EQ(top, (std::vector<ItemId>{1, 3, 2}));
+}
+
+TEST(TopKTest, MaskExcludesTrainItems) {
+  std::vector<double> scores = {0.9, 0.8, 0.7, 0.6};
+  std::vector<bool> mask = {true, false, true, false};
+  auto top = TopKItems(scores, mask, 4);
+  EXPECT_EQ(top, (std::vector<ItemId>{1, 3}));
+}
+
+TEST(TopKTest, KLargerThanCandidates) {
+  std::vector<double> scores = {0.5, 0.6};
+  std::vector<bool> mask = {false, false};
+  EXPECT_EQ(TopKItems(scores, mask, 10).size(), 2u);
+}
+
+TEST(TopKTest, TieBreakByItemId) {
+  std::vector<double> scores = {0.5, 0.5, 0.5};
+  std::vector<bool> mask(3, false);
+  EXPECT_EQ(TopKItems(scores, mask, 2), (std::vector<ItemId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace hetefedrec

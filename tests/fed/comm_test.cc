@@ -1,0 +1,68 @@
+#include "src/fed/comm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fed/client.h"
+
+namespace hetefedrec {
+namespace {
+
+TEST(CommStatsTest, StartsEmpty) {
+  CommStats stats;
+  EXPECT_EQ(stats.TotalTransmitted(), 0u);
+  EXPECT_EQ(stats.Participations(Group::kSmall), 0u);
+  EXPECT_DOUBLE_EQ(stats.AvgUpload(Group::kSmall), 0.0);
+}
+
+TEST(CommStatsTest, AveragesPerParticipation) {
+  CommStats stats;
+  stats.RecordDownload(Group::kMedium, 100);
+  stats.RecordUpload(Group::kMedium, 100);
+  stats.RecordDownload(Group::kMedium, 200);
+  stats.RecordUpload(Group::kMedium, 200);
+  EXPECT_EQ(stats.Participations(Group::kMedium), 2u);
+  EXPECT_DOUBLE_EQ(stats.AvgUpload(Group::kMedium), 150.0);
+  EXPECT_DOUBLE_EQ(stats.AvgDownload(Group::kMedium), 150.0);
+  EXPECT_EQ(stats.TotalTransmitted(), 600u);
+}
+
+TEST(CommStatsTest, GroupsIndependent) {
+  CommStats stats;
+  stats.RecordUpload(Group::kSmall, 10);
+  stats.RecordUpload(Group::kLarge, 1000);
+  EXPECT_DOUBLE_EQ(stats.AvgUpload(Group::kSmall), 10.0);
+  EXPECT_DOUBLE_EQ(stats.AvgUpload(Group::kLarge), 1000.0);
+  EXPECT_DOUBLE_EQ(stats.AvgUpload(Group::kMedium), 0.0);
+}
+
+TEST(CommStatsTest, ResetClears) {
+  CommStats stats;
+  stats.RecordUpload(Group::kSmall, 10);
+  stats.Reset();
+  EXPECT_EQ(stats.TotalTransmitted(), 0u);
+}
+
+TEST(ClientTest, InitSetsWidthAndDeterministicEmbedding) {
+  Rng root(42);
+  ClientState a, b;
+  InitClient(&a, 7, Group::kMedium, 16, 0.1, root);
+  InitClient(&b, 7, Group::kMedium, 16, 0.1, root);
+  EXPECT_EQ(a.id, 7);
+  EXPECT_EQ(a.group, Group::kMedium);
+  ASSERT_EQ(a.user_embedding.cols(), 16u);
+  EXPECT_EQ(a.user_embedding.rows(), 1u);
+  for (size_t c = 0; c < 16; ++c) {
+    EXPECT_DOUBLE_EQ(a.user_embedding(0, c), b.user_embedding(0, c));
+  }
+  // Different ids get different embeddings.
+  ClientState c;
+  InitClient(&c, 8, Group::kMedium, 16, 0.1, root);
+  bool differs = false;
+  for (size_t i = 0; i < 16 && !differs; ++i) {
+    differs = a.user_embedding(0, i) != c.user_embedding(0, i);
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace hetefedrec

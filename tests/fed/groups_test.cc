@@ -1,0 +1,114 @@
+#include "src/fed/groups.h"
+
+#include <gtest/gtest.h>
+
+namespace hetefedrec {
+namespace {
+
+// 10 users whose interaction counts are 1..10 (user id == count-1 order).
+Dataset LadderDataset() {
+  std::vector<Interaction> xs;
+  for (UserId u = 0; u < 10; ++u) {
+    for (ItemId i = 0; i <= u; ++i) xs.push_back({u, i});
+  }
+  return Dataset::FromInteractions(xs, 10, 16).value();
+}
+
+TEST(GroupsTest, FiveThreeTwoDivision) {
+  Dataset ds = LadderDataset();
+  auto a = AssignGroups(ds, {5, 3, 2});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->size(Group::kSmall), 5u);
+  EXPECT_EQ(a->size(Group::kMedium), 3u);
+  EXPECT_EQ(a->size(Group::kLarge), 2u);
+  // Users with the fewest interactions are small.
+  for (UserId u = 0; u < 5; ++u) EXPECT_EQ(a->of(u), Group::kSmall);
+  for (UserId u = 5; u < 8; ++u) EXPECT_EQ(a->of(u), Group::kMedium);
+  for (UserId u = 8; u < 10; ++u) EXPECT_EQ(a->of(u), Group::kLarge);
+}
+
+TEST(GroupsTest, ThresholdsMatchBoundaryCounts) {
+  Dataset ds = LadderDataset();
+  auto a = AssignGroups(ds, {5, 3, 2});
+  ASSERT_TRUE(a.ok());
+  // Boundary users are u=4 (5 interactions) and u=7 (8 interactions) —
+  // the "<50%" and "<80%" columns of Table I.
+  EXPECT_DOUBLE_EQ(a->thresholds[0], 5.0);
+  EXPECT_DOUBLE_EQ(a->thresholds[1], 8.0);
+}
+
+TEST(GroupsTest, EvenDivision) {
+  Dataset ds = LadderDataset();
+  auto a = AssignGroups(ds, {1, 1, 1});
+  ASSERT_TRUE(a.ok());
+  // 10 users in 1:1:1 -> rounding yields sizes {3,4,3} or similar; total 10
+  // and monotone by count.
+  EXPECT_EQ(a->size(Group::kSmall) + a->size(Group::kMedium) +
+                a->size(Group::kLarge),
+            10u);
+  EXPECT_GE(a->size(Group::kSmall), 3u);
+  EXPECT_LE(a->size(Group::kSmall), 4u);
+}
+
+TEST(GroupsTest, OptimisticDivisionPutsHalfLarge) {
+  Dataset ds = LadderDataset();
+  auto a = AssignGroups(ds, {2, 3, 5});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->size(Group::kSmall), 2u);
+  EXPECT_EQ(a->size(Group::kMedium), 3u);
+  EXPECT_EQ(a->size(Group::kLarge), 5u);
+}
+
+TEST(GroupsTest, AllInOneGroup) {
+  Dataset ds = LadderDataset();
+  auto a = AssignGroups(ds, {1, 0, 0});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->size(Group::kSmall), 10u);
+  auto b = AssignGroups(ds, {0, 0, 1});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->size(Group::kLarge), 10u);
+}
+
+TEST(GroupsTest, MonotoneByInteractionCount) {
+  Dataset ds = LadderDataset();
+  auto a = AssignGroups(ds, {5, 3, 2});
+  ASSERT_TRUE(a.ok());
+  // No small user may have more interactions than any large user.
+  size_t max_small = 0, min_large = SIZE_MAX;
+  for (UserId u = 0; u < 10; ++u) {
+    size_t c = ds.InteractionCount(u);
+    if (a->of(u) == Group::kSmall) max_small = std::max(max_small, c);
+    if (a->of(u) == Group::kLarge) min_large = std::min(min_large, c);
+  }
+  EXPECT_LE(max_small, min_large);
+}
+
+TEST(GroupsTest, TiesBrokenDeterministically) {
+  // All users identical: assignment must still hit the exact proportions
+  // and be reproducible.
+  std::vector<Interaction> xs;
+  for (UserId u = 0; u < 10; ++u) {
+    for (ItemId i = 0; i < 3; ++i) xs.push_back({u, i});
+  }
+  Dataset ds = Dataset::FromInteractions(xs, 10, 3).value();
+  auto a = AssignGroups(ds, {5, 3, 2});
+  auto b = AssignGroups(ds, {5, 3, 2});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->size(Group::kSmall), 5u);
+  for (UserId u = 0; u < 10; ++u) EXPECT_EQ(a->of(u), b->of(u));
+}
+
+TEST(GroupsTest, InvalidFractionsRejected) {
+  Dataset ds = LadderDataset();
+  EXPECT_FALSE(AssignGroups(ds, {0, 0, 0}).ok());
+  EXPECT_FALSE(AssignGroups(ds, {-1, 1, 1}).ok());
+}
+
+TEST(GroupNameTest, Names) {
+  EXPECT_EQ(GroupName(Group::kSmall), "Us");
+  EXPECT_EQ(GroupName(Group::kMedium), "Um");
+  EXPECT_EQ(GroupName(Group::kLarge), "Ul");
+}
+
+}  // namespace
+}  // namespace hetefedrec

@@ -1,0 +1,58 @@
+#include "src/fed/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hetefedrec {
+namespace {
+
+TEST(SchedulerTest, EveryUserExactlyOncePerEpoch) {
+  RoundScheduler sched(1000, 256);
+  Rng rng(3);
+  auto batches = sched.EpochBatches(&rng);
+  std::set<UserId> seen;
+  for (const auto& b : batches) {
+    for (UserId u : b) EXPECT_TRUE(seen.insert(u).second);
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 999);
+}
+
+TEST(SchedulerTest, BatchSizesMatchPaperProtocol) {
+  RoundScheduler sched(1000, 256);
+  Rng rng(5);
+  auto batches = sched.EpochBatches(&rng);
+  ASSERT_EQ(batches.size(), 4u);
+  EXPECT_EQ(batches[0].size(), 256u);
+  EXPECT_EQ(batches[1].size(), 256u);
+  EXPECT_EQ(batches[2].size(), 256u);
+  EXPECT_EQ(batches[3].size(), 232u);  // remainder
+  EXPECT_EQ(sched.rounds_per_epoch(), 4u);
+}
+
+TEST(SchedulerTest, FewerUsersThanRoundSize) {
+  RoundScheduler sched(100, 256);
+  Rng rng(7);
+  auto batches = sched.EpochBatches(&rng);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 100u);
+}
+
+TEST(SchedulerTest, ShuffleChangesAcrossEpochs) {
+  RoundScheduler sched(500, 100);
+  Rng rng(11);
+  auto e1 = sched.EpochBatches(&rng);
+  auto e2 = sched.EpochBatches(&rng);
+  EXPECT_NE(e1[0], e2[0]);  // astronomically unlikely to coincide
+}
+
+TEST(SchedulerTest, DeterministicGivenRngState) {
+  RoundScheduler sched(300, 64);
+  Rng a(13), b(13);
+  EXPECT_EQ(sched.EpochBatches(&a), sched.EpochBatches(&b));
+}
+
+}  // namespace
+}  // namespace hetefedrec

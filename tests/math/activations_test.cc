@@ -1,0 +1,66 @@
+#include "src/math/activations.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hetefedrec {
+namespace {
+
+TEST(ActivationsTest, SigmoidKnownValues) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+  EXPECT_NEAR(Sigmoid(-2.0), 1.0 - Sigmoid(2.0), 1e-12);
+}
+
+TEST(ActivationsTest, SigmoidExtremeStability) {
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_FALSE(std::isnan(Sigmoid(710.0)));
+  EXPECT_FALSE(std::isnan(Sigmoid(-710.0)));
+}
+
+TEST(ActivationsTest, Relu) {
+  EXPECT_EQ(Relu(3.0), 3.0);
+  EXPECT_EQ(Relu(-3.0), 0.0);
+  EXPECT_EQ(Relu(0.0), 0.0);
+  EXPECT_EQ(ReluGrad(3.0), 1.0);
+  EXPECT_EQ(ReluGrad(-3.0), 0.0);
+}
+
+TEST(ActivationsTest, BceMatchesNaiveFormula) {
+  for (double z : {-3.0, -0.5, 0.0, 0.7, 4.0}) {
+    for (double y : {0.0, 1.0}) {
+      double p = Sigmoid(z);
+      double naive = -(y * std::log(p) + (1 - y) * std::log(1 - p));
+      EXPECT_NEAR(BceWithLogits(z, y), naive, 1e-9) << "z=" << z << " y=" << y;
+    }
+  }
+}
+
+TEST(ActivationsTest, BceStableAtExtremeLogits) {
+  EXPECT_FALSE(std::isnan(BceWithLogits(800.0, 0.0)));
+  EXPECT_FALSE(std::isinf(BceWithLogits(-800.0, 0.0)));
+  EXPECT_NEAR(BceWithLogits(800.0, 1.0), 0.0, 1e-9);
+  EXPECT_NEAR(BceWithLogits(-800.0, 0.0), 0.0, 1e-9);
+}
+
+TEST(ActivationsTest, BceGradientFiniteDifference) {
+  const double h = 1e-6;
+  for (double z : {-2.0, 0.0, 1.3}) {
+    for (double y : {0.0, 1.0}) {
+      double numeric =
+          (BceWithLogits(z + h, y) - BceWithLogits(z - h, y)) / (2 * h);
+      EXPECT_NEAR(BceWithLogitsGrad(z, y), numeric, 1e-6);
+    }
+  }
+}
+
+TEST(ActivationsTest, BceGradSignMakesSense) {
+  // Predicting high when label is 0 -> positive gradient (push logit down).
+  EXPECT_GT(BceWithLogitsGrad(3.0, 0.0), 0.0);
+  EXPECT_LT(BceWithLogitsGrad(-3.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace hetefedrec

@@ -1,0 +1,92 @@
+#include "src/math/adam.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hetefedrec {
+namespace {
+
+TEST(AdamTest, FirstStepMovesByLearningRate) {
+  // With bias correction, the first Adam step is ±lr for any nonzero grad.
+  AdamOptions opt;
+  opt.lr = 0.1;
+  Adam adam(opt);
+  Matrix p(1, 2);
+  Matrix g(1, 2);
+  g(0, 0) = 5.0;
+  g(0, 1) = -0.001;
+  adam.Step(&p, g);
+  EXPECT_NEAR(p(0, 0), -0.1, 1e-6);
+  EXPECT_NEAR(p(0, 1), 0.1, 1e-3);  // eps slightly damps tiny grads
+}
+
+TEST(AdamTest, ZeroGradLeavesParamsFixed) {
+  Adam adam;
+  Matrix p(2, 2);
+  p.Fill(3.0);
+  Matrix g(2, 2);
+  adam.Step(&p, g);
+  for (size_t r = 0; r < 2; ++r)
+    for (size_t c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(p(r, c), 3.0);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize f(x) = (x - 3)^2; gradient 2(x-3).
+  AdamOptions opt;
+  opt.lr = 0.05;
+  Adam adam(opt);
+  Matrix x(1, 1);
+  for (int i = 0; i < 2000; ++i) {
+    Matrix g(1, 1);
+    g(0, 0) = 2.0 * (x(0, 0) - 3.0);
+    adam.Step(&x, g);
+  }
+  EXPECT_NEAR(x(0, 0), 3.0, 1e-3);
+}
+
+TEST(AdamTest, ConvergesOnRosenbrockStart) {
+  // A harder anisotropic objective: f = 100(y - x^2)^2 + (1-x)^2.
+  AdamOptions opt;
+  opt.lr = 0.01;
+  Adam adam(opt);
+  Matrix p(1, 2);
+  p(0, 0) = -1.0;
+  p(0, 1) = 1.0;
+  for (int i = 0; i < 20000; ++i) {
+    double x = p(0, 0), y = p(0, 1);
+    Matrix g(1, 2);
+    g(0, 0) = -400.0 * x * (y - x * x) - 2.0 * (1.0 - x);
+    g(0, 1) = 200.0 * (y - x * x);
+    adam.Step(&p, g);
+  }
+  EXPECT_NEAR(p(0, 0), 1.0, 0.05);
+  EXPECT_NEAR(p(0, 1), 1.0, 0.1);
+}
+
+TEST(AdamTest, ResetClearsState) {
+  Adam adam;
+  Matrix p(1, 1);
+  Matrix g(1, 1);
+  g(0, 0) = 1.0;
+  adam.Step(&p, g);
+  EXPECT_EQ(adam.step_count(), 1);
+  adam.Reset();
+  EXPECT_EQ(adam.step_count(), 0);
+  // After reset the optimizer accepts a different shape.
+  Matrix p2(2, 2), g2(2, 2);
+  g2.Fill(1.0);
+  adam.Step(&p2, g2);
+  EXPECT_EQ(adam.step_count(), 1);
+}
+
+TEST(AdamTest, StepCountsAccumulate) {
+  Adam adam;
+  Matrix p(1, 1), g(1, 1);
+  g(0, 0) = 0.5;
+  for (int i = 0; i < 5; ++i) adam.Step(&p, g);
+  EXPECT_EQ(adam.step_count(), 5);
+}
+
+}  // namespace
+}  // namespace hetefedrec

@@ -1,0 +1,102 @@
+#include "src/math/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/math/init.h"
+#include "src/math/stats.h"
+#include "src/util/rng.h"
+
+namespace hetefedrec {
+namespace {
+
+TEST(EigenTest, DiagonalMatrixEigenvalues) {
+  Matrix m(3, 3);
+  m(0, 0) = 3.0;
+  m(1, 1) = 1.0;
+  m(2, 2) = 2.0;
+  auto eig = SymmetricEigenvalues(m);
+  ASSERT_EQ(eig.size(), 3u);
+  EXPECT_NEAR(eig[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig[1], 2.0, 1e-10);
+  EXPECT_NEAR(eig[2], 1.0, 1e-10);
+}
+
+TEST(EigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix m(2, 2);
+  m(0, 0) = 2;
+  m(0, 1) = 1;
+  m(1, 0) = 1;
+  m(1, 1) = 2;
+  auto eig = SymmetricEigenvalues(m);
+  EXPECT_NEAR(eig[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig[1], 1.0, 1e-10);
+}
+
+TEST(EigenTest, TraceAndDeterminantPreserved) {
+  Rng rng(5);
+  Matrix x(50, 6);
+  InitNormal(&x, 1.0, &rng);
+  Matrix cov = CovarianceMatrix(x);
+  auto eig = SymmetricEigenvalues(cov);
+  double trace = 0.0;
+  for (size_t i = 0; i < 6; ++i) trace += cov(i, i);
+  double eig_sum = 0.0;
+  for (double e : eig) eig_sum += e;
+  EXPECT_NEAR(trace, eig_sum, 1e-8);
+}
+
+TEST(EigenTest, CovarianceEigenvaluesNonNegative) {
+  Rng rng(7);
+  Matrix x(100, 8);
+  InitNormal(&x, 2.0, &rng);
+  Matrix cov = CovarianceMatrix(x);
+  for (double e : SymmetricEigenvalues(cov)) EXPECT_GE(e, -1e-9);
+}
+
+TEST(EigenTest, RankDeficiencyDetected) {
+  // Two identical columns -> covariance has a zero eigenvalue.
+  Rng rng(9);
+  Matrix x(60, 3);
+  InitNormal(&x, 1.0, &rng);
+  for (size_t r = 0; r < x.rows(); ++r) x(r, 2) = x(r, 1);
+  auto eig = SymmetricEigenvalues(CovarianceMatrix(x));
+  EXPECT_NEAR(eig.back(), 0.0, 1e-9);
+}
+
+TEST(EigenTest, SingularValueVarianceZeroForIsotropic) {
+  // Columns i.i.d. with equal variance -> eigenvalues nearly equal ->
+  // variance of eigenvalues near zero (relative to their magnitude).
+  Rng rng(11);
+  Matrix x(20000, 4);
+  InitNormal(&x, 1.0, &rng);
+  double v = SingularValueVariance(x);
+  EXPECT_LT(v, 0.01);
+}
+
+TEST(EigenTest, SingularValueVarianceLargeForCollapsed) {
+  // One dominant direction (collapse): variance of eigenvalues is large.
+  Rng rng(13);
+  Matrix x(2000, 4);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    double t = rng.Normal();
+    x(r, 0) = 3.0 * t;
+    x(r, 1) = 3.0 * t + 0.01 * rng.Normal();
+    x(r, 2) = 3.0 * t + 0.01 * rng.Normal();
+    x(r, 3) = 0.01 * rng.Normal();
+  }
+  EXPECT_GT(SingularValueVariance(x), 10.0);
+}
+
+TEST(EigenTest, OneByOne) {
+  Matrix m(1, 1);
+  m(0, 0) = 4.2;
+  auto eig = SymmetricEigenvalues(m);
+  ASSERT_EQ(eig.size(), 1u);
+  EXPECT_DOUBLE_EQ(eig[0], 4.2);
+}
+
+}  // namespace
+}  // namespace hetefedrec

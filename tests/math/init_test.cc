@@ -1,0 +1,69 @@
+#include "src/math/init.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/math/stats.h"
+#include "src/util/timer.h"
+
+namespace hetefedrec {
+namespace {
+
+TEST(InitTest, NormalMomentsMatch) {
+  Rng rng(3);
+  Matrix m(500, 40);
+  InitNormal(&m, 0.1, &rng);
+  double sum = 0, sumsq = 0;
+  for (double v : m.data()) {
+    sum += v;
+    sumsq += v * v;
+  }
+  double n = static_cast<double>(m.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.005);
+  EXPECT_NEAR(std::sqrt(sumsq / n), 0.1, 0.005);
+}
+
+TEST(InitTest, XavierUniformBounds) {
+  Rng rng(5);
+  Matrix m(64, 8);
+  InitXavierUniform(&m, &rng);
+  double bound = std::sqrt(6.0 / (64.0 + 8.0));
+  double max_abs = 0.0;
+  for (double v : m.data()) max_abs = std::max(max_abs, std::abs(v));
+  EXPECT_LE(max_abs, bound);
+  EXPECT_GT(max_abs, 0.8 * bound);  // draws should fill the range
+}
+
+TEST(InitTest, XavierExplicitFans) {
+  Rng rng(7);
+  Matrix m(10, 10);
+  InitXavierUniform(&m, /*fan_in=*/2, /*fan_out=*/1, &rng);
+  double bound = std::sqrt(6.0 / 3.0);
+  for (double v : m.data()) EXPECT_LE(std::abs(v), bound);
+}
+
+TEST(InitTest, DeterministicPerRng) {
+  Rng a(11), b(11);
+  Matrix ma(5, 5), mb(5, 5);
+  InitNormal(&ma, 1.0, &a);
+  InitNormal(&mb, 1.0, &b);
+  for (size_t i = 0; i < ma.data().size(); ++i) {
+    EXPECT_DOUBLE_EQ(ma.data()[i], mb.data()[i]);
+  }
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + std::sqrt(i);
+  double s = t.Seconds();
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 60.0);
+  EXPECT_NEAR(t.Millis(), t.Seconds() * 1000.0, t.Seconds() * 100.0);
+  t.Reset();
+  EXPECT_LT(t.Seconds(), s + 1.0);
+}
+
+}  // namespace
+}  // namespace hetefedrec

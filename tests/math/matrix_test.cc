@@ -1,0 +1,160 @@
+#include "src/math/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hetefedrec {
+namespace {
+
+Matrix Iota(size_t rows, size_t cols) {
+  Matrix m(rows, cols);
+  double v = 1.0;
+  for (size_t r = 0; r < rows; ++r)
+    for (size_t c = 0; c < cols; ++c) m(r, c) = v++;
+  return m;
+}
+
+TEST(MatrixTest, ConstructionZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (size_t r = 0; r < 2; ++r)
+    for (size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+}
+
+TEST(MatrixTest, EmptyMatrix) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(MatrixTest, ElementAccessRowMajor) {
+  Matrix m = Iota(2, 3);
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 2), 3.0);
+  EXPECT_EQ(m(1, 0), 4.0);
+  EXPECT_EQ(m.Row(1)[2], 6.0);
+}
+
+TEST(MatrixTest, FillAndSetZero) {
+  Matrix m(2, 2);
+  m.Fill(7.5);
+  EXPECT_EQ(m(1, 1), 7.5);
+  m.SetZero();
+  EXPECT_EQ(m(0, 0), 0.0);
+}
+
+TEST(MatrixTest, AddScaled) {
+  Matrix a = Iota(2, 2);
+  Matrix b = Iota(2, 2);
+  a.AddScaled(b, -0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(a(1, 1), 2.0);
+}
+
+TEST(MatrixTest, AddScaledIntoLeadingColsPadsWithNothing) {
+  // Eq. 7: a narrow update lands in the leading columns, the tail is
+  // untouched (zero-padding semantics).
+  Matrix wide(2, 4);
+  wide.Fill(1.0);
+  Matrix narrow = Iota(2, 2);
+  wide.AddScaledIntoLeadingCols(narrow, 2.0);
+  EXPECT_DOUBLE_EQ(wide(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(wide(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(wide(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(wide(0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(wide(1, 0), 7.0);
+}
+
+TEST(MatrixTest, ScaleInPlace) {
+  Matrix m = Iota(1, 3);
+  m.Scale(-2.0);
+  EXPECT_DOUBLE_EQ(m(0, 2), -6.0);
+}
+
+TEST(MatrixTest, LeadingColsSlices) {
+  Matrix m = Iota(2, 4);
+  Matrix s = m.LeadingCols(2);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.cols(), 2u);
+  EXPECT_EQ(s(0, 0), 1.0);
+  EXPECT_EQ(s(0, 1), 2.0);
+  EXPECT_EQ(s(1, 0), 5.0);
+  EXPECT_EQ(s(1, 1), 6.0);
+}
+
+TEST(MatrixTest, RowSlice) {
+  Matrix m = Iota(4, 2);
+  Matrix s = m.RowSlice(1, 2);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s(0, 0), 3.0);
+  EXPECT_EQ(s(1, 1), 6.0);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m = Iota(2, 3);
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 0), 3.0);
+  EXPECT_EQ(t(0, 1), 4.0);
+}
+
+TEST(MatrixTest, MatMulAgainstHandComputed) {
+  Matrix a = Iota(2, 3);            // [1 2 3; 4 5 6]
+  Matrix b = Iota(3, 2);            // [1 2; 3 4; 5 6]
+  Matrix c = Matrix::MatMul(a, b);  // [22 28; 49 64]
+  EXPECT_DOUBLE_EQ(c(0, 0), 22.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 28.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 49.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 64.0);
+}
+
+TEST(MatrixTest, MatMulIdentity) {
+  Matrix a = Iota(3, 3);
+  Matrix eye(3, 3);
+  for (size_t i = 0; i < 3; ++i) eye(i, i) = 1.0;
+  Matrix c = Matrix::MatMul(a, eye);
+  for (size_t r = 0; r < 3; ++r)
+    for (size_t col = 0; col < 3; ++col) EXPECT_DOUBLE_EQ(c(r, col), a(r, col));
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m(1, 2);
+  m(0, 0) = 3.0;
+  m(0, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, MaxAbs) {
+  Matrix m(1, 3);
+  m(0, 0) = -9.0;
+  m(0, 1) = 2.0;
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 9.0);
+}
+
+TEST(VectorOpsTest, DotAxpyNorm) {
+  double a[3] = {1, 2, 3};
+  double b[3] = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b, 3), 32.0);
+  Axpy(2.0, a, b, 3);
+  EXPECT_DOUBLE_EQ(b[0], 6.0);
+  EXPECT_DOUBLE_EQ(b[2], 12.0);
+  double c[2] = {3, 4};
+  EXPECT_DOUBLE_EQ(Norm2(c, 2), 5.0);
+}
+
+TEST(VectorOpsTest, CosineSimilarity) {
+  double a[2] = {1, 0};
+  double b[2] = {0, 1};
+  double c[2] = {2, 0};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b, 2), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, c, 2), 1.0);
+  double zero[2] = {0, 0};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, zero, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace hetefedrec

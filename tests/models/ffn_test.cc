@@ -1,0 +1,201 @@
+#include "src/models/ffn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/math/activations.h"
+#include "src/util/rng.h"
+
+namespace hetefedrec {
+namespace {
+
+FeedForwardNet MakeNet(size_t input_dim, uint64_t seed = 3) {
+  FeedForwardNet net(input_dim, {8, 8});
+  Rng rng(seed);
+  net.InitXavier(&rng);
+  return net;
+}
+
+TEST(FfnTest, ShapesFollowConstruction) {
+  FeedForwardNet net(16, {8, 8});
+  EXPECT_EQ(net.input_dim(), 16u);
+  EXPECT_EQ(net.num_layers(), 3u);
+  EXPECT_EQ(net.weight(0).rows(), 16u);
+  EXPECT_EQ(net.weight(0).cols(), 8u);
+  EXPECT_EQ(net.weight(1).rows(), 8u);
+  EXPECT_EQ(net.weight(2).cols(), 1u);
+  EXPECT_EQ(net.bias(2).cols(), 1u);
+}
+
+TEST(FfnTest, ParamCountMatchesPaperFormula) {
+  // [2N, 8, 8] -> 1 with biases: 2N*8 + 8 + 8*8 + 8 + 8*1 + 1.
+  for (size_t n : {8u, 16u, 32u, 128u}) {
+    FeedForwardNet net(2 * n, {8, 8});
+    EXPECT_EQ(net.ParamCount(), 2 * n * 8 + 8 + 64 + 8 + 8 + 1);
+  }
+}
+
+TEST(FfnTest, ForwardDeterministic) {
+  FeedForwardNet net = MakeNet(6);
+  std::vector<double> x = {0.1, -0.2, 0.3, 0.4, -0.5, 0.6};
+  double a = net.Forward(x.data(), nullptr);
+  double b = net.Forward(x.data(), nullptr);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(FfnTest, ZeroNetOutputsBias) {
+  FeedForwardNet net(4, {8, 8});
+  net.SetZero();
+  net.bias(2)(0, 0) = 0.7;
+  std::vector<double> x = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(net.Forward(x.data(), nullptr), 0.7);
+}
+
+TEST(FfnTest, CachePopulatedOnForward) {
+  FeedForwardNet net = MakeNet(4);
+  std::vector<double> x = {0.5, -0.5, 0.25, 1.0};
+  FeedForwardNet::Cache cache;
+  net.Forward(x.data(), &cache);
+  EXPECT_EQ(cache.input.size(), 4u);
+  EXPECT_EQ(cache.pre.size(), 3u);
+  EXPECT_EQ(cache.post[0].size(), 8u);
+  EXPECT_EQ(cache.post[2].size(), 1u);
+}
+
+// Finite-difference checks: for every weight, bias, and input coordinate,
+// the analytic gradient of BCE(logit(x), y) must match the numeric one.
+TEST(FfnTest, GradientMatchesFiniteDifferenceWeights) {
+  FeedForwardNet net = MakeNet(5, 11);
+  std::vector<double> x = {0.3, -0.7, 0.2, 0.9, -0.1};
+  const double label = 1.0;
+  const double h = 1e-6;
+
+  FeedForwardNet::Cache cache;
+  double logit = net.Forward(x.data(), &cache);
+  FeedForwardNet grads = FeedForwardNet::ZerosLike(net);
+  net.Backward(cache, BceWithLogitsGrad(logit, label), &grads, nullptr);
+
+  for (size_t l = 0; l < net.num_layers(); ++l) {
+    for (size_t r = 0; r < net.weight(l).rows(); ++r) {
+      for (size_t c = 0; c < net.weight(l).cols(); ++c) {
+        FeedForwardNet plus = net;
+        plus.weight(l)(r, c) += h;
+        FeedForwardNet minus = net;
+        minus.weight(l)(r, c) -= h;
+        double numeric =
+            (BceWithLogits(plus.Forward(x.data(), nullptr), label) -
+             BceWithLogits(minus.Forward(x.data(), nullptr), label)) /
+            (2 * h);
+        EXPECT_NEAR(grads.weight(l)(r, c), numeric, 1e-5)
+            << "layer " << l << " (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(FfnTest, GradientMatchesFiniteDifferenceBiases) {
+  FeedForwardNet net = MakeNet(4, 13);
+  std::vector<double> x = {0.4, 0.1, -0.6, 0.8};
+  const double label = 0.0;
+  const double h = 1e-6;
+
+  FeedForwardNet::Cache cache;
+  double logit = net.Forward(x.data(), &cache);
+  FeedForwardNet grads = FeedForwardNet::ZerosLike(net);
+  net.Backward(cache, BceWithLogitsGrad(logit, label), &grads, nullptr);
+
+  for (size_t l = 0; l < net.num_layers(); ++l) {
+    for (size_t c = 0; c < net.bias(l).cols(); ++c) {
+      FeedForwardNet plus = net;
+      plus.bias(l)(0, c) += h;
+      FeedForwardNet minus = net;
+      minus.bias(l)(0, c) -= h;
+      double numeric =
+          (BceWithLogits(plus.Forward(x.data(), nullptr), label) -
+           BceWithLogits(minus.Forward(x.data(), nullptr), label)) /
+          (2 * h);
+      EXPECT_NEAR(grads.bias(l)(0, c), numeric, 1e-5);
+    }
+  }
+}
+
+TEST(FfnTest, GradientMatchesFiniteDifferenceInput) {
+  FeedForwardNet net = MakeNet(6, 17);
+  std::vector<double> x = {0.2, -0.3, 0.5, 0.7, -0.9, 0.1};
+  const double label = 1.0;
+  const double h = 1e-6;
+
+  FeedForwardNet::Cache cache;
+  double logit = net.Forward(x.data(), &cache);
+  FeedForwardNet grads = FeedForwardNet::ZerosLike(net);
+  std::vector<double> dx(6, 0.0);
+  net.Backward(cache, BceWithLogitsGrad(logit, label), &grads, dx.data());
+
+  for (size_t i = 0; i < x.size(); ++i) {
+    std::vector<double> xp = x, xm = x;
+    xp[i] += h;
+    xm[i] -= h;
+    double numeric = (BceWithLogits(net.Forward(xp.data(), nullptr), label) -
+                      BceWithLogits(net.Forward(xm.data(), nullptr), label)) /
+                     (2 * h);
+    EXPECT_NEAR(dx[i], numeric, 1e-5) << "input " << i;
+  }
+}
+
+TEST(FfnTest, BackwardAccumulates) {
+  FeedForwardNet net = MakeNet(4, 19);
+  std::vector<double> x = {0.1, 0.2, 0.3, 0.4};
+  FeedForwardNet::Cache cache;
+  net.Forward(x.data(), &cache);
+  FeedForwardNet g1 = FeedForwardNet::ZerosLike(net);
+  net.Backward(cache, 1.0, &g1, nullptr);
+  FeedForwardNet g2 = FeedForwardNet::ZerosLike(net);
+  net.Backward(cache, 1.0, &g2, nullptr);
+  net.Backward(cache, 1.0, &g2, nullptr);
+  // g2 == 2 * g1 everywhere.
+  for (size_t l = 0; l < net.num_layers(); ++l) {
+    for (size_t i = 0; i < g1.weight(l).data().size(); ++i) {
+      EXPECT_NEAR(g2.weight(l).data()[i], 2 * g1.weight(l).data()[i], 1e-12);
+    }
+  }
+}
+
+TEST(FfnTest, AddScaledAndZerosLike) {
+  FeedForwardNet a = MakeNet(4, 23);
+  FeedForwardNet b = MakeNet(4, 29);
+  FeedForwardNet sum = a;
+  sum.AddScaled(b, -1.0);
+  // sum + b == a.
+  sum.AddScaled(b, 1.0);
+  for (size_t l = 0; l < a.num_layers(); ++l) {
+    for (size_t i = 0; i < a.weight(l).data().size(); ++i) {
+      EXPECT_NEAR(sum.weight(l).data()[i], a.weight(l).data()[i], 1e-12);
+    }
+  }
+  FeedForwardNet z = FeedForwardNet::ZerosLike(a);
+  EXPECT_EQ(z.MaxAbs(), 0.0);
+  EXPECT_EQ(z.ParamCount(), a.ParamCount());
+}
+
+TEST(FfnAdamTest, StepMovesTowardLowerLoss) {
+  FeedForwardNet net = MakeNet(4, 31);
+  std::vector<double> x = {0.5, -0.2, 0.8, 0.3};
+  const double label = 1.0;
+  FfnAdam adam;
+  double first_loss = 0;
+  for (int i = 0; i < 300; ++i) {
+    FeedForwardNet::Cache cache;
+    double logit = net.Forward(x.data(), &cache);
+    if (i == 0) first_loss = BceWithLogits(logit, label);
+    FeedForwardNet grads = FeedForwardNet::ZerosLike(net);
+    net.Backward(cache, BceWithLogitsGrad(logit, label), &grads, nullptr);
+    adam.Step(&net, grads);
+  }
+  double final_loss = BceWithLogits(net.Forward(x.data(), nullptr), label);
+  EXPECT_LT(final_loss, first_loss * 0.5);
+}
+
+}  // namespace
+}  // namespace hetefedrec

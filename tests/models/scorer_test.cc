@@ -1,0 +1,211 @@
+#include "src/models/scorer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/math/activations.h"
+#include "src/math/init.h"
+#include "src/util/rng.h"
+
+namespace hetefedrec {
+namespace {
+
+constexpr size_t kItems = 12;
+
+struct Fixture {
+  Matrix table;
+  Matrix user;
+  FeedForwardNet theta;
+  std::vector<ItemId> interacted = {1, 4, 7};
+
+  explicit Fixture(size_t width, uint64_t seed = 5)
+      : table(kItems, width),
+        user(1, width),
+        theta(2 * width, {8, 8}) {
+    Rng rng(seed);
+    InitNormal(&table, 0.3, &rng);
+    InitNormal(&user, 0.3, &rng);
+    theta.InitXavier(&rng);
+  }
+};
+
+TEST(BaseModelTest, NameParsing) {
+  EXPECT_EQ(BaseModelByName("ncf").value(), BaseModel::kNcf);
+  EXPECT_EQ(BaseModelByName("lightgcn").value(), BaseModel::kLightGcn);
+  EXPECT_FALSE(BaseModelByName("mf").ok());
+  EXPECT_EQ(BaseModelName(BaseModel::kNcf), "Fed-NCF");
+  EXPECT_EQ(BaseModelName(BaseModel::kLightGcn), "Fed-LightGCN");
+}
+
+TEST(ScorerTest, NcfScoreMatchesManualConcat) {
+  Fixture f(4);
+  Scorer sc(BaseModel::kNcf, 4);
+  sc.BeginUser(f.user.Row(0), f.table, f.interacted);
+  double got = sc.Score(f.table, f.theta, 3);
+
+  std::vector<double> x(8);
+  for (size_t d = 0; d < 4; ++d) {
+    x[d] = f.user(0, d);
+    x[4 + d] = f.table(3, d);
+  }
+  EXPECT_NEAR(got, f.theta.Forward(x.data(), nullptr), 1e-12);
+}
+
+TEST(ScorerTest, LightGcnScoreMatchesManualPropagation) {
+  Fixture f(4);
+  Scorer sc(BaseModel::kLightGcn, 4);
+  sc.BeginUser(f.user.Row(0), f.table, f.interacted);
+
+  const double inv_sqrt_d = 1.0 / std::sqrt(3.0);
+  std::vector<double> x(8);
+  for (size_t d = 0; d < 4; ++d) {
+    double agg = f.table(1, d) + f.table(4, d) + f.table(7, d);
+    x[d] = 0.5 * (f.user(0, d) + inv_sqrt_d * agg);
+  }
+  // Non-interacted item 3: pv = v/2.
+  for (size_t d = 0; d < 4; ++d) x[4 + d] = 0.5 * f.table(3, d);
+  EXPECT_NEAR(sc.Score(f.table, f.theta, 3),
+              f.theta.Forward(x.data(), nullptr), 1e-12);
+
+  // Interacted item 4: pv = (v + u/√d)/2.
+  for (size_t d = 0; d < 4; ++d) {
+    x[4 + d] = 0.5 * (f.table(4, d) + inv_sqrt_d * f.user(0, d));
+  }
+  EXPECT_NEAR(sc.Score(f.table, f.theta, 4),
+              f.theta.Forward(x.data(), nullptr), 1e-12);
+}
+
+TEST(ScorerTest, SliceUsesOnlyLeadingColumns) {
+  // Scoring at width 2 over a width-6 table must ignore columns >= 2.
+  Fixture f(6);
+  Fixture narrow_theta(2);
+  Scorer sc(BaseModel::kNcf, 2);
+  sc.BeginUser(f.user.Row(0), f.table, f.interacted);
+  double before = sc.Score(f.table, narrow_theta.theta, 5);
+
+  Matrix perturbed = f.table;
+  for (size_t r = 0; r < perturbed.rows(); ++r) {
+    for (size_t c = 2; c < perturbed.cols(); ++c) perturbed(r, c) += 100.0;
+  }
+  sc.BeginUser(f.user.Row(0), perturbed, f.interacted);
+  double after = sc.Score(perturbed, narrow_theta.theta, 5);
+  EXPECT_NEAR(before, after, 1e-12);
+}
+
+TEST(ScorerTest, ScoreAndScoreForTrainAgree) {
+  for (BaseModel model : {BaseModel::kNcf, BaseModel::kLightGcn}) {
+    Fixture f(4);
+    Scorer sc(model, 4);
+    sc.BeginUser(f.user.Row(0), f.table, f.interacted);
+    Scorer::TrainCache cache;
+    for (ItemId j = 0; j < static_cast<ItemId>(kItems); ++j) {
+      double a = sc.Score(f.table, f.theta, j);
+      double b = sc.ScoreForTrain(f.table, f.theta, j, &cache);
+      EXPECT_DOUBLE_EQ(a, b) << "model " << static_cast<int>(model);
+    }
+  }
+}
+
+// Full gradient check of the scoring pipeline: perturb each parameter of
+// the item table and the user embedding, compare with analytic gradients
+// accumulated over a batch of samples.
+void GradientCheck(BaseModel model, size_t width) {
+  Fixture f(width, 7);
+  std::vector<std::pair<ItemId, double>> batch = {
+      {1, 1.0}, {4, 1.0}, {7, 1.0}, {0, 0.0}, {9, 0.0}, {4, 0.0}};
+
+  auto total_loss = [&](const Matrix& table, const Matrix& user) {
+    Scorer sc(model, width);
+    sc.BeginUser(user.Row(0), table, f.interacted);
+    double loss = 0;
+    for (auto [item, label] : batch) {
+      loss += BceWithLogits(sc.Score(table, f.theta, item), label);
+    }
+    return loss;
+  };
+
+  // Analytic gradients.
+  Matrix d_table(kItems, width);
+  Matrix d_user(1, width);
+  FeedForwardNet d_theta = FeedForwardNet::ZerosLike(f.theta);
+  Scorer sc(model, width);
+  sc.BeginUser(f.user.Row(0), f.table, f.interacted);
+  Scorer::TrainCache cache;
+  for (auto [item, label] : batch) {
+    double logit = sc.ScoreForTrain(f.table, f.theta, item, &cache);
+    sc.BackwardSample(f.theta, cache, BceWithLogitsGrad(logit, label),
+                      &d_table, d_user.Row(0), &d_theta);
+  }
+  sc.FinishUserBackward(&d_table, d_user.Row(0));
+
+  const double h = 1e-6;
+  for (size_t r = 0; r < kItems; ++r) {
+    for (size_t c = 0; c < width; ++c) {
+      Matrix plus = f.table, minus = f.table;
+      plus(r, c) += h;
+      minus(r, c) -= h;
+      double numeric =
+          (total_loss(plus, f.user) - total_loss(minus, f.user)) / (2 * h);
+      EXPECT_NEAR(d_table(r, c), numeric, 1e-5)
+          << "table(" << r << "," << c << ") model "
+          << static_cast<int>(model);
+    }
+  }
+  for (size_t c = 0; c < width; ++c) {
+    Matrix plus = f.user, minus = f.user;
+    plus(0, c) += h;
+    minus(0, c) -= h;
+    double numeric =
+        (total_loss(f.table, plus) - total_loss(f.table, minus)) / (2 * h);
+    EXPECT_NEAR(d_user(0, c), numeric, 1e-5) << "user dim " << c;
+  }
+}
+
+TEST(ScorerTest, NcfGradientMatchesFiniteDifference) {
+  GradientCheck(BaseModel::kNcf, 3);
+}
+
+TEST(ScorerTest, LightGcnGradientMatchesFiniteDifference) {
+  GradientCheck(BaseModel::kLightGcn, 3);
+}
+
+TEST(ScorerTest, LightGcnHandlesUserWithNoInteractions) {
+  Fixture f(4);
+  std::vector<ItemId> empty;
+  Scorer sc(BaseModel::kLightGcn, 4);
+  sc.BeginUser(f.user.Row(0), f.table, empty);
+  double s = sc.Score(f.table, f.theta, 2);
+  EXPECT_FALSE(std::isnan(s));
+  // With no neighbours pu = u/2, pv = v/2.
+  std::vector<double> x(8);
+  for (size_t d = 0; d < 4; ++d) {
+    x[d] = 0.5 * f.user(0, d);
+    x[4 + d] = 0.5 * f.table(2, d);
+  }
+  EXPECT_NEAR(s, f.theta.Forward(x.data(), nullptr), 1e-12);
+}
+
+// Parameterized slice-width sweep: gradients must be exact at every width,
+// which is the property the unified dual-task mechanism relies on.
+class ScorerWidthTest
+    : public testing::TestWithParam<std::tuple<BaseModel, size_t>> {};
+
+TEST_P(ScorerWidthTest, GradientExactAtWidth) {
+  auto [model, width] = GetParam();
+  GradientCheck(model, width);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWidths, ScorerWidthTest,
+    testing::Combine(testing::Values(BaseModel::kNcf, BaseModel::kLightGcn),
+                     testing::Values(1u, 2u, 4u, 8u)),
+    [](const auto& info) {
+      return (std::get<0>(info.param) == BaseModel::kNcf ? std::string("Ncf")
+                                                         : "LightGcn") +
+             "Width" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace hetefedrec

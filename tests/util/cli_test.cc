@@ -1,0 +1,86 @@
+#include "src/util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hetefedrec {
+namespace {
+
+// Builds a mutable argv from string literals.
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args) : args_(std::move(args)) {
+    for (auto& a : args_) argv_.push_back(a.data());
+  }
+  int argc() { return static_cast<int>(argv_.size()); }
+  char** argv() { return argv_.data(); }
+
+ private:
+  std::vector<std::string> args_;
+  std::vector<char*> argv_;
+};
+
+TEST(CliTest, DefaultsApplyWithoutArgs) {
+  CommandLine cli;
+  cli.AddFlag("epochs", "20", "training epochs");
+  ArgvBuilder args({"prog"});
+  ASSERT_TRUE(cli.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(cli.GetInt("epochs"), 20);
+}
+
+TEST(CliTest, EqualsSyntax) {
+  CommandLine cli;
+  cli.AddFlag("scale", "bench", "scale preset");
+  ArgvBuilder args({"prog", "--scale=paper"});
+  ASSERT_TRUE(cli.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(cli.GetString("scale"), "paper");
+}
+
+TEST(CliTest, SpaceSyntax) {
+  CommandLine cli;
+  cli.AddFlag("alpha", "1.0", "regularization factor");
+  ArgvBuilder args({"prog", "--alpha", "0.5"});
+  ASSERT_TRUE(cli.Parse(args.argc(), args.argv()).ok());
+  EXPECT_DOUBLE_EQ(cli.GetDouble("alpha"), 0.5);
+}
+
+TEST(CliTest, BareBooleanFlag) {
+  CommandLine cli;
+  cli.AddFlag("verbose", "false", "chatty output");
+  ArgvBuilder args({"prog", "--verbose"});
+  ASSERT_TRUE(cli.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(cli.GetBool("verbose"));
+}
+
+TEST(CliTest, UnknownFlagRejected) {
+  CommandLine cli;
+  cli.AddFlag("epochs", "20", "training epochs");
+  ArgvBuilder args({"prog", "--epoch=5"});
+  Status s = cli.Parse(args.argc(), args.argv());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CliTest, PositionalArgumentRejected) {
+  CommandLine cli;
+  ArgvBuilder args({"prog", "stray"});
+  EXPECT_FALSE(cli.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(CliTest, MissingValueRejected) {
+  CommandLine cli;
+  cli.AddFlag("seed", "1", "rng seed");
+  ArgvBuilder args({"prog", "--seed"});
+  EXPECT_FALSE(cli.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(CliTest, UsageListsFlags) {
+  CommandLine cli;
+  cli.AddFlag("seed", "1", "rng seed");
+  std::string usage = cli.Usage("prog");
+  EXPECT_NE(usage.find("--seed"), std::string::npos);
+  EXPECT_NE(usage.find("rng seed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetefedrec

@@ -1,0 +1,85 @@
+#include "src/util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hetefedrec {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter t("Demo", {"Method", "NDCG"});
+  t.AddRow({"All Small", "0.04328"});
+  t.AddRow({"HeteFedRec", "0.04781"});
+  std::string s = t.Render();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("Method"), std::string::npos);
+  EXPECT_NE(s.find("HeteFedRec"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAligned) {
+  TablePrinter t("", {"A", "B"});
+  t.AddRow({"xxxxxxxx", "1"});
+  t.AddRow({"y", "2"});
+  std::string s = t.Render();
+  // Every content line must have the same length when aligned.
+  std::istringstream is(s);
+  std::string line;
+  size_t len = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len) << "misaligned line: " << line;
+  }
+}
+
+TEST(TablePrinterTest, SeparatorRendered) {
+  TablePrinter t("", {"A"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  std::string s = t.Render();
+  // header rule + top + separator + bottom = 4 rules
+  size_t rules = 0, pos = 0;
+  while ((pos = s.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos += 3;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TablePrinterTest, CsvRoundTrip) {
+  TablePrinter t("T", {"name", "value"});
+  t.AddRow({"a,b", "1"});
+  t.AddSeparator();
+  t.AddRow({"c", "2"});
+  std::string path = testing::TempDir() + "/table_printer_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"a,b\",1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "c,2");  // separator skipped
+  std::remove(path.c_str());
+}
+
+TEST(TablePrinterTest, NumFormatsDigits) {
+  EXPECT_EQ(TablePrinter::Num(0.047812345, 5), "0.04781");
+  EXPECT_EQ(TablePrinter::Num(1.5, 2), "1.50");
+}
+
+TEST(TablePrinterTest, CountInsertsThousandsSeparators) {
+  EXPECT_EQ(TablePrinter::Count(0), "0");
+  EXPECT_EQ(TablePrinter::Count(999), "999");
+  EXPECT_EQ(TablePrinter::Count(1000), "1,000");
+  EXPECT_EQ(TablePrinter::Count(1000209), "1,000,209");
+  EXPECT_EQ(TablePrinter::Count(-1234), "-1,234");
+}
+
+}  // namespace
+}  // namespace hetefedrec
