@@ -2,8 +2,13 @@
 // scoring, backprop, aggregation, DDR and RESKD. Uses google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <memory>
+
 #include "src/core/decorrelation.h"
 #include "src/core/distillation.h"
+#include "src/core/hetero_server.h"
+#include "src/core/local_trainer.h"
 #include "src/data/dataset.h"
 #include "src/data/synthetic.h"
 #include "src/eval/metrics.h"
@@ -162,6 +167,162 @@ void BM_NegativeSampling(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NegativeSampling);
+
+// --- Sparse vs dense client-update path -----------------------------------
+//
+// One federated aggregation round at paper scale: catalogue >= 3k items
+// (arg 1 selects the ML-1M catalogue, 3,706 items, or the Anime catalogue,
+// 6,888), 256 clients per round, width 32. Clients carry data-poor
+// histories (median ~24 interactions — the Us regime that motivates model
+// heterogeneity), so the dense path's O(items × width) per-client cost
+// dominates. BM_FederatedRound/0/* is the dense reference, /1/* the sparse
+// row-touched path; the ratio of the two timings is the per-round
+// client-update speedup reported in docs/PERFORMANCE.md.
+
+struct RoundBenchSetup {
+  std::unique_ptr<Dataset> ds;
+  std::vector<ClientState> clients;
+
+  static constexpr size_t kClientsPerRound = 256;
+  static constexpr size_t kWidth = 32;
+
+  static RoundBenchSetup& Get(bool anime) {
+    // Lazy per-catalogue so a filtered run only generates what it uses.
+    if (anime) {
+      static RoundBenchSetup setup(true);
+      return setup;
+    }
+    static RoundBenchSetup setup(false);
+    return setup;
+  }
+
+  explicit RoundBenchSetup(bool anime) {
+    SyntheticConfig cfg = anime ? AnimeConfig(1.0)       // 6,888 items
+                                : MovieLensConfig(1.0);  // 3,706 items
+    cfg.num_users = 2048;
+    cfg.lognormal_mu = std::log(24.0);  // data-poor (Us) histories
+    ds = std::make_unique<Dataset>(
+        Dataset::FromInteractions(GenerateInteractions(cfg), cfg.num_users,
+                                  cfg.num_items)
+            .value());
+    Rng root(71);
+    clients.resize(kClientsPerRound);
+    for (size_t u = 0; u < kClientsPerRound; ++u) {
+      InitClient(&clients[u], static_cast<UserId>(u), Group::kLarge, kWidth,
+                 0.1, root);
+    }
+  }
+};
+
+void BM_FederatedRound(benchmark::State& state) {
+  const bool use_sparse = state.range(0) != 0;
+  RoundBenchSetup& setup = RoundBenchSetup::Get(state.range(1) != 0);
+
+  HeteroServer::Options so;
+  so.widths = {RoundBenchSetup::kWidth};
+  so.num_items = setup.ds->num_items();
+  so.seed = 3;
+  HeteroServer server(so);
+  LocalTrainer trainer(*setup.ds, BaseModel::kNcf);
+  std::vector<LocalTaskSpec> tasks = {{0, RoundBenchSetup::kWidth}};
+
+  LocalTrainerOptions opt;
+  opt.local_epochs = 2;
+  opt.use_sparse = use_sparse;
+
+  size_t uploaded_rows = 0;
+  for (auto _ : state) {
+    server.BeginRound();
+    for (auto& client : setup.clients) {
+      LocalUpdateResult up = trainer.Train(
+          &client, server.table(0), {&server.theta(0)}, tasks, opt);
+      uploaded_rows += up.sparse ? up.v_delta_sparse.num_rows()
+                                 : up.v_delta.rows();
+      server.Accumulate(tasks, up);
+    }
+    server.FinishRound();
+  }
+  state.SetItemsProcessed(state.iterations() * setup.clients.size());
+  state.counters["rows_per_client"] = benchmark::Counter(
+      static_cast<double>(uploaded_rows) /
+      (static_cast<double>(state.iterations()) *
+       static_cast<double>(setup.clients.size())));
+}
+BENCHMARK(BM_FederatedRound)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(2.0);
+
+// Isolated update-machinery cost (no scoring): table download + per-epoch
+// gradient zeroing + Adam + upload delta for one client touching `touched`
+// rows of a 3,706 x 32 table. This is the pure overhead the sparse path
+// eliminates.
+void BM_ClientUpdateMachinery(benchmark::State& state) {
+  const bool use_sparse = state.range(0) != 0;
+  const size_t touched = static_cast<size_t>(state.range(1));
+  constexpr size_t kRows = 3706;
+  constexpr size_t kW = 32;
+  Matrix global = RandomTable(kRows, kW, 83);
+  Rng pick(89);
+  std::vector<uint32_t> rows;
+  for (size_t k = 0; k < touched; ++k) {
+    rows.push_back(static_cast<uint32_t>(pick.UniformInt(kRows)));
+  }
+
+  Matrix v_local, v_grad(kRows, kW);
+  RowOverlayTable overlay;
+  SparseRowStore sgrad;
+  for (auto _ : state) {
+    if (use_sparse) {
+      overlay.Reset(&global);
+      sgrad.Reset(kRows, kW);
+      SparseRowAdam adam;
+      adam.Reset(kRows, kW);
+      for (int epoch = 0; epoch < 2; ++epoch) {
+        sgrad.Clear();
+        for (uint32_t r : rows) {
+          double* g = sgrad.EnsureRow(r);
+          for (size_t d = 0; d < kW; ++d) g[d] += 0.01;
+        }
+        adam.Step(&overlay, sgrad);
+      }
+      SparseRowUpdate up;
+      up.width = kW;
+      up.rows.assign(overlay.touched().begin(), overlay.touched().end());
+      up.data.resize(up.rows.size() * kW);
+      for (size_t k = 0; k < up.rows.size(); ++k) {
+        const double* local = overlay.Row(up.rows[k]);
+        const double* base = global.Row(up.rows[k]);
+        for (size_t d = 0; d < kW; ++d) {
+          up.data[k * kW + d] = local[d] - base[d];
+        }
+      }
+      benchmark::DoNotOptimize(up);
+    } else {
+      v_local = global;
+      Adam adam;
+      for (int epoch = 0; epoch < 2; ++epoch) {
+        v_grad.SetZero();
+        for (uint32_t r : rows) {
+          double* g = v_grad.Row(r);
+          for (size_t d = 0; d < kW; ++d) g[d] += 0.01;
+        }
+        adam.Step(&v_local, v_grad);
+      }
+      Matrix delta = v_local;
+      delta.AddScaled(global, -1.0);
+      benchmark::DoNotOptimize(delta);
+    }
+  }
+}
+BENCHMARK(BM_ClientUpdateMachinery)
+    ->Args({0, 128})
+    ->Args({1, 128})
+    ->Args({0, 512})
+    ->Args({1, 512});
 
 void BM_TopK(benchmark::State& state) {
   Rng rng(59);

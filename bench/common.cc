@@ -13,6 +13,15 @@ void AddCommonFlags(CommandLine* cli) {
   cli->AddFlag("epochs", "0", "override global epochs (0 = preset default)");
   cli->AddFlag("out_dir", ".", "directory for CSV output");
   cli->AddFlag("agg", "mean", "server aggregation: mean | sum | weighted");
+  cli->AddFlag("threads", "1",
+               "round-execution threads (0 = hardware concurrency; results "
+               "are identical for any value)");
+  cli->AddFlag("dense_updates", "false",
+               "use the dense reference client-update path instead of "
+               "sparse row-touched updates");
+  cli->AddFlag("sparse_comm", "false",
+               "report actually-uploaded (sparse) scalars instead of the "
+               "paper's dense accounting");
 }
 
 StatusOr<ExperimentConfig> ConfigFromFlags(const CommandLine& cli) {
@@ -48,6 +57,10 @@ StatusOr<ExperimentConfig> ConfigFromFlags(const CommandLine& cli) {
 
   int epochs = cli.GetInt("epochs");
   if (epochs > 0) cfg.global_epochs = epochs;
+
+  cfg.num_threads = static_cast<size_t>(cli.GetInt("threads"));
+  cfg.use_sparse_updates = !cli.GetBool("dense_updates");
+  cfg.sparse_comm_accounting = cli.GetBool("sparse_comm");
 
   const std::string agg = cli.GetString("agg");
   if (agg == "mean") {

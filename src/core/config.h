@@ -104,6 +104,22 @@ struct ExperimentConfig {
   int kd_steps = 2;
   double kd_lr = 0.001;
 
+  // --- execution (performance; no effect on results) --------------------
+  /// Sparse row-touched client updates: clients train through a
+  /// copy-on-write view and upload only touched rows. Bit-identical to the
+  /// dense reference path (see docs/PERFORMANCE.md); per-round cost drops
+  /// from O(clients × items × width) to O(clients × interactions × width).
+  bool use_sparse_updates = true;
+  /// Communication accounting. False (default): Table III's accounting —
+  /// uploads are counted as if the full dense table were shipped, matching
+  /// the paper regardless of execution path. True: count the scalars the
+  /// sparse path actually uploads (touched rows × (width + 1) + Θ).
+  bool sparse_comm_accounting = false;
+  /// Threads executing the clients of each round. 1 = serial (default);
+  /// 0 = hardware concurrency. Results are bit-identical for any value:
+  /// client training is independent and updates merge in batch order.
+  size_t num_threads = 1;
+
   // --- evaluation -------------------------------------------------------
   size_t top_k = 20;
   int eval_every = 0;     // 0 = only final epoch; n = every n epochs

@@ -4,10 +4,13 @@
 #include <numeric>
 #include <vector>
 
+#include "src/math/sparse.h"
+
 namespace hetefedrec {
 
-double DecorrelationLossAndGrad(const Matrix& table, double alpha,
-                                size_t sample_rows, Rng* rng, Matrix* grad) {
+template <typename TableT, typename GradT>
+double DecorrelationLossAndGrad(const TableT& table, double alpha,
+                                size_t sample_rows, Rng* rng, GradT* grad) {
   const size_t n_cols = table.cols();
   HFR_CHECK_GT(n_cols, 0u);
   if (grad) {
@@ -81,12 +84,18 @@ double DecorrelationLossAndGrad(const Matrix& table, double alpha,
 
   for (size_t k = 0; k < m; ++k) {
     const double* grow = g.Row(k);
-    double* out = grad->Row(rows[k]);
+    double* out = grad->MutableRow(rows[k]);
     for (size_t c = 0; c < n_cols; ++c) {
       out[c] += alpha * (grow[c] - col_mean_g[c]) * inv_sd[c];
     }
   }
   return loss;
 }
+
+template double DecorrelationLossAndGrad<Matrix, Matrix>(const Matrix&,
+                                                         double, size_t,
+                                                         Rng*, Matrix*);
+template double DecorrelationLossAndGrad<RowOverlayTable, SparseRowStore>(
+    const RowOverlayTable&, double, size_t, Rng*, SparseRowStore*);
 
 }  // namespace hetefedrec

@@ -26,18 +26,40 @@ namespace hetefedrec {
 
 /// \brief Computes Lreg(V) and accumulates alpha * dLreg/dV into `grad`.
 ///
-/// \param table item embedding table (rows = items, cols = dims).
+/// \param table item embedding table (rows = items, cols = dims) — a dense
+///   `Matrix` or a `RowOverlayTable` view (src/math/sparse.h); only the
+///   sampled rows are ever read.
 /// \param alpha regularization weight (the loss returned is unweighted;
 ///   the gradient is scaled by alpha, matching Eq. 14's α·Lreg term).
 /// \param sample_rows if > 0 and < rows, the correlation matrix and its
 ///   gradient are estimated on this many uniformly sampled rows.
 /// \param rng used only for row sampling.
-/// \param grad accumulator with at least as many columns as `table`;
-///   gradients land in the leading table.cols() columns. May be null to
-///   compute the loss only.
+/// \param grad accumulator (`Matrix` or `SparseRowStore`) with at least as
+///   many columns as `table`; gradients land in the leading table.cols()
+///   columns. May be null to compute the loss only.
 /// \returns Lreg(V) (the unweighted loss value).
-double DecorrelationLossAndGrad(const Matrix& table, double alpha,
-                                size_t sample_rows, Rng* rng, Matrix* grad);
+template <typename TableT, typename GradT>
+double DecorrelationLossAndGrad(const TableT& table, double alpha,
+                                size_t sample_rows, Rng* rng, GradT* grad);
+
+/// Loss-only convenience overload (callers pass a literal nullptr, which
+/// cannot deduce GradT).
+template <typename TableT>
+double DecorrelationLossAndGrad(const TableT& table, double alpha,
+                                size_t sample_rows, Rng* rng,
+                                std::nullptr_t) {
+  return DecorrelationLossAndGrad(table, alpha, sample_rows, rng,
+                                  static_cast<Matrix*>(nullptr));
+}
+
+/// Explicit instantiations live in decorrelation.cc.
+class RowOverlayTable;
+class SparseRowStore;
+extern template double DecorrelationLossAndGrad<Matrix, Matrix>(
+    const Matrix&, double, size_t, Rng*, Matrix*);
+extern template double
+DecorrelationLossAndGrad<RowOverlayTable, SparseRowStore>(
+    const RowOverlayTable&, double, size_t, Rng*, SparseRowStore*);
 
 }  // namespace hetefedrec
 

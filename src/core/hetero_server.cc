@@ -40,11 +40,38 @@ HeteroServer::HeteroServer(const Options& options)
   for (const auto& t : thetas_) theta_agg_.push_back(
       FeedForwardNet::ZerosLike(t));
   theta_weight_.assign(thetas_.size(), 0.0);
+  touched_mask_.assign(options.num_items, 0);
+}
+
+void HeteroServer::MarkTouched(uint32_t row) {
+  HFR_CHECK_LT(row, touched_mask_.size());
+  if (!touched_mask_[row]) {
+    touched_mask_[row] = 1;
+    touched_rows_.push_back(row);
+  }
 }
 
 void HeteroServer::BeginRound() {
-  v_agg_.SetZero();
-  for (auto& m : v_agg_per_slot_) m.SetZero();
+  // Zero only what the previous round dirtied: touched rows after an
+  // all-sparse round, everything after a round with a dense update (or the
+  // first round, where the constructor already zero-initialized).
+  if (round_has_dense_) {
+    v_agg_.SetZero();
+    for (auto& m : v_agg_per_slot_) m.SetZero();
+  } else {
+    for (uint32_t r : touched_rows_) {
+      double* row = v_agg_.Row(r);
+      std::fill(row, row + v_agg_.cols(), 0.0);
+      for (auto& m : v_agg_per_slot_) {
+        double* srow = m.Row(r);
+        std::fill(srow, srow + m.cols(), 0.0);
+      }
+    }
+  }
+  for (uint32_t r : touched_rows_) touched_mask_[r] = 0;
+  touched_rows_.clear();
+  round_has_dense_ = false;
+
   std::fill(segment_weight_.begin(), segment_weight_.end(), 0.0);
   std::fill(slot_weight_.begin(), slot_weight_.end(), 0.0);
   for (auto& t : theta_agg_) t.SetZero();
@@ -58,12 +85,23 @@ void HeteroServer::Accumulate(const std::vector<LocalTaskSpec>& tasks,
   HFR_CHECK(round_open_);
   HFR_CHECK(!tasks.empty());
   HFR_CHECK_GE(weight, 0.0);
-  const size_t client_width = update.v_delta.cols();
+  const size_t client_width =
+      update.sparse ? update.v_delta_sparse.width : update.v_delta.cols();
   HFR_CHECK_EQ(tasks.back().width, client_width);
 
   if (shared_aggregation_) {
     // Eq. 7-8: zero-pad to the widest slot and sum.
-    v_agg_.AddScaledIntoLeadingCols(update.v_delta, weight);
+    if (update.sparse) {
+      const SparseRowUpdate& up = update.v_delta_sparse;
+      for (size_t k = 0; k < up.num_rows(); ++k) {
+        const uint32_t r = up.rows[k];
+        MarkTouched(r);
+        Axpy(weight, up.RowData(k), v_agg_.Row(r), client_width);
+      }
+    } else {
+      round_has_dense_ = true;
+      v_agg_.AddScaledIntoLeadingCols(update.v_delta, weight);
+    }
     for (size_t s = 0; s < tables_.size(); ++s) {
       if (width(s) <= client_width) segment_weight_[s] += weight;
     }
@@ -71,7 +109,18 @@ void HeteroServer::Accumulate(const std::vector<LocalTaskSpec>& tasks,
     const size_t slot = tasks.back().slot;
     HFR_CHECK_LT(slot, v_agg_per_slot_.size());
     HFR_CHECK_EQ(v_agg_per_slot_[slot].cols(), client_width);
-    v_agg_per_slot_[slot].AddScaled(update.v_delta, weight);
+    if (update.sparse) {
+      const SparseRowUpdate& up = update.v_delta_sparse;
+      for (size_t k = 0; k < up.num_rows(); ++k) {
+        const uint32_t r = up.rows[k];
+        MarkTouched(r);
+        Axpy(weight, up.RowData(k), v_agg_per_slot_[slot].Row(r),
+             client_width);
+      }
+    } else {
+      round_has_dense_ = true;
+      v_agg_per_slot_[slot].AddScaled(update.v_delta, weight);
+    }
     slot_weight_[slot] += weight;
   }
 
@@ -87,6 +136,11 @@ void HeteroServer::Accumulate(const std::vector<LocalTaskSpec>& tasks,
 void HeteroServer::FinishRound() {
   HFR_CHECK(round_open_);
   round_open_ = false;
+
+  // Row set to apply: everything after a dense contribution, otherwise only
+  // the rows touched by this round's sparse updates (the aggregate is
+  // exactly zero elsewhere, and adding seg_scale * 0.0 is a no-op).
+  const bool all_rows = round_has_dense_;
 
   if (shared_aggregation_) {
     // Eq. 8-9: every slot applies the leading-column slice of the padded
@@ -107,10 +161,15 @@ void HeteroServer::FinishRound() {
           }
           seg_scale = 1.0 / segment_weight_[seg];
         }
-        for (size_t r = 0; r < tables_[s].rows(); ++r) {
+        auto apply_row = [&](size_t r) {
           const double* src = v_agg_.Row(r);
           double* dst = tables_[s].Row(r);
           for (size_t c = col0; c < col1; ++c) dst[c] += seg_scale * src[c];
+        };
+        if (all_rows) {
+          for (size_t r = 0; r < tables_[s].rows(); ++r) apply_row(r);
+        } else {
+          for (uint32_t r : touched_rows_) apply_row(r);
         }
         col0 = col1;
       }
@@ -121,7 +180,14 @@ void HeteroServer::FinishRound() {
       double scale = aggregation_ == AggregationMode::kSum
                          ? 1.0
                          : 1.0 / slot_weight_[s];
-      tables_[s].AddScaled(v_agg_per_slot_[s], scale);
+      if (all_rows) {
+        tables_[s].AddScaled(v_agg_per_slot_[s], scale);
+      } else {
+        for (uint32_t r : touched_rows_) {
+          Axpy(scale, v_agg_per_slot_[s].Row(r), tables_[s].Row(r),
+               tables_[s].cols());
+        }
+      }
     }
   }
 

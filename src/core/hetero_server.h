@@ -51,16 +51,24 @@ class HeteroServer {
   const FeedForwardNet& theta(size_t slot) const { return thetas_[slot]; }
 
   /// Clears the round accumulators. Call before the first Accumulate.
+  /// Cost is proportional to the rows touched in the *previous* round
+  /// (full-table only after a round that saw a dense update).
   void BeginRound();
 
   /// Adds one client's uploaded update. `tasks` describes which slot each
   /// theta delta belongs to and the width of v_delta (its last entry).
   /// `weight` scales the update's contribution (1.0 for kSum/kMean;
-  /// the client's |Di| under kDataWeighted).
+  /// the client's |Di| under kDataWeighted). Sparse updates are scattered
+  /// row-by-row and enroll their rows in the round's touched set; dense
+  /// and sparse updates may be mixed within a round. Not thread-safe —
+  /// parallel rounds merge their results through ordered Accumulate calls.
   void Accumulate(const std::vector<LocalTaskSpec>& tasks,
                   const LocalUpdateResult& update, double weight = 1.0);
 
-  /// Applies the aggregated updates to every slot (Eq. 9 / Eq. 15).
+  /// Applies the aggregated updates to every slot (Eq. 9 / Eq. 15). When
+  /// every update this round was sparse, only rows in the round's touched
+  /// set are visited — rows outside it have an exactly-zero aggregate, so
+  /// skipping them is bit-identical to the dense sweep.
   void FinishRound();
 
   /// Runs RESKD across all slots' tables (Eq. 16-17). Returns the mean
@@ -88,6 +96,16 @@ class HeteroServer {
   std::vector<FeedForwardNet> theta_agg_;
   std::vector<double> theta_weight_;
   bool round_open_ = false;
+
+  /// Item rows touched by this round's sparse updates (insertion order,
+  /// deduplicated via `touched_mask_`). When `round_has_dense_` a dense
+  /// update contributed and FinishRound/BeginRound fall back to full
+  /// sweeps.
+  std::vector<uint32_t> touched_rows_;
+  std::vector<uint8_t> touched_mask_;
+  bool round_has_dense_ = false;
+
+  void MarkTouched(uint32_t row);
 };
 
 }  // namespace hetefedrec

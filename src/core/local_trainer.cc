@@ -1,5 +1,6 @@
 #include "src/core/local_trainer.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "src/core/decorrelation.h"
@@ -16,6 +17,17 @@ LocalUpdateResult LocalTrainer::Train(
     const std::vector<const FeedForwardNet*>& thetas,
     const std::vector<LocalTaskSpec>& tasks,
     const LocalTrainerOptions& options) {
+  return options.use_sparse
+             ? TrainImpl<true>(client, global_table, thetas, tasks, options)
+             : TrainImpl<false>(client, global_table, thetas, tasks, options);
+}
+
+template <bool kSparse>
+LocalUpdateResult LocalTrainer::TrainImpl(
+    ClientState* client, const Matrix& global_table,
+    const std::vector<const FeedForwardNet*>& thetas,
+    const std::vector<LocalTaskSpec>& tasks,
+    const LocalTrainerOptions& options) {
   HFR_CHECK(!tasks.empty());
   HFR_CHECK_EQ(tasks.size(), thetas.size());
   const size_t width = tasks.back().width;
@@ -25,25 +37,56 @@ LocalUpdateResult LocalTrainer::Train(
     HFR_CHECK_LE(tasks[t].width, tasks[t + 1].width);
   }
 
-  // Local working copies ("download", counted once per round).
-  v_local_ = global_table;
-  std::vector<FeedForwardNet> theta_local;
-  theta_local.reserve(tasks.size());
+  // Local working view of V ("download", counted once per round): a full
+  // dense copy on the reference path, a copy-on-write overlay on the
+  // sparse path.
+  if constexpr (kSparse) {
+    v_overlay_.Reset(&global_table);
+    v_grad_sparse_.Reset(global_table.rows(), width);
+  } else {
+    v_local_ = global_table;
+    if (!v_grad_.SameShape(v_local_)) v_grad_ = Matrix(v_local_.rows(), width);
+  }
+  auto local_table = [&]() -> auto& {
+    if constexpr (kSparse) {
+      return v_overlay_;
+    } else {
+      return v_local_;
+    }
+  };
+  auto local_grad = [&]() -> auto& {
+    if constexpr (kSparse) {
+      return v_grad_sparse_;
+    } else {
+      return v_grad_;
+    }
+  };
+  auto& vtab = local_table();
+  auto& vgrad = local_grad();
+
+  if (u_grad_.cols() != width) u_grad_ = Matrix(1, width);
+
+  // Θ download buffers and gradient accumulators, reused across calls.
+  theta_local_.resize(tasks.size());
+  theta_grad_.resize(tasks.size());
   size_t theta_params = 0;
-  for (const FeedForwardNet* g : thetas) {
-    HFR_CHECK(g != nullptr);
-    theta_local.push_back(*g);
-    theta_params += g->ParamCount();
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    HFR_CHECK(thetas[t] != nullptr);
+    theta_local_[t] = *thetas[t];
+    theta_params += thetas[t]->ParamCount();
+    if (!theta_grad_[t].SameShape(theta_local_[t])) {
+      theta_grad_[t] = FeedForwardNet::ZerosLike(theta_local_[t]);
+    }
   }
 
-  // Gradient accumulators and fresh optimizer state for this round.
-  if (!v_grad_.SameShape(v_local_)) v_grad_ = Matrix(v_local_.rows(), width);
-  if (u_grad_.cols() != width) u_grad_ = Matrix(1, width);
-  std::vector<FeedForwardNet> theta_grad = theta_local;
-
+  // Fresh optimizer state for this round.
   AdamOptions adam_opt;
   adam_opt.lr = options.lr;
   Adam adam_v(adam_opt);
+  if constexpr (kSparse) {
+    adam_v_sparse_.set_options(adam_opt);
+    adam_v_sparse_.Reset(global_table.rows(), width);
+  }
   Adam adam_u(adam_opt);
   std::vector<FfnAdam> adam_theta(tasks.size(), FfnAdam(adam_opt));
 
@@ -74,9 +117,12 @@ LocalUpdateResult LocalTrainer::Train(
   }
   const std::vector<ItemId>& train_items = fit_items;
 
-  // Best-epoch snapshot state for validation-guided selection.
+  // Best-epoch snapshot state for validation-guided selection. The sparse
+  // path snapshots only the overlay (untouched rows never change).
   double best_val_loss = std::numeric_limits<double>::infinity();
+  bool best_set = false;
   Matrix best_v;
+  SparseRowStore best_overlay;
   Matrix best_u;
   std::vector<FeedForwardNet> best_theta;
 
@@ -85,37 +131,45 @@ LocalUpdateResult LocalTrainer::Train(
   for (int epoch = 0; epoch < options.local_epochs; ++epoch) {
     std::vector<Sample> samples = ds_.BuildEpochFromPositives(
         client->id, fit_items, &client->rng);
-    v_grad_.SetZero();
+    if constexpr (kSparse) {
+      vgrad.Clear();
+    } else {
+      vgrad.SetZero();
+    }
     u_grad_.SetZero();
-    for (auto& g : theta_grad) g.SetZero();
+    for (auto& g : theta_grad_) g.SetZero();
 
     double bce_loss = 0.0;
     Scorer::TrainCache cache;
     for (size_t t = 0; t < tasks.size(); ++t) {
       Scorer& sc = scorers[t];
-      sc.BeginUser(client->user_embedding.Row(0), v_local_, train_items);
+      sc.BeginUser(client->user_embedding.Row(0), vtab, train_items);
       for (const Sample& s : samples) {
-        double logit = sc.ScoreForTrain(v_local_, theta_local[t], s.item,
+        double logit = sc.ScoreForTrain(vtab, theta_local_[t], s.item,
                                         &cache);
         bce_loss += BceWithLogits(logit, s.label);
-        sc.BackwardSample(theta_local[t], cache,
-                          BceWithLogitsGrad(logit, s.label), &v_grad_,
-                          u_grad_.Row(0), &theta_grad[t]);
+        sc.BackwardSample(theta_local_[t], cache,
+                          BceWithLogitsGrad(logit, s.label), &vgrad,
+                          u_grad_.Row(0), &theta_grad_[t]);
       }
-      sc.FinishUserBackward(&v_grad_, u_grad_.Row(0));
+      sc.FinishUserBackward(&vgrad, u_grad_.Row(0));
     }
 
     double reg_loss = 0.0;
     if (options.apply_ddr) {
-      reg_loss = DecorrelationLossAndGrad(v_local_, options.alpha,
+      reg_loss = DecorrelationLossAndGrad(vtab, options.alpha,
                                           options.ddr_sample_rows,
-                                          &client->rng, &v_grad_);
+                                          &client->rng, &vgrad);
     }
 
-    adam_v.Step(&v_local_, v_grad_);
+    if constexpr (kSparse) {
+      adam_v_sparse_.Step(&v_overlay_, v_grad_sparse_);
+    } else {
+      adam_v.Step(&v_local_, v_grad_);
+    }
     adam_u.Step(&client->user_embedding, u_grad_);
     for (size_t t = 0; t < tasks.size(); ++t) {
-      adam_theta[t].Step(&theta_local[t], theta_grad[t]);
+      adam_theta[t].Step(&theta_local_[t], theta_grad_[t]);
     }
 
     if (epoch + 1 == options.local_epochs) {
@@ -130,41 +184,78 @@ LocalUpdateResult LocalTrainer::Train(
     if (use_validation && !val_samples.empty()) {
       // Validation BCE of the client's own-width model after this epoch.
       Scorer& own = scorers.back();
-      own.BeginUser(client->user_embedding.Row(0), v_local_, fit_items);
+      own.BeginUser(client->user_embedding.Row(0), vtab, fit_items);
       double val = 0.0;
       for (const Sample& s : val_samples) {
-        val += BceWithLogits(own.Score(v_local_, theta_local.back(), s.item),
+        val += BceWithLogits(own.Score(vtab, theta_local_.back(), s.item),
                              s.label);
       }
       val /= static_cast<double>(val_samples.size());
       if (val < best_val_loss) {
         best_val_loss = val;
-        best_v = v_local_;
+        best_set = true;
+        if constexpr (kSparse) {
+          best_overlay = v_overlay_.local();
+        } else {
+          best_v = v_local_;
+        }
         best_u = client->user_embedding;
-        best_theta = theta_local;
+        best_theta = theta_local_;
       }
     }
   }
 
-  if (use_validation && !best_v.empty()) {
-    v_local_ = best_v;
+  if (use_validation && best_set) {
+    if constexpr (kSparse) {
+      // Rows touched after the best epoch revert to base values by
+      // dropping out of the overlay, exactly matching the dense restore.
+      v_overlay_.RestoreLocal(best_overlay);
+    } else {
+      v_local_ = best_v;
+    }
     client->user_embedding = best_u;
-    theta_local = std::move(best_theta);
+    theta_local_ = std::move(best_theta);
     result.validation_loss = best_val_loss;
   }
 
-  // Deltas to upload.
-  result.v_delta = v_local_;
-  result.v_delta.AddScaled(global_table, -1.0);
-  result.theta_deltas.reserve(tasks.size());
-  for (size_t t = 0; t < tasks.size(); ++t) {
-    FeedForwardNet d = theta_local[t];
-    d.AddScaled(*thetas[t], -1.0);
-    result.theta_deltas.push_back(std::move(d));
+  // Deltas to upload. Identical arithmetic on both paths: the dense path's
+  // delta is exactly 0.0 outside the touched set (zero gradient in every
+  // epoch keeps the Adam moments and step at exactly zero).
+  size_t v_upload_params = global_table.size();
+  if constexpr (kSparse) {
+    result.sparse = true;
+    SparseRowUpdate& up = result.v_delta_sparse;
+    up.width = width;
+    up.rows.assign(v_overlay_.touched().begin(), v_overlay_.touched().end());
+    std::sort(up.rows.begin(), up.rows.end());
+    up.data.resize(up.rows.size() * width);
+    for (size_t k = 0; k < up.rows.size(); ++k) {
+      const double* local = v_overlay_.Row(up.rows[k]);
+      const double* base = global_table.Row(up.rows[k]);
+      double* out = up.data.data() + k * width;
+      for (size_t d = 0; d < width; ++d) out[d] = local[d] - base[d];
+    }
+    if (options.sparse_comm_accounting) v_upload_params = up.ParamCount();
+  } else {
+    result.v_delta = v_local_;
+    result.v_delta.AddScaled(global_table, -1.0);
   }
-  result.params_down = v_local_.size() + theta_params;
-  result.params_up = result.params_down;
+  result.theta_deltas.resize(tasks.size());
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    FeedForwardNet d = theta_local_[t];
+    d.AddScaled(*thetas[t], -1.0);
+    result.theta_deltas[t] = std::move(d);
+  }
+  result.params_down = global_table.size() + theta_params;
+  result.params_up = v_upload_params + theta_params;
   return result;
 }
+
+template LocalUpdateResult LocalTrainer::TrainImpl<true>(
+    ClientState*, const Matrix&, const std::vector<const FeedForwardNet*>&,
+    const std::vector<LocalTaskSpec>&, const LocalTrainerOptions&);
+template LocalUpdateResult LocalTrainer::TrainImpl<false>(
+    ClientState*, const Matrix&, const std::vector<const FeedForwardNet*>&,
+    const std::vector<LocalTaskSpec>&, const LocalTrainerOptions&);
 
 }  // namespace hetefedrec

@@ -8,6 +8,18 @@
 // smaller models; medium/large clients additionally apply the DDR
 // regularizer (Eq. 14). The private user embedding is updated in place
 // (Eq. 3) and never leaves the client.
+//
+// Two bit-identical execution paths exist:
+//   dense  (use_sparse = false): the reference implementation — the client
+//     copies the full item table, accumulates a dense gradient and uploads
+//     a dense delta. O(num_items × width) per round.
+//   sparse (use_sparse = true, default): the client reads the global table
+//     through a copy-on-write RowOverlayTable, accumulates gradients in a
+//     SparseRowStore and uploads a SparseRowUpdate over touched rows only.
+//     O(|interactions| × width) per round. Rows outside the touched set are
+//     provably untouched by Adam (their gradient is exactly zero in every
+//     epoch, so their moments and step stay exactly 0.0) — see
+//     docs/PERFORMANCE.md.
 #ifndef HETEFEDREC_CORE_LOCAL_TRAINER_H_
 #define HETEFEDREC_CORE_LOCAL_TRAINER_H_
 
@@ -15,6 +27,7 @@
 
 #include "src/data/dataset.h"
 #include "src/fed/client.h"
+#include "src/math/sparse.h"
 #include "src/models/ffn.h"
 #include "src/models/scorer.h"
 
@@ -28,8 +41,13 @@ struct LocalTaskSpec {
 
 /// \brief What a client uploads after local training.
 struct LocalUpdateResult {
-  /// V_local - V_received (dense, |V| x client width).
+  /// True when the update was produced by the sparse path: `v_delta_sparse`
+  /// is populated and `v_delta` is empty (and vice versa).
+  bool sparse = false;
+  /// V_local - V_received (dense, |V| x client width). Dense path only.
   Matrix v_delta;
+  /// Touched-row deltas (rows ascending). Sparse path only.
+  SparseRowUpdate v_delta_sparse;
   /// Θ_local - Θ_received per task, aligned with the task list.
   std::vector<FeedForwardNet> theta_deltas;
   /// Mean per-sample BCE loss (summed over tasks) in the final local epoch.
@@ -59,12 +77,24 @@ struct LocalTrainerOptions {
   /// BCE instead of the final epoch. 0 disables the carve-out.
   double validation_fraction = 0.0;
   size_t min_validation_positives = 10;
+  /// Sparse row-touched updates (bit-identical to dense; see file header).
+  /// Defaults to the dense reference contract here at the API level;
+  /// ExperimentConfig::use_sparse_updates (default true) switches the
+  /// experiment pipeline to the sparse path.
+  bool use_sparse = false;
+  /// When true, `params_up` counts the scalars the sparse upload actually
+  /// ships (touched rows × (width + 1) + Θ). When false (default),
+  /// `params_up` reports the paper's dense accounting regardless of path,
+  /// so Table III reproduces unchanged.
+  bool sparse_comm_accounting = false;
 };
 
 /// \brief Executes CLIENT_TRAIN for one client.
 ///
 /// Stateless across clients apart from scratch buffers, so one instance is
-/// reused for the whole simulation (buffers are re-sized per width).
+/// reused for a whole thread's share of the simulation (buffers are
+/// re-sized per width). NOT thread-safe: parallel round execution gives
+/// each worker thread its own LocalTrainer.
 class LocalTrainer {
  public:
   LocalTrainer(const Dataset& ds, BaseModel model);
@@ -85,13 +115,24 @@ class LocalTrainer {
                           const LocalTrainerOptions& options);
 
  private:
+  template <bool kSparse>
+  LocalUpdateResult TrainImpl(ClientState* client, const Matrix& global_table,
+                              const std::vector<const FeedForwardNet*>& thetas,
+                              const std::vector<LocalTaskSpec>& tasks,
+                              const LocalTrainerOptions& options);
+
   const Dataset& ds_;
   BaseModel model_;
 
   // Scratch reused across clients to limit allocator churn.
-  Matrix v_local_;
-  Matrix v_grad_;
+  Matrix v_local_;            // dense path local table
+  Matrix v_grad_;             // dense path gradient
+  RowOverlayTable v_overlay_;       // sparse path local table view
+  SparseRowStore v_grad_sparse_;    // sparse path gradient
+  SparseRowAdam adam_v_sparse_;     // sparse path V optimizer (reset per call)
   Matrix u_grad_;
+  std::vector<FeedForwardNet> theta_local_;  // download buffers (reused)
+  std::vector<FeedForwardNet> theta_grad_;   // gradient accumulators
 };
 
 }  // namespace hetefedrec

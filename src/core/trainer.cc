@@ -1,6 +1,8 @@
 #include "src/core/trainer.h"
 
 #include <array>
+#include <memory>
+#include <thread>
 
 #include "src/core/checkpoint.h"
 #include "src/core/local_trainer.h"
@@ -9,6 +11,7 @@
 #include "src/math/eigen.h"
 #include "src/math/init.h"
 #include "src/math/stats.h"
+#include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 
 namespace hetefedrec {
@@ -26,6 +29,13 @@ struct MethodSetup {
   std::array<bool, kNumGroups> apply_ddr = {false, false, false};
   bool reskd = false;
 };
+
+/// Resolves cfg.num_threads (0 = hardware concurrency) to a thread count.
+size_t EffectiveThreads(const ExperimentConfig& cfg) {
+  if (cfg.num_threads > 0) return cfg.num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
 
 MethodSetup BuildSetup(const ExperimentConfig& cfg, Method method) {
   MethodSetup s;
@@ -142,7 +152,16 @@ ExperimentResult ExperimentRunner::RunFederated(Method method) const {
                cfg.embed_init_std, root);
   }
 
-  LocalTrainer local(dataset_, cfg.base_model);
+  // One LocalTrainer per executing thread (scratch buffers are not
+  // shareable); slot t of the pool uses trainers[t].
+  const size_t n_threads = EffectiveThreads(cfg);
+  ThreadPool pool(n_threads - 1);
+  std::vector<std::unique_ptr<LocalTrainer>> trainers;
+  trainers.reserve(pool.num_slots());
+  for (size_t t = 0; t < pool.num_slots(); ++t) {
+    trainers.push_back(
+        std::make_unique<LocalTrainer>(dataset_, cfg.base_model));
+  }
   RoundScheduler scheduler(dataset_.num_users(), cfg.clients_per_round);
   Rng sched_rng = root.Fork(2);
   Rng kd_rng = root.Fork(3);
@@ -153,10 +172,18 @@ ExperimentResult ExperimentRunner::RunFederated(Method method) const {
 
   Evaluator evaluator(dataset_, groups_, cfg.top_k, cfg.eval_user_sample,
                       cfg.seed ^ 0xe5a1ULL);
+  // One Scorer per slot, constructed once and reused for every evaluated
+  // user (Scorer construction allocates per-width scratch; the evaluator
+  // likewise reuses one scores buffer across users).
+  std::vector<Scorer> eval_scorers;
+  eval_scorers.reserve(server.num_slots());
+  for (size_t s = 0; s < server.num_slots(); ++s) {
+    eval_scorers.emplace_back(cfg.base_model, server.width(s));
+  }
   auto score_fn = [&](UserId u, std::vector<double>* scores) {
     const ClientState& c = clients[u];
     size_t slot = setup.slot_of_group[static_cast<int>(c.group)];
-    Scorer sc(cfg.base_model, server.width(slot));
+    Scorer& sc = eval_scorers[slot];
     sc.BeginUser(c.user_embedding.Row(0), server.table(slot),
                  dataset_.TrainItems(u));
     scores->resize(dataset_.num_items());
@@ -172,19 +199,35 @@ ExperimentResult ExperimentRunner::RunFederated(Method method) const {
     size_t loss_count = 0;
     for (const auto& batch : scheduler.EpochBatches(&sched_rng)) {
       server.BeginRound();
+      // "All Large/Exclusive": data-poor clients are excluded from the
+      // federation entirely — they receive the global model for
+      // inference but are never selected for training, so even their
+      // private user embeddings stay at initialization. This matches the
+      // severity of the paper's reported drop (Table II).
+      std::vector<UserId> work;
+      work.reserve(batch.size());
       for (UserId u : batch) {
+        if (!setup.excluded[static_cast<int>(clients[u].group)]) {
+          work.push_back(u);
+        }
+      }
+
+      // Clients of a batch train in parallel (each mutates only its own
+      // ClientState and its thread's LocalTrainer scratch; the server and
+      // dataset are read-only during the batch). Updates land in
+      // per-client slots and merge into the server afterwards in batch
+      // order, so results are bit-identical for every thread count.
+      auto train_one = [&](size_t k, size_t slot_idx,
+                           LocalUpdateResult* out) {
+        UserId u = work[k];
         ClientState& client = clients[u];
         const int g = static_cast<int>(client.group);
-        // "All Large/Exclusive": data-poor clients are excluded from the
-        // federation entirely — they receive the global model for
-        // inference but are never selected for training, so even their
-        // private user embeddings stay at initialization. This matches the
-        // severity of the paper's reported drop (Table II).
-        if (setup.excluded[g]) continue;
         const auto& tasks = setup.tasks_of_group[g];
         std::vector<const FeedForwardNet*> thetas;
         thetas.reserve(tasks.size());
-        for (const auto& task : tasks) thetas.push_back(&server.theta(task.slot));
+        for (const auto& task : tasks) {
+          thetas.push_back(&server.theta(task.slot));
+        }
 
         LocalTrainerOptions lopt;
         lopt.local_epochs = cfg.local_epochs;
@@ -193,19 +236,42 @@ ExperimentResult ExperimentRunner::RunFederated(Method method) const {
         lopt.alpha = cfg.alpha;
         lopt.ddr_sample_rows = cfg.ddr_sample_rows;
         lopt.validation_fraction = cfg.local_validation_fraction;
+        lopt.use_sparse = cfg.use_sparse_updates;
+        lopt.sparse_comm_accounting = cfg.sparse_comm_accounting;
 
         size_t slot = setup.slot_of_group[g];
-        LocalUpdateResult update =
-            local.Train(&client, server.table(slot), thetas, tasks, lopt);
-        result.comm.RecordDownload(client.group, update.params_down);
-        result.comm.RecordUpload(client.group, update.params_up);
+        *out = trainers[slot_idx]->Train(&client, server.table(slot),
+                                         thetas, tasks, lopt);
+      };
+      auto merge_one = [&](size_t k, const LocalUpdateResult& update) {
+        UserId u = work[k];
+        result.comm.RecordDownload(clients[u].group, update.params_down);
+        result.comm.RecordUpload(clients[u].group, update.params_up);
         loss_sum += update.train_loss;
         loss_count++;
         double weight =
             cfg.aggregation == AggregationMode::kDataWeighted
                 ? static_cast<double>(dataset_.TrainItems(u).size())
                 : 1.0;
-        server.Accumulate(tasks, update, weight);
+        server.Accumulate(setup.tasks_of_group[static_cast<int>(
+                              clients[u].group)],
+                          update, weight);
+      };
+
+      if (pool.num_workers() == 0) {
+        // Serial: merge each update immediately so only one is ever live
+        // (a full batch of dense reference deltas would be large).
+        LocalUpdateResult update;
+        for (size_t k = 0; k < work.size(); ++k) {
+          train_one(k, 0, &update);
+          merge_one(k, update);
+        }
+      } else {
+        std::vector<LocalUpdateResult> updates(work.size());
+        pool.ParallelFor(work.size(), [&](size_t k, size_t slot_idx) {
+          train_one(k, slot_idx, &updates[k]);
+        });
+        for (size_t k = 0; k < work.size(); ++k) merge_one(k, updates[k]);
       }
       server.FinishRound();
       if (setup.reskd) server.Distill(kd_opts, &kd_rng);
@@ -273,9 +339,15 @@ ExperimentResult ExperimentRunner::RunStandalone() const {
     lopt.local_epochs = cfg.global_epochs * cfg.local_epochs;
     lopt.lr = cfg.lr;
     lopt.apply_ddr = false;
+    lopt.use_sparse = cfg.use_sparse_updates;
+    lopt.sparse_comm_accounting = cfg.sparse_comm_accounting;
     LocalUpdateResult update =
         local.Train(&client, table, {&theta}, tasks, lopt);
-    table.AddScaled(update.v_delta, 1.0);
+    if (update.sparse) {
+      update.v_delta_sparse.AddScaledTo(&table, 1.0);
+    } else {
+      table.AddScaled(update.v_delta, 1.0);
+    }
     theta.AddScaled(update.theta_deltas[0], 1.0);
 
     Scorer sc(cfg.base_model, width);

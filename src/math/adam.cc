@@ -36,4 +36,39 @@ void Adam::Reset() {
   t_ = 0;
 }
 
+void SparseRowAdam::Reset(size_t num_rows, size_t width) {
+  moments_.Reset(num_rows, 2 * width);
+  t_ = 0;
+}
+
+void SparseRowAdam::Step(RowOverlayTable* table, const SparseRowStore& grad) {
+  const size_t w = table->cols();
+  HFR_CHECK_EQ(grad.cols(), w);
+  HFR_CHECK_EQ(grad.rows(), table->rows());
+  HFR_CHECK_EQ(moments_.rows(), table->rows());
+  HFR_CHECK_EQ(moments_.cols(), 2 * w);
+  ++t_;
+  const double b1 = options_.beta1;
+  const double b2 = options_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  // Enroll this step's gradient rows first so pointers into `moments_`
+  // stay stable during the update sweep.
+  for (uint32_t r : grad.touched()) moments_.EnsureRow(r);
+  for (uint32_t r : moments_.touched()) {
+    double* m = moments_.RowOrNull(r);
+    double* v = m + w;
+    const double* g = grad.RowOrNull(r);
+    double* p = table->MutableRow(r);
+    for (size_t d = 0; d < w; ++d) {
+      const double gd = g != nullptr ? g[d] : 0.0;
+      m[d] = b1 * m[d] + (1.0 - b1) * gd;
+      v[d] = b2 * v[d] + (1.0 - b2) * gd * gd;
+      const double mhat = m[d] / bias1;
+      const double vhat = v[d] / bias2;
+      p[d] -= options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
+    }
+  }
+}
+
 }  // namespace hetefedrec

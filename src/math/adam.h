@@ -6,6 +6,7 @@
 #define HETEFEDREC_MATH_ADAM_H_
 
 #include "src/math/matrix.h"
+#include "src/math/sparse.h"
 
 namespace hetefedrec {
 
@@ -41,6 +42,40 @@ class Adam {
   AdamOptions options_;
   Matrix m_;
   Matrix v_;
+  long long t_ = 0;
+};
+
+/// \brief Row-sparse Adam over a copy-on-write table view.
+///
+/// Bit-identical to running dense `Adam` over the full table with a
+/// gradient that is zero outside the touched rows: a never-touched row has
+/// zero moments and zero gradient, so its dense update is exactly 0.0;
+/// a row first touched at global step t has had zero moments through steps
+/// 1..t-1, which is exactly the state this class materializes lazily. Rows
+/// touched in an earlier step keep receiving moment-decay steps in later
+/// ones (matching dense Adam), so the per-step cost is O(cumulative touched
+/// rows × width), never O(table).
+class SparseRowAdam {
+ public:
+  explicit SparseRowAdam(AdamOptions options = {}) : options_(options) {}
+
+  /// Replaces the hyper-parameters (takes effect from the next Step).
+  void set_options(const AdamOptions& options) { options_ = options; }
+
+  /// Drops all moments and re-shapes for a `num_rows x width` table.
+  /// O(previously touched rows) when the shape is unchanged, so one
+  /// instance can serve a whole sequence of clients.
+  void Reset(size_t num_rows, size_t width);
+
+  /// One global Adam step: every row in `grad` joins the touched set, then
+  /// every touched row is stepped (absent rows with exact-zero gradient).
+  void Step(RowOverlayTable* table, const SparseRowStore& grad);
+
+  long long step_count() const { return t_; }
+
+ private:
+  AdamOptions options_;
+  SparseRowStore moments_;  // per touched row: [m(0..w), v(0..w)]
   long long t_ = 0;
 };
 

@@ -1,10 +1,14 @@
 // Dense row-major matrix of doubles.
 //
-// This is the single numeric container used across the library: embedding
-// tables, feed-forward weights, gradient accumulators, covariance and
-// correlation matrices. It is deliberately small — the models in the paper
-// are tiny (embedding widths 2..128, FFN hidden size 8) and clarity wins
-// over BLAS-grade machinery.
+// This is the dense numeric container used across the library: embedding
+// tables, feed-forward weights, covariance and correlation matrices, and
+// the reference (dense) client-update path. The individual kernels stay
+// simple loops, but the hot paths are engineered for scale: per-client
+// training goes through the row-sparse containers in src/math/sparse.h so
+// round cost is proportional to a client's data rather than the catalogue,
+// and rounds execute in parallel (src/util/thread_pool.h). Matrix is the
+// storage of record — item tables at server granularity, FFN layers — and
+// the interchange format every sparse structure can scatter into.
 #ifndef HETEFEDREC_MATH_MATRIX_H_
 #define HETEFEDREC_MATH_MATRIX_H_
 
@@ -50,6 +54,10 @@ class Matrix {
     HFR_CHECK_LT(r, rows_);
     return data_.data() + r * cols_;
   }
+
+  /// Same as Row(r); lets a Matrix stand in for a sparse row store in
+  /// templated gradient/update code (see src/math/sparse.h).
+  double* MutableRow(size_t r) { return Row(r); }
 
   std::vector<double>& data() { return data_; }
   const std::vector<double>& data() const { return data_; }

@@ -1,0 +1,95 @@
+#include "src/math/sparse.h"
+
+#include <algorithm>
+
+namespace hetefedrec {
+
+void SparseRowStore::Reset(size_t num_rows, size_t cols) {
+  // pos_ maps row -> packed index independently of the column stride, so a
+  // width change is still an O(touched) reset; only a row-count change
+  // pays for a fresh table. This matters when one store serves clients of
+  // interleaved widths over a large catalogue.
+  if (num_rows == num_rows_) {
+    Clear();
+  } else {
+    num_rows_ = num_rows;
+    pos_.assign(num_rows, -1);
+    rows_.clear();
+    data_.clear();
+  }
+  cols_ = cols;
+}
+
+void SparseRowStore::Clear() {
+  for (uint32_t r : rows_) pos_[r] = -1;
+  rows_.clear();
+  data_.clear();
+}
+
+double* SparseRowStore::EnsureRow(size_t r) {
+  HFR_CHECK_LT(r, num_rows_);
+  int64_t p = pos_[r];
+  if (p < 0) {
+    p = static_cast<int64_t>(rows_.size());
+    pos_[r] = p;
+    rows_.push_back(static_cast<uint32_t>(r));
+    data_.resize(data_.size() + cols_, 0.0);
+  }
+  return data_.data() + static_cast<size_t>(p) * cols_;
+}
+
+void RowOverlayTable::Reset(const Matrix* base) {
+  HFR_CHECK(base != nullptr);
+  base_ = base;
+  local_.Reset(base->rows(), base->cols());
+}
+
+double* RowOverlayTable::MutableRow(size_t r) {
+  const bool fresh = !local_.Has(r);
+  double* p = local_.EnsureRow(r);
+  if (fresh) {
+    const double* src = base_->Row(r);
+    std::copy(src, src + cols(), p);
+  }
+  return p;
+}
+
+void SparseRowUpdate::AddScaledTo(Matrix* dst, double scale) const {
+  HFR_CHECK_GE(dst->cols(), width);
+  for (size_t k = 0; k < rows.size(); ++k) {
+    HFR_CHECK_LT(rows[k], dst->rows());
+    Axpy(scale, RowData(k), dst->Row(rows[k]), width);
+  }
+}
+
+Matrix SparseRowUpdate::ToDense(size_t num_rows) const {
+  Matrix out(num_rows, width);
+  for (size_t k = 0; k < rows.size(); ++k) {
+    HFR_CHECK_LT(rows[k], num_rows);
+    const double* src = RowData(k);
+    std::copy(src, src + width, out.Row(rows[k]));
+  }
+  return out;
+}
+
+SparseRowUpdate SparseRowUpdate::FromDense(const Matrix& dense) {
+  SparseRowUpdate out;
+  out.width = dense.cols();
+  for (size_t r = 0; r < dense.rows(); ++r) {
+    const double* row = dense.Row(r);
+    bool nonzero = false;
+    for (size_t c = 0; c < dense.cols(); ++c) {
+      if (row[c] != 0.0) {
+        nonzero = true;
+        break;
+      }
+    }
+    if (nonzero) {
+      out.rows.push_back(static_cast<uint32_t>(r));
+      out.data.insert(out.data.end(), row, row + dense.cols());
+    }
+  }
+  return out;
+}
+
+}  // namespace hetefedrec

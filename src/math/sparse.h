@@ -1,0 +1,163 @@
+// Sparse row-touched containers for the client→server update path.
+//
+// A federated client's local samples touch only O(|train items| +
+// negatives + DDR sample rows) item-embedding rows per round, yet the
+// dense hot path pays O(num_items × width) per client for the download
+// copy, the per-epoch gradient zeroing, the Adam sweep and the upload
+// delta. The three types here make every one of those steps proportional
+// to the rows actually touched:
+//
+//   SparseRowStore   — packed (row index → fixed-width row data) map with
+//                      O(1) lookup via a dense position table and O(touched)
+//                      reset. Used for gradient accumulators and per-row
+//                      Adam moments.
+//   RowOverlayTable  — copy-on-write view over a base Matrix: reads fall
+//                      through to the base until a row is first mutated.
+//                      This is the client's "local table" without the
+//                      dense download copy.
+//   SparseRowUpdate  — immutable packed upload (sorted touched rows +
+//                      packed per-row delta data), the sparse analogue of
+//                      the dense `v_delta` matrix.
+//
+// Correctness invariant (see docs/PERFORMANCE.md): a row whose gradient is
+// exactly zero in every local epoch is provably left untouched by Adam
+// (its moments stay zero, so the step is exactly 0.0), hence omitting it
+// from the upload is bit-identical to uploading a zero delta row.
+#ifndef HETEFEDREC_MATH_SPARSE_H_
+#define HETEFEDREC_MATH_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/math/matrix.h"
+
+namespace hetefedrec {
+
+/// \brief Packed set of touched rows, each holding `cols` doubles.
+///
+/// Lookup is O(1) through a dense `pos_` table sized to the logical row
+/// count; `Clear` is O(touched), so reusing one store across clients and
+/// epochs costs nothing proportional to the catalogue.
+class SparseRowStore {
+ public:
+  SparseRowStore() = default;
+
+  /// Re-shapes the store for a `num_rows x cols` logical matrix and drops
+  /// all touched rows. O(touched_prev) when the shape is unchanged.
+  void Reset(size_t num_rows, size_t cols);
+
+  /// Drops all touched rows, keeping the logical shape and capacity.
+  void Clear();
+
+  size_t rows() const { return num_rows_; }
+  size_t cols() const { return cols_; }
+
+  /// Touched row indices in first-touch order. Not sorted.
+  const std::vector<uint32_t>& touched() const { return rows_; }
+
+  bool Has(size_t r) const {
+    HFR_CHECK_LT(r, num_rows_);
+    return pos_[r] >= 0;
+  }
+
+  /// Row data if touched, nullptr otherwise.
+  const double* RowOrNull(size_t r) const {
+    HFR_CHECK_LT(r, num_rows_);
+    const int64_t p = pos_[r];
+    return p < 0 ? nullptr : data_.data() + static_cast<size_t>(p) * cols_;
+  }
+  double* RowOrNull(size_t r) {
+    HFR_CHECK_LT(r, num_rows_);
+    const int64_t p = pos_[r];
+    return p < 0 ? nullptr : data_.data() + static_cast<size_t>(p) * cols_;
+  }
+
+  /// Row data, created zero-filled on first touch. The returned pointer is
+  /// invalidated by the next EnsureRow/MutableRow of a *new* row.
+  double* EnsureRow(size_t r);
+
+  /// Alias of EnsureRow so the store can stand in for a Matrix gradient
+  /// accumulator in templated backward passes.
+  double* MutableRow(size_t r) { return EnsureRow(r); }
+
+ private:
+  size_t num_rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<int64_t> pos_;  // -1 = untouched, else index into rows_/data_
+  std::vector<uint32_t> rows_;
+  std::vector<double> data_;  // rows_.size() * cols_, packed
+};
+
+/// \brief Copy-on-write row view over a base Matrix.
+///
+/// Reads (`Row`) return the overlay row when present and the base row
+/// otherwise; `MutableRow` copies the base row into the overlay on first
+/// touch. The overlay after training holds exactly the rows whose values
+/// can differ from the base — the client's upload set.
+class RowOverlayTable {
+ public:
+  RowOverlayTable() = default;
+
+  /// Binds the view to `base` and drops all overlay rows. `base` must
+  /// outlive the view (or the next Reset).
+  void Reset(const Matrix* base);
+
+  size_t rows() const { return base_->rows(); }
+  size_t cols() const { return base_->cols(); }
+
+  const double* Row(size_t r) const {
+    const double* p = local_.RowOrNull(r);
+    return p != nullptr ? p : base_->Row(r);
+  }
+
+  /// Overlay row for r, initialized from the base row on first touch.
+  double* MutableRow(size_t r);
+
+  /// Overlay row indices in first-touch order.
+  const std::vector<uint32_t>& touched() const { return local_.touched(); }
+
+  const Matrix& base() const { return *base_; }
+
+  /// Copies the overlay rows (used to snapshot the best validation epoch).
+  const SparseRowStore& local() const { return local_; }
+
+  /// Replaces the overlay with `snapshot` (rows touched after the snapshot
+  /// revert to base values by vanishing from the overlay).
+  void RestoreLocal(const SparseRowStore& snapshot) { local_ = snapshot; }
+
+ private:
+  const Matrix* base_ = nullptr;
+  SparseRowStore local_;
+};
+
+/// \brief Immutable packed upload: touched rows (ascending) + per-row data.
+struct SparseRowUpdate {
+  size_t width = 0;
+  std::vector<uint32_t> rows;  // strictly ascending
+  std::vector<double> data;    // rows.size() * width, packed
+
+  bool empty() const { return rows.empty(); }
+  size_t num_rows() const { return rows.size(); }
+
+  const double* RowData(size_t k) const { return data.data() + k * width; }
+
+  /// Scalars a real serialization would ship: one index + `width` values
+  /// per touched row.
+  size_t ParamCount() const { return rows.size() * (width + 1); }
+
+  /// dst->Row(rows[k])[0..width) += scale * RowData(k). `dst` may be wider
+  /// (leading-column semantics, Eq. 7-8).
+  void AddScaledTo(Matrix* dst, double scale) const;
+
+  /// Dense |num_rows x width| matrix with the packed rows scattered in
+  /// (test/debug helper).
+  Matrix ToDense(size_t num_rows) const;
+
+  /// Packs every row of `dense` whose values are not all exactly zero
+  /// (test/debug helper — production code builds updates from overlays).
+  static SparseRowUpdate FromDense(const Matrix& dense);
+};
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_MATH_SPARSE_H_

@@ -33,11 +33,16 @@ double FeedForwardNet::Forward(const double* x, Cache* cache) const {
     cache->pre.resize(weights_.size());
     cache->post.resize(weights_.size());
   }
-  std::vector<double> cur(x, x + input_dim_);
+  // Forward runs per (sample × task × epoch) during training and per item
+  // during full-catalogue scoring; thread-local ping-pong buffers keep the
+  // hot path allocation-free (each round thread has its own pair).
+  thread_local std::vector<double> cur;
+  thread_local std::vector<double> next;
+  cur.assign(x, x + input_dim_);
   for (size_t l = 0; l < weights_.size(); ++l) {
     const Matrix& w = weights_[l];
     const Matrix& b = biases_[l];
-    std::vector<double> next(w.cols(), 0.0);
+    next.assign(w.cols(), 0.0);
     for (size_t j = 0; j < w.cols(); ++j) next[j] = b(0, j);
     for (size_t i = 0; i < w.rows(); ++i) {
       double xi = cur[i];
@@ -45,13 +50,13 @@ double FeedForwardNet::Forward(const double* x, Cache* cache) const {
       const double* wrow = w.Row(i);
       for (size_t j = 0; j < w.cols(); ++j) next[j] += xi * wrow[j];
     }
-    if (cache) cache->pre[l] = next;
+    if (cache) cache->pre[l].assign(next.begin(), next.end());
     const bool is_output = (l + 1 == weights_.size());
     if (!is_output) {
       for (double& v : next) v = Relu(v);
     }
-    if (cache) cache->post[l] = next;
-    cur = std::move(next);
+    if (cache) cache->post[l].assign(next.begin(), next.end());
+    std::swap(cur, next);
   }
   return cur[0];
 }
@@ -62,7 +67,10 @@ void FeedForwardNet::Backward(const Cache& cache, double dlogit,
   HFR_CHECK_EQ(grads->weights_.size(), weights_.size());
   const size_t L = weights_.size();
   // delta = dL/d(pre-activation of layer l), starting at the output logit.
-  std::vector<double> delta = {dlogit};
+  // Thread-local ping-pong buffers for the same reason as Forward's.
+  thread_local std::vector<double> delta;
+  thread_local std::vector<double> prev_delta;
+  delta.assign(1, dlogit);
   for (size_t l = L; l-- > 0;) {
     const std::vector<double>& layer_in =
         (l == 0) ? cache.input : cache.post[l - 1];
@@ -78,7 +86,7 @@ void FeedForwardNet::Backward(const Cache& cache, double dlogit,
       for (size_t j = 0; j < w.cols(); ++j) grow[j] += xi * delta[j];
     }
     // Propagate to the previous layer (or the input).
-    std::vector<double> prev_delta(w.rows(), 0.0);
+    prev_delta.assign(w.rows(), 0.0);
     for (size_t i = 0; i < w.rows(); ++i) {
       const double* wrow = w.Row(i);
       double acc = 0.0;
@@ -90,7 +98,7 @@ void FeedForwardNet::Backward(const Cache& cache, double dlogit,
       for (size_t i = 0; i < prev_delta.size(); ++i) {
         prev_delta[i] *= ReluGrad(cache.pre[l - 1][i]);
       }
-      delta = std::move(prev_delta);
+      std::swap(delta, prev_delta);
     } else if (dx) {
       for (size_t i = 0; i < input_dim_; ++i) dx[i] = prev_delta[i];
     }
@@ -128,6 +136,17 @@ FeedForwardNet FeedForwardNet::ZerosLike(const FeedForwardNet& other) {
   FeedForwardNet out = other;
   out.SetZero();
   return out;
+}
+
+bool FeedForwardNet::SameShape(const FeedForwardNet& other) const {
+  if (input_dim_ != other.input_dim_ ||
+      weights_.size() != other.weights_.size()) {
+    return false;
+  }
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    if (!weights_[l].SameShape(other.weights_[l])) return false;
+  }
+  return true;
 }
 
 void FfnAdam::Step(FeedForwardNet* net, const FeedForwardNet& grads) {

@@ -66,6 +66,9 @@ class FeedForwardNet {
   /// Same-shape zero-initialized copy (gradient accumulator factory).
   static FeedForwardNet ZerosLike(const FeedForwardNet& other);
 
+  /// True when every layer of `other` has identical dimensions.
+  bool SameShape(const FeedForwardNet& other) const;
+
   /// Layer parameter access (weights[l] is in x out; biases[l] is 1 x out).
   const Matrix& weight(size_t l) const { return weights_[l]; }
   Matrix& weight(size_t l) { return weights_[l]; }

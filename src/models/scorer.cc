@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/math/sparse.h"
+
 namespace hetefedrec {
 
 StatusOr<BaseModel> BaseModelByName(const std::string& name) {
@@ -22,7 +24,8 @@ Scorer::Scorer(BaseModel model, size_t width) : model_(model), width_(width) {
   dx_.resize(2 * width);
 }
 
-void Scorer::BeginUser(const double* user_emb, const Matrix& item_table,
+template <typename TableT>
+void Scorer::BeginUser(const double* user_emb, const TableT& item_table,
                        const std::vector<ItemId>& interacted) {
   HFR_CHECK_GE(item_table.cols(), width_);
   raw_user_.assign(user_emb, user_emb + width_);
@@ -54,7 +57,8 @@ void Scorer::BeginUser(const double* user_emb, const Matrix& item_table,
   dpu_accum_.assign(width_, 0.0);
 }
 
-double Scorer::Score(const Matrix& item_table, const FeedForwardNet& theta,
+template <typename TableT>
+double Scorer::Score(const TableT& item_table, const FeedForwardNet& theta,
                      ItemId j) const {
   HFR_CHECK_EQ(theta.input_dim(), 2 * width_);
   HFR_CHECK_LT(static_cast<size_t>(j), item_table.rows());
@@ -72,7 +76,8 @@ double Scorer::Score(const Matrix& item_table, const FeedForwardNet& theta,
   return theta.Forward(x_.data(), nullptr);
 }
 
-double Scorer::ScoreForTrain(const Matrix& item_table,
+template <typename TableT>
+double Scorer::ScoreForTrain(const TableT& item_table,
                              const FeedForwardNet& theta, ItemId j,
                              TrainCache* cache) {
   HFR_CHECK_EQ(theta.input_dim(), 2 * width_);
@@ -95,15 +100,16 @@ double Scorer::ScoreForTrain(const Matrix& item_table,
   return theta.Forward(x_.data(), &cache->ffn);
 }
 
+template <typename GradT>
 void Scorer::BackwardSample(const FeedForwardNet& theta,
                             const TrainCache& cache, double dlogit,
-                            Matrix* d_item_table, double* d_user,
+                            GradT* d_item_table, double* d_user,
                             FeedForwardNet* d_theta) {
   HFR_CHECK_GE(d_item_table->cols(), width_);
   theta.Backward(cache.ffn, dlogit, d_theta, dx_.data());
   const double* dpu = dx_.data();
   const double* dpv = dx_.data() + width_;
-  double* dvj = d_item_table->Row(cache.item);
+  double* dvj = d_item_table->MutableRow(cache.item);
 
   if (model_ == BaseModel::kNcf) {
     for (size_t d = 0; d < width_; ++d) {
@@ -125,16 +131,48 @@ void Scorer::BackwardSample(const FeedForwardNet& theta,
   }
 }
 
-void Scorer::FinishUserBackward(Matrix* d_item_table, double* d_user) {
+template <typename GradT>
+void Scorer::FinishUserBackward(GradT* d_item_table, double* d_user) {
   (void)d_user;
   pending_backward_ = false;
   if (model_ == BaseModel::kNcf || interacted_ == nullptr) return;
   const double s = 0.5 * inv_sqrt_deg_;
   for (ItemId i : *interacted_) {
-    double* row = d_item_table->Row(i);
+    double* row = d_item_table->MutableRow(i);
     for (size_t d = 0; d < width_; ++d) row[d] += s * dpu_accum_[d];
   }
   std::fill(dpu_accum_.begin(), dpu_accum_.end(), 0.0);
 }
+
+// Explicit instantiations: dense (evaluation + reference dense path) and
+// sparse (row-touched client training).
+template void Scorer::BeginUser<Matrix>(const double*, const Matrix&,
+                                        const std::vector<ItemId>&);
+template void Scorer::BeginUser<RowOverlayTable>(const double*,
+                                                 const RowOverlayTable&,
+                                                 const std::vector<ItemId>&);
+template double Scorer::Score<Matrix>(const Matrix&, const FeedForwardNet&,
+                                      ItemId) const;
+template double Scorer::Score<RowOverlayTable>(const RowOverlayTable&,
+                                               const FeedForwardNet&,
+                                               ItemId) const;
+template double Scorer::ScoreForTrain<Matrix>(const Matrix&,
+                                              const FeedForwardNet&, ItemId,
+                                              TrainCache*);
+template double Scorer::ScoreForTrain<RowOverlayTable>(const RowOverlayTable&,
+                                                       const FeedForwardNet&,
+                                                       ItemId, TrainCache*);
+template void Scorer::BackwardSample<Matrix>(const FeedForwardNet&,
+                                             const TrainCache&, double,
+                                             Matrix*, double*,
+                                             FeedForwardNet*);
+template void Scorer::BackwardSample<SparseRowStore>(const FeedForwardNet&,
+                                                     const TrainCache&,
+                                                     double, SparseRowStore*,
+                                                     double*,
+                                                     FeedForwardNet*);
+template void Scorer::FinishUserBackward<Matrix>(Matrix*, double*);
+template void Scorer::FinishUserBackward<SparseRowStore>(SparseRowStore*,
+                                                         double*);
 
 }  // namespace hetefedrec

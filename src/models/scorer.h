@@ -18,6 +18,12 @@
 // Backward accumulates into caller-owned gradient buffers. LightGCN's
 // gradient into Σ v_i is identical for every interacted item, so it is
 // accumulated once per user and scattered by `FinishUserBackward`.
+//
+// The table and gradient parameters are templates so the same code runs
+// over a dense `Matrix` (evaluation, reference path) or over the sparse
+// containers of src/math/sparse.h (`RowOverlayTable` reads /
+// `SparseRowStore` gradient writes) without a virtual call per row.
+// Explicit instantiations for both live in scorer.cc.
 #ifndef HETEFEDREC_MODELS_SCORER_H_
 #define HETEFEDREC_MODELS_SCORER_H_
 
@@ -57,8 +63,10 @@ class Scorer {
 
   /// Prepares per-user state: copies the user slice and, for LightGCN, runs
   /// the local propagation over `interacted` (the user's training items).
-  /// `V` must have at least `width` columns.
-  void BeginUser(const double* user_emb, const Matrix& item_table,
+  /// `V` must have at least `width` columns. `TableT` is `Matrix` or
+  /// `RowOverlayTable`.
+  template <typename TableT>
+  void BeginUser(const double* user_emb, const TableT& item_table,
                  const std::vector<ItemId>& interacted);
 
   /// Per-sample context for BackwardSample.
@@ -69,25 +77,30 @@ class Scorer {
   };
 
   /// Scores item `j` (logit). Requires a prior BeginUser.
-  double Score(const Matrix& item_table, const FeedForwardNet& theta,
+  template <typename TableT>
+  double Score(const TableT& item_table, const FeedForwardNet& theta,
                ItemId j) const;
 
   /// Scores item `j` and fills `cache` for BackwardSample.
-  double ScoreForTrain(const Matrix& item_table, const FeedForwardNet& theta,
+  template <typename TableT>
+  double ScoreForTrain(const TableT& item_table, const FeedForwardNet& theta,
                        ItemId j, TrainCache* cache);
 
   /// Accumulates gradients for one sample given dL/dlogit.
-  /// \param d_item_table dense |V| x width (or wider; leading cols used).
+  /// \param d_item_table |V| x width gradient sink (`Matrix` or
+  ///   `SparseRowStore`; may be wider — leading cols used).
   /// \param d_user length >= width; first `width` entries accumulated.
   /// \param d_theta same-shape gradient accumulator for `theta`.
+  template <typename GradT>
   void BackwardSample(const FeedForwardNet& theta, const TrainCache& cache,
-                      double dlogit, Matrix* d_item_table, double* d_user,
+                      double dlogit, GradT* d_item_table, double* d_user,
                       FeedForwardNet* d_theta);
 
   /// Flushes LightGCN's deferred propagation gradient into the interacted
   /// items' rows and the user embedding. No-op for NCF. Must be called once
   /// after the last BackwardSample of a pass.
-  void FinishUserBackward(Matrix* d_item_table, double* d_user);
+  template <typename GradT>
+  void FinishUserBackward(GradT* d_item_table, double* d_user);
 
  private:
   BaseModel model_;

@@ -1,0 +1,77 @@
+#include "src/util/thread_pool.h"
+
+#include "src/util/logging.h"
+
+namespace hetefedrec {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::RunShare(size_t slot) {
+  const auto& fn = *job_;
+  const size_t n = job_size_;
+  for (;;) {
+    const size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    fn(i, slot);
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t slot) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || job_epoch_ != seen_epoch;
+      });
+      if (shutdown_) return;
+      seen_epoch = job_epoch_;
+    }
+    RunShare(slot);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    HFR_CHECK(job_ == nullptr);  // no nested/concurrent ParallelFor
+    job_ = &fn;
+    job_size_ = n;
+    next_index_.store(0, std::memory_order_relaxed);
+    active_workers_ = workers_.size();
+    ++job_epoch_;
+  }
+  work_cv_.notify_all();
+  RunShare(workers_.size());  // the caller takes the last slot
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    job_ = nullptr;
+  }
+}
+
+}  // namespace hetefedrec

@@ -1,0 +1,66 @@
+// Fixed-size worker pool for data-parallel loops.
+//
+// Built for the federated round loop: the clients of a scheduler batch
+// train independently, so ParallelFor runs them across workers while the
+// caller participates too. Scheduling is dynamic (atomic work counter), but
+// callers that need determinism simply write results into per-index slots
+// and merge them in index order afterwards — the pool imposes no ordering
+// of its own. Workers persist across ParallelFor calls, so per-round
+// dispatch cost is two mutex hand-offs, not thread creation.
+#ifndef HETEFEDREC_UTIL_THREAD_POOL_H_
+#define HETEFEDREC_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hetefedrec {
+
+/// \brief Persistent worker threads executing indexed parallel loops.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` persistent workers (0 is valid: ParallelFor then
+  /// runs entirely on the calling thread).
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Number of threads that may execute loop bodies: the workers plus the
+  /// calling thread. `slot` arguments passed to `fn` are < this.
+  size_t num_slots() const { return workers_.size() + 1; }
+
+  /// Runs fn(index, slot) for every index in [0, n), distributed over the
+  /// workers and the calling thread; returns when all calls finished.
+  /// `slot` identifies the executing thread (workers 0..num_workers()-1,
+  /// the caller num_workers()) so callers can keep per-thread scratch.
+  /// `fn` must be safe to invoke concurrently for distinct indices.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop(size_t slot);
+  void RunShare(size_t slot);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new job
+  std::condition_variable done_cv_;   // caller waits for completion
+  const std::function<void(size_t, size_t)>* job_ = nullptr;
+  size_t job_size_ = 0;
+  uint64_t job_epoch_ = 0;            // bumped per ParallelFor
+  std::atomic<size_t> next_index_{0};
+  size_t active_workers_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_UTIL_THREAD_POOL_H_

@@ -39,6 +39,14 @@ int Main(int argc, char** argv) {
   cli.AddFlag("eval_users", "300", "evaluation user sample (0 = all)");
   cli.AddFlag("seed", "7", "experiment seed");
   cli.AddFlag("checkpoint", "", "write final server parameters here");
+  cli.AddFlag("threads", "1",
+              "round-execution threads (0 = hardware concurrency; results "
+              "are identical for any value)");
+  cli.AddFlag("dense_updates", "false",
+              "use the dense reference client-update path");
+  cli.AddFlag("sparse_comm", "false",
+              "report actually-uploaded (sparse) scalars instead of the "
+              "paper's dense accounting");
 
   Status st = cli.Parse(argc, argv);
   if (!st.ok()) {
@@ -68,6 +76,9 @@ int Main(int argc, char** argv) {
   cfg.eval_user_sample = static_cast<size_t>(cli.GetInt("eval_users"));
   cfg.seed = static_cast<uint64_t>(cli.GetInt("seed"));
   cfg.checkpoint_path = cli.GetString("checkpoint");
+  cfg.num_threads = static_cast<size_t>(cli.GetInt("threads"));
+  cfg.use_sparse_updates = !cli.GetBool("dense_updates");
+  cfg.sparse_comm_accounting = cli.GetBool("sparse_comm");
   if (cli.GetString("agg") == "sum") {
     cfg.aggregation = AggregationMode::kSum;
   } else if (cli.GetString("agg") == "weighted") {
