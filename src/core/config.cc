@@ -36,6 +36,14 @@ StatusOr<Method> MethodByName(const std::string& name) {
       "clustered|direct|hetefedrec)");
 }
 
+StatusOr<size_t> WireScalarBytesByName(const std::string& name) {
+  if (name == "fp64") return size_t{8};
+  if (name == "fp32") return size_t{4};
+  if (name == "fp16") return size_t{2};
+  return Status::InvalidArgument("unknown wire format '" + name +
+                                 "' (expected fp64|fp32|fp16)");
+}
+
 bool IsHeterogeneous(Method m) {
   switch (m) {
     case Method::kStandalone:
@@ -78,6 +86,32 @@ Status ExperimentConfig::Validate() const {
       group_fractions[0] + group_fractions[1] + group_fractions[2];
   if (frac_total <= 0.0) {
     return Status::InvalidArgument("group fractions must sum to > 0");
+  }
+  if (availability <= 0.0 || availability > 1.0) {
+    return Status::InvalidArgument("availability must be in (0, 1]");
+  }
+  // Catches negative CLI ints cast through size_t (2^64-ish values).
+  if (num_threads > 4096) {
+    return Status::InvalidArgument("num_threads is implausibly large");
+  }
+  if (straggler_slack > 16 * clients_per_round) {
+    return Status::InvalidArgument(
+        "straggler_slack must be <= 16 x clients_per_round");
+  }
+  if (round_deadline < 0.0) {
+    return Status::InvalidArgument("round_deadline must be >= 0");
+  }
+  if (net_bandwidth <= 0.0) {
+    return Status::InvalidArgument("net_bandwidth must be positive");
+  }
+  if (net_bandwidth_sigma < 0.0 || net_latency < 0.0 ||
+      net_latency_sigma < 0.0 || net_compute_per_sample < 0.0) {
+    return Status::InvalidArgument("network parameters must be >= 0");
+  }
+  if (wire_scalar_bytes != 2 && wire_scalar_bytes != 4 &&
+      wire_scalar_bytes != 8) {
+    return Status::InvalidArgument(
+        "wire_scalar_bytes must be 2 (fp16), 4 (fp32) or 8 (fp64)");
   }
   return Status::OK();
 }

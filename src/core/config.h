@@ -37,6 +37,10 @@ std::string MethodName(Method m);
 /// "all_small", "clustered").
 StatusOr<Method> MethodByName(const std::string& name);
 
+/// Parses a wire-format name ("fp64" | "fp32" | "fp16") to its scalar size
+/// in bytes — the shared mapping behind every --wire_format flag.
+StatusOr<size_t> WireScalarBytesByName(const std::string& name);
+
 /// True for the heterogeneous schemes (lower half of Table II).
 bool IsHeterogeneous(Method m);
 
@@ -119,6 +123,41 @@ struct ExperimentConfig {
   /// 0 = hardware concurrency. Results are bit-identical for any value:
   /// client training is independent and updates merge in batch order.
   size_t num_threads = 1;
+
+  // --- delta sync & simulated network (docs/SYNC.md) --------------------
+  /// True (default): every participation downloads the full item table —
+  /// the paper's accounting, Table III reproduces unchanged. False: the
+  /// row-subscription delta protocol — versioned server rows, per-client
+  /// replicas, `params_down` = stale subscribed rows × (width + 1) + Θ + 1.
+  /// Metrics are bit-identical either way (the protocol is lossless).
+  bool full_downloads = true;
+  /// Audit mode: replicas additionally cache shipped row bytes and every
+  /// skipped row is CHECKed bit-identical against the live table. O(rows
+  /// held × width) memory per client; tests and audits only.
+  bool sync_verify_replicas = false;
+  /// P(scheduled client is online) per selection. Offline clients re-enter
+  /// the epoch's queue. 1.0 (default) = the paper's deterministic protocol.
+  double availability = 1.0;
+  /// Over-selection slack: each round selects clients_per_round + slack
+  /// clients and merges the first clients_per_round to finish (by simulated
+  /// network time); stragglers are discarded and re-queued. 0 = off.
+  size_t straggler_slack = 0;
+  /// Round deadline, seconds of simulated time; clients finishing later are
+  /// dropped (and re-queued) even if fewer than clients_per_round made it.
+  /// 0 = no deadline.
+  double round_deadline = 0.0;
+  /// Simulated network: median client bandwidth (bytes/s), log-normal
+  /// per-client spread, base round-trip latency (s), per-(client, round)
+  /// latency spread, and local compute seconds per training sample.
+  double net_bandwidth = 1.25e6;
+  double net_bandwidth_sigma = 0.0;
+  double net_latency = 0.05;
+  double net_latency_sigma = 0.0;
+  double net_compute_per_sample = 0.0;
+  /// Bytes per transmitted scalar on the wire (8 = fp64, 4 = fp32,
+  /// 2 = fp16). Affects byte accounting and simulated transfer times only —
+  /// the arithmetic stays double precision.
+  size_t wire_scalar_bytes = 8;
 
   // --- evaluation -------------------------------------------------------
   size_t top_k = 20;

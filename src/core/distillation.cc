@@ -80,7 +80,8 @@ void DistillStep(Matrix* table, const std::vector<ItemId>& items,
 }  // namespace
 
 double EnsembleDistill(std::vector<Matrix*> tables,
-                       const DistillationOptions& options, Rng* rng) {
+                       const DistillationOptions& options, Rng* rng,
+                       std::vector<ItemId>* sampled_items) {
   HFR_CHECK(!tables.empty());
   const size_t num_items = tables[0]->rows();
   for (const Matrix* t : tables) HFR_CHECK_EQ(t->rows(), num_items);
@@ -91,6 +92,7 @@ double EnsembleDistill(std::vector<Matrix*> tables,
   for (size_t i = 0; i < num_items; ++i) all[i] = static_cast<ItemId>(i);
   rng->Shuffle(&all);
   std::vector<ItemId> items(all.begin(), all.begin() + k);
+  if (sampled_items != nullptr) *sampled_items = items;
 
   // Ensemble relation d_ens (Eq. 16), fixed during the descent.
   Matrix ens(k, k);

@@ -45,10 +45,13 @@ double RelationLoss(const Matrix& relation, const Matrix& target);
 ///   have the same number of rows (items). Each is updated in place.
 /// \param options distillation parameters.
 /// \param rng source for the Vkd sample.
+/// \param sampled_items when non-null, receives the Vkd row indices — the
+///   only rows the distillation mutates (delta sync stamps their versions).
 /// \returns the mean relation loss across tables *before* distillation
 ///   (useful for monitoring / tests).
 double EnsembleDistill(std::vector<Matrix*> tables,
-                       const DistillationOptions& options, Rng* rng);
+                       const DistillationOptions& options, Rng* rng,
+                       std::vector<ItemId>* sampled_items = nullptr);
 
 }  // namespace hetefedrec
 

@@ -41,6 +41,7 @@ HeteroServer::HeteroServer(const Options& options)
       FeedForwardNet::ZerosLike(t));
   theta_weight_.assign(thetas_.size(), 0.0);
   touched_mask_.assign(options.num_items, 0);
+  versions_ = VersionedTable(tables_.size(), options.num_items);
 }
 
 void HeteroServer::MarkTouched(uint32_t row) {
@@ -76,6 +77,7 @@ void HeteroServer::BeginRound() {
   std::fill(slot_weight_.begin(), slot_weight_.end(), 0.0);
   for (auto& t : theta_agg_) t.SetZero();
   std::fill(theta_weight_.begin(), theta_weight_.end(), 0.0);
+  versions_.AdvanceRound();
   round_open_ = true;
 }
 
@@ -199,6 +201,28 @@ void HeteroServer::FinishRound() {
                        : 1.0 / theta_weight_[s];
     thetas_[s].AddScaled(theta_agg_[s], scale);
   }
+
+  // Version stamps for delta sync: a slot's table changed iff some width
+  // segment it reads received weight. The row set is the same one the apply
+  // loops visited; stamping a touched row for every eligible slot is a
+  // (safe) over-approximation in clustered mode, where touched_rows_ is not
+  // split per slot.
+  for (size_t s = 0; s < tables_.size(); ++s) {
+    bool changed = false;
+    if (shared_aggregation_) {
+      for (size_t seg = 0; seg <= s && !changed; ++seg) {
+        changed = segment_weight_[seg] > 0.0;
+      }
+    } else {
+      changed = slot_weight_[s] > 0.0;
+    }
+    if (!changed) continue;
+    if (all_rows) {
+      versions_.StampAll(s);
+    } else {
+      for (uint32_t r : touched_rows_) versions_.Stamp(s, r);
+    }
+  }
 }
 
 double HeteroServer::Distill(const DistillationOptions& options, Rng* rng) {
@@ -206,7 +230,15 @@ double HeteroServer::Distill(const DistillationOptions& options, Rng* rng) {
   std::vector<Matrix*> ptrs;
   ptrs.reserve(tables_.size());
   for (auto& t : tables_) ptrs.push_back(&t);
-  return EnsembleDistill(ptrs, options, rng);
+  std::vector<ItemId> sampled;
+  double loss = EnsembleDistill(ptrs, options, rng, &sampled);
+  // RESKD dirties the Vkd rows of *every* slot — including rows outside any
+  // client's touched set — so their versions must advance or replicas would
+  // serve stale bytes.
+  for (size_t s = 0; s < tables_.size(); ++s) {
+    for (ItemId i : sampled) versions_.Stamp(s, static_cast<uint32_t>(i));
+  }
+  return loss;
 }
 
 size_t HeteroServer::SlotParamCount(size_t slot) const {

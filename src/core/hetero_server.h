@@ -17,6 +17,7 @@
 #include "src/core/config.h"
 #include "src/core/distillation.h"
 #include "src/core/local_trainer.h"
+#include "src/fed/sync/versioned_table.h"
 #include "src/models/ffn.h"
 #include "src/util/rng.h"
 
@@ -49,6 +50,13 @@ class HeteroServer {
   const Matrix& table(size_t slot) const { return tables_[slot]; }
   Matrix& mutable_table(size_t slot) { return tables_[slot]; }
   const FeedForwardNet& theta(size_t slot) const { return thetas_[slot]; }
+
+  /// Per-(slot, row) version stamps for the delta-sync protocol: a row's
+  /// version is the round of the last FinishRound/Distill that changed it.
+  /// Callers that mutate tables directly (mutable_table) must stamp the
+  /// rows they touch to keep replicas sound.
+  const VersionedTable& versions() const { return versions_; }
+  VersionedTable& mutable_versions() { return versions_; }
 
   /// Clears the round accumulators. Call before the first Accumulate.
   /// Cost is proportional to the rows touched in the *previous* round
@@ -83,6 +91,7 @@ class HeteroServer {
   std::vector<FeedForwardNet> thetas_;
   AggregationMode aggregation_;
   bool shared_aggregation_;
+  VersionedTable versions_;
 
   // Round accumulators. Contributor totals are *weights*: 1 per client
   // under kSum/kMean, the client's data size under kDataWeighted.

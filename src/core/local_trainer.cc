@@ -118,11 +118,13 @@ LocalUpdateResult LocalTrainer::TrainImpl(
   const std::vector<ItemId>& train_items = fit_items;
 
   // Best-epoch snapshot state for validation-guided selection. The sparse
-  // path snapshots only the overlay (untouched rows never change).
+  // path snapshots only the overlay's packed rows + data — O(touched) per
+  // improving epoch, no O(num_items) position-table copy.
   double best_val_loss = std::numeric_limits<double>::infinity();
   bool best_set = false;
   Matrix best_v;
-  SparseRowStore best_overlay;
+  std::vector<uint32_t> best_overlay_rows;
+  std::vector<double> best_overlay_data;
   Matrix best_u;
   std::vector<FeedForwardNet> best_theta;
 
@@ -172,6 +174,8 @@ LocalUpdateResult LocalTrainer::TrainImpl(
       adam_theta[t].Step(&theta_local_[t], theta_grad_[t]);
     }
 
+    result.train_samples += samples.size() * tasks.size();
+
     if (epoch + 1 == options.local_epochs) {
       result.train_loss =
           samples.empty()
@@ -191,11 +195,12 @@ LocalUpdateResult LocalTrainer::TrainImpl(
                              s.label);
       }
       val /= static_cast<double>(val_samples.size());
+      result.train_samples += val_samples.size();
       if (val < best_val_loss) {
         best_val_loss = val;
         best_set = true;
         if constexpr (kSparse) {
-          best_overlay = v_overlay_.local();
+          v_overlay_.SnapshotLocal(&best_overlay_rows, &best_overlay_data);
         } else {
           best_v = v_local_;
         }
@@ -205,11 +210,28 @@ LocalUpdateResult LocalTrainer::TrainImpl(
     }
   }
 
+  // Delta-sync subscription: every row the client read. Captured *before*
+  // the best-epoch restore — rows mutated only after the best epoch drop
+  // out of the upload set, but the client still needed their fresh values.
+  if constexpr (kSparse) {
+    result.read_rows.assign(v_overlay_.touched().begin(),
+                            v_overlay_.touched().end());
+    for (const Sample& s : val_samples) {
+      // Validation items are scored but never trained, so they are read
+      // without entering the overlay.
+      result.read_rows.push_back(static_cast<uint32_t>(s.item));
+    }
+    std::sort(result.read_rows.begin(), result.read_rows.end());
+    result.read_rows.erase(
+        std::unique(result.read_rows.begin(), result.read_rows.end()),
+        result.read_rows.end());
+  }
+
   if (use_validation && best_set) {
     if constexpr (kSparse) {
       // Rows touched after the best epoch revert to base values by
       // dropping out of the overlay, exactly matching the dense restore.
-      v_overlay_.RestoreLocal(best_overlay);
+      v_overlay_.RestoreLocal(best_overlay_rows, best_overlay_data);
     } else {
       v_local_ = best_v;
     }

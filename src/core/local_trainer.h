@@ -60,6 +60,14 @@ struct LocalUpdateResult {
   /// Scalars downloaded / uploaded (Table III accounting).
   size_t params_down = 0;
   size_t params_up = 0;
+  /// Item rows the client *read* this round — its delta-sync subscription:
+  /// every mutated (touched) row plus validation items scored but not
+  /// trained. Sorted, duplicate-free. Sparse path only (dense clients read
+  /// the whole table).
+  std::vector<uint32_t> read_rows;
+  /// Total forward/backward sample evaluations across local epochs and
+  /// dual tasks (drives the simulated network's compute time).
+  size_t train_samples = 0;
 };
 
 /// \brief Options controlling local optimization.

@@ -1,13 +1,17 @@
 #include "src/core/trainer.h"
 
+#include <algorithm>
 #include <array>
 #include <memory>
+#include <numeric>
 #include <thread>
 
 #include "src/core/checkpoint.h"
 #include "src/core/local_trainer.h"
 #include "src/data/synthetic.h"
 #include "src/fed/scheduler.h"
+#include "src/fed/sync/network.h"
+#include "src/fed/sync/sync_service.h"
 #include "src/math/eigen.h"
 #include "src/math/init.h"
 #include "src/math/stats.h"
@@ -162,7 +166,8 @@ ExperimentResult ExperimentRunner::RunFederated(Method method) const {
     trainers.push_back(
         std::make_unique<LocalTrainer>(dataset_, cfg.base_model));
   }
-  RoundScheduler scheduler(dataset_.num_users(), cfg.clients_per_round);
+  ClientQueue queue(dataset_.num_users(), cfg.clients_per_round,
+                    cfg.straggler_slack);
   Rng sched_rng = root.Fork(2);
   Rng kd_rng = root.Fork(3);
   DistillationOptions kd_opts;
@@ -170,20 +175,46 @@ ExperimentResult ExperimentRunner::RunFederated(Method method) const {
   kd_opts.steps = cfg.kd_steps;
   kd_opts.lr = cfg.kd_lr;
 
+  // Delta-sync machinery (docs/SYNC.md). With full_downloads the replica
+  // bookkeeping is skipped entirely — the default path stays the paper's.
+  const bool delta_sync = !cfg.full_downloads;
+  std::unique_ptr<SyncService> sync;
+  if (delta_sync) {
+    SyncService::Options sync_opts;
+    sync_opts.verify_values = cfg.sync_verify_replicas;
+    sync = std::make_unique<SyncService>(dataset_.num_users(), sync_opts);
+  }
+  NetworkOptions net_opts;
+  net_opts.availability = cfg.availability;
+  net_opts.bandwidth_bytes_per_sec = cfg.net_bandwidth;
+  net_opts.bandwidth_sigma = cfg.net_bandwidth_sigma;
+  net_opts.latency_seconds = cfg.net_latency;
+  net_opts.latency_sigma = cfg.net_latency_sigma;
+  net_opts.compute_seconds_per_sample = cfg.net_compute_per_sample;
+  net_opts.seed = root.Fork(5).Next();
+  SimulatedNetwork net(net_opts);
+  // Over-selection: rank completions by simulated time, merge the first
+  // clients_per_round (a deadline alone also activates the ranking).
+  const bool over_select =
+      cfg.straggler_slack > 0 || cfg.round_deadline > 0.0;
+
   Evaluator evaluator(dataset_, groups_, cfg.top_k, cfg.eval_user_sample,
                       cfg.seed ^ 0xe5a1ULL);
-  // One Scorer per slot, constructed once and reused for every evaluated
-  // user (Scorer construction allocates per-width scratch; the evaluator
-  // likewise reuses one scores buffer across users).
-  std::vector<Scorer> eval_scorers;
-  eval_scorers.reserve(server.num_slots());
-  for (size_t s = 0; s < server.num_slots(); ++s) {
-    eval_scorers.emplace_back(cfg.base_model, server.width(s));
+  // One Scorer per (executing thread, slot), constructed once and reused
+  // for every evaluated user (Scorer construction allocates per-width
+  // scratch; the evaluator likewise reuses per-thread scores buffers).
+  std::vector<std::vector<Scorer>> eval_scorers(pool.num_slots());
+  for (size_t t = 0; t < pool.num_slots(); ++t) {
+    eval_scorers[t].reserve(server.num_slots());
+    for (size_t s = 0; s < server.num_slots(); ++s) {
+      eval_scorers[t].emplace_back(cfg.base_model, server.width(s));
+    }
   }
-  auto score_fn = [&](UserId u, std::vector<double>* scores) {
+  auto score_fn = [&](UserId u, size_t thread_slot,
+                      std::vector<double>* scores) {
     const ClientState& c = clients[u];
     size_t slot = setup.slot_of_group[static_cast<int>(c.group)];
-    Scorer& sc = eval_scorers[slot];
+    Scorer& sc = eval_scorers[thread_slot][slot];
     sc.BeginUser(c.user_embedding.Row(0), server.table(slot),
                  dataset_.TrainItems(u));
     scores->resize(dataset_.num_items());
@@ -194,22 +225,35 @@ ExperimentResult ExperimentRunner::RunFederated(Method method) const {
   };
 
   ExperimentResult result;
+  result.comm.set_wire_scalar_bytes(cfg.wire_scalar_bytes);
   for (int epoch = 1; epoch <= cfg.global_epochs; ++epoch) {
     double loss_sum = 0.0;
     size_t loss_count = 0;
-    for (const auto& batch : scheduler.EpochBatches(&sched_rng)) {
+    queue.BeginEpoch(&sched_rng);
+    // With availability < 1 offline clients requeue, so an epoch can take
+    // more than the nominal number of rounds; the budget bounds the tail
+    // (P(still queued) decays geometrically) so a tiny p cannot hang a run.
+    size_t round_budget = 10 * queue.rounds_per_epoch() + 10;
+    while (!queue.Exhausted() && round_budget > 0) {
+      --round_budget;
+      const std::vector<UserId> selected = queue.NextRound();
       server.BeginRound();
+      const uint64_t round_id = server.versions().round();
       // "All Large/Exclusive": data-poor clients are excluded from the
       // federation entirely — they receive the global model for
       // inference but are never selected for training, so even their
       // private user embeddings stay at initialization. This matches the
-      // severity of the paper's reported drop (Table II).
+      // severity of the paper's reported drop (Table II). Offline clients
+      // re-enter the queue and are tried again in a later round.
       std::vector<UserId> work;
-      work.reserve(batch.size());
-      for (UserId u : batch) {
-        if (!setup.excluded[static_cast<int>(clients[u].group)]) {
-          work.push_back(u);
+      work.reserve(selected.size());
+      for (UserId u : selected) {
+        if (setup.excluded[static_cast<int>(clients[u].group)]) continue;
+        if (!net.Online(u, round_id)) {
+          queue.Requeue(u);
+          continue;
         }
+        work.push_back(u);
       }
 
       // Clients of a batch train in parallel (each mutates only its own
@@ -243,9 +287,32 @@ ExperimentResult ExperimentRunner::RunFederated(Method method) const {
         *out = trainers[slot_idx]->Train(&client, server.table(slot),
                                          thetas, tasks, lopt);
       };
+
+      // Download accounting for one trained client, in batch order (the
+      // replica commit must be deterministic). Returns the scalars the
+      // active protocol actually ships down; also records CommStats.
+      auto account_download = [&](size_t k,
+                                  const LocalUpdateResult& update) -> size_t {
+        UserId u = work[k];
+        const size_t slot =
+            setup.slot_of_group[static_cast<int>(clients[u].group)];
+        const Matrix& table = server.table(slot);
+        // update.params_down is the dense accounting: |V| + |Θ...|.
+        const size_t theta_params = update.params_down - table.size();
+        size_t shipped = update.params_down;
+        if (delta_sync && update.sparse) {
+          SyncPlan plan = sync->Sync(u, slot, update.read_rows, table,
+                                     server.versions(), theta_params);
+          shipped = plan.params;
+        }
+        result.comm.RecordDownload(
+            clients[u].group,
+            cfg.sparse_comm_accounting ? shipped : update.params_down);
+        return shipped;
+      };
+
       auto merge_one = [&](size_t k, const LocalUpdateResult& update) {
         UserId u = work[k];
-        result.comm.RecordDownload(clients[u].group, update.params_down);
         result.comm.RecordUpload(clients[u].group, update.params_up);
         loss_sum += update.train_loss;
         loss_count++;
@@ -258,30 +325,94 @@ ExperimentResult ExperimentRunner::RunFederated(Method method) const {
                           update, weight);
       };
 
-      if (pool.num_workers() == 0) {
+      if (!over_select && pool.num_workers() == 0) {
         // Serial: merge each update immediately so only one is ever live
         // (a full batch of dense reference deltas would be large).
         LocalUpdateResult update;
         for (size_t k = 0; k < work.size(); ++k) {
           train_one(k, 0, &update);
+          account_download(k, update);
           merge_one(k, update);
         }
       } else {
         std::vector<LocalUpdateResult> updates(work.size());
-        pool.ParallelFor(work.size(), [&](size_t k, size_t slot_idx) {
-          train_one(k, slot_idx, &updates[k]);
-        });
-        for (size_t k = 0; k < work.size(); ++k) merge_one(k, updates[k]);
+        if (pool.num_workers() == 0) {
+          for (size_t k = 0; k < work.size(); ++k) {
+            train_one(k, 0, &updates[k]);
+          }
+        } else {
+          pool.ParallelFor(work.size(), [&](size_t k, size_t slot_idx) {
+            train_one(k, slot_idx, &updates[k]);
+          });
+        }
+        if (!over_select) {
+          for (size_t k = 0; k < work.size(); ++k) {
+            account_download(k, updates[k]);
+            merge_one(k, updates[k]);
+          }
+        } else {
+          // Over-selection: every selected client downloads and trains
+          // (its replica, embedding and RNG advance), but only the first
+          // clients_per_round simulated completions merge — in batch
+          // order, so results stay thread-count independent. Stragglers
+          // and deadline misses are discarded and re-queued.
+          std::vector<double> finish(work.size());
+          for (size_t k = 0; k < work.size(); ++k) {
+            const LocalUpdateResult& up = updates[k];
+            const size_t slot = setup.slot_of_group[static_cast<int>(
+                clients[work[k]].group)];
+            const size_t theta_params =
+                up.params_down - server.table(slot).size();
+            const size_t down_scalars = account_download(k, up);
+            // What the wire actually carries up: packed touched rows on
+            // the sparse path, the dense delta (== |V| + Θ) otherwise.
+            const size_t up_scalars =
+                up.sparse ? up.v_delta_sparse.ParamCount() + theta_params
+                          : up.params_down;
+            finish[k] = net.FinishSeconds(
+                work[k], round_id, down_scalars * cfg.wire_scalar_bytes,
+                up_scalars * cfg.wire_scalar_bytes, up.train_samples);
+          }
+          std::vector<size_t> order(work.size());
+          std::iota(order.begin(), order.end(), 0);
+          std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+            return finish[a] != finish[b] ? finish[a] < finish[b] : a < b;
+          });
+          std::vector<uint8_t> merged(work.size(), 0);
+          size_t taken = 0;
+          for (size_t k : order) {
+            if (taken >= cfg.clients_per_round) break;
+            if (cfg.round_deadline > 0.0 && finish[k] > cfg.round_deadline) {
+              break;  // order is sorted: everyone later missed it too
+            }
+            merged[k] = 1;
+            taken++;
+          }
+          for (size_t k = 0; k < work.size(); ++k) {
+            if (merged[k]) {
+              merge_one(k, updates[k]);
+            } else {
+              queue.Requeue(work[k]);
+            }
+          }
+        }
       }
       server.FinishRound();
       if (setup.reskd) server.Distill(kd_opts, &kd_rng);
+    }
+    if (!queue.Exhausted()) {
+      HFR_LOG(Warning) << "epoch " << epoch << " round budget exhausted with "
+                       << queue.pending()
+                       << " clients still queued (availability="
+                       << cfg.availability
+                       << "); dropping them until next epoch";
     }
 
     const bool last = (epoch == cfg.global_epochs);
     if ((cfg.eval_every > 0 && epoch % cfg.eval_every == 0) || last) {
       EpochPoint point;
       point.epoch = epoch;
-      point.eval = evaluator.Evaluate(score_fn);
+      point.eval = evaluator.Evaluate(score_fn, &pool);
       point.mean_train_loss =
           loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;
       if (cfg.eval_every > 0) result.history.push_back(point);
@@ -314,7 +445,15 @@ ExperimentResult ExperimentRunner::RunStandalone() const {
   Rng root(cfg.seed);
   Rng init_rng = root.Fork(4);
 
-  LocalTrainer local(dataset_, cfg.base_model);
+  // Standalone users never interact, so evaluation (train + score per
+  // user) parallelizes over users like the federated eval does; each
+  // thread slot owns a LocalTrainer (scratch is not shareable).
+  ThreadPool pool(EffectiveThreads(cfg) - 1);
+  std::vector<std::unique_ptr<LocalTrainer>> locals;
+  locals.reserve(pool.num_slots());
+  for (size_t t = 0; t < pool.num_slots(); ++t) {
+    locals.push_back(std::make_unique<LocalTrainer>(dataset_, cfg.base_model));
+  }
   Evaluator evaluator(dataset_, groups_, cfg.top_k, cfg.eval_user_sample,
                       cfg.seed ^ 0xe5a1ULL);
 
@@ -322,7 +461,9 @@ ExperimentResult ExperimentRunner::RunStandalone() const {
   // ever exchanged, which is exactly the baseline's premise. Training
   // budget matches federated clients: global_epochs x local_epochs local
   // passes over the user's own data.
-  auto score_fn = [&](UserId u, std::vector<double>* scores) {
+  auto score_fn = [&](UserId u, size_t thread_slot,
+                      std::vector<double>* scores) {
+    LocalTrainer& local = *locals[thread_slot];
     Group g = groups_.of(u);
     size_t width = cfg.dims[static_cast<int>(g)];
     Matrix table(dataset_.num_items(), width);
@@ -360,7 +501,7 @@ ExperimentResult ExperimentRunner::RunStandalone() const {
   };
 
   ExperimentResult result;
-  result.final_eval = evaluator.Evaluate(score_fn);
+  result.final_eval = evaluator.Evaluate(score_fn, &pool);
   result.train_seconds = timer.Seconds();
   return result;
 }

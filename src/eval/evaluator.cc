@@ -6,6 +6,7 @@
 #include "src/eval/metrics.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace hetefedrec {
 
@@ -22,36 +23,65 @@ Evaluator::Evaluator(const Dataset& ds, const GroupAssignment& assignment,
 }
 
 GroupedEval Evaluator::Evaluate(const ScoreFn& score_fn) const {
-  GroupedEval out;
-  std::vector<double> scores;
-  std::vector<bool> masked(ds_.num_items());
+  return Evaluate(
+      [&score_fn](UserId u, size_t /*thread_slot*/,
+                  std::vector<double>* scores) { score_fn(u, scores); },
+      /*pool=*/nullptr);
+}
+
+GroupedEval Evaluator::Evaluate(const ThreadedScoreFn& score_fn,
+                                ThreadPool* pool) const {
+  // Per-user metrics land in per-index slots; the reduction below walks
+  // them in user order, so sums (and therefore results) are bit-identical
+  // for any thread count.
+  std::vector<double> recall(users_.size(), 0.0);
+  std::vector<double> ndcg(users_.size(), 0.0);
+  std::vector<uint8_t> counted(users_.size(), 0);
+
+  const size_t n_slots = pool != nullptr ? pool->num_slots() : 1;
+  // Per-thread scratch: the candidate scores and the train-item mask.
+  std::vector<std::vector<double>> scores(n_slots);
+  std::vector<std::vector<bool>> masked(n_slots,
+                                        std::vector<bool>(ds_.num_items()));
+
+  auto eval_user = [&](size_t k, size_t slot) {
+    const UserId u = users_[k];
+    const auto& test_items = ds_.TestItems(u);
+    if (test_items.empty()) return;
+    score_fn(u, slot, &scores[slot]);
+    HFR_CHECK_EQ(scores[slot].size(), ds_.num_items());
+
+    std::fill(masked[slot].begin(), masked[slot].end(), false);
+    for (ItemId i : ds_.TrainItems(u)) masked[slot][i] = true;
+
+    std::unordered_set<ItemId> relevant(test_items.begin(), test_items.end());
+    std::vector<ItemId> topk = TopKItems(scores[slot], masked[slot], top_k_);
+    recall[k] = RecallAtK(topk, relevant);
+    ndcg[k] = NdcgAtK(topk, relevant);
+    counted[k] = 1;
+  };
+
+  if (pool != nullptr && pool->num_workers() > 0) {
+    pool->ParallelFor(users_.size(), eval_user);
+  } else {
+    for (size_t k = 0; k < users_.size(); ++k) eval_user(k, 0);
+  }
+
   double sum_recall[1 + kNumGroups] = {0};
   double sum_ndcg[1 + kNumGroups] = {0};
   size_t counts[1 + kNumGroups] = {0};
-
-  for (UserId u : users_) {
-    const auto& test_items = ds_.TestItems(u);
-    if (test_items.empty()) continue;
-    score_fn(u, &scores);
-    HFR_CHECK_EQ(scores.size(), ds_.num_items());
-
-    std::fill(masked.begin(), masked.end(), false);
-    for (ItemId i : ds_.TrainItems(u)) masked[i] = true;
-
-    std::unordered_set<ItemId> relevant(test_items.begin(), test_items.end());
-    std::vector<ItemId> topk = TopKItems(scores, masked, top_k_);
-    double recall = RecallAtK(topk, relevant);
-    double ndcg = NdcgAtK(topk, relevant);
-
-    int g = 1 + static_cast<int>(assignment_.of(u));
-    sum_recall[0] += recall;
-    sum_ndcg[0] += ndcg;
+  for (size_t k = 0; k < users_.size(); ++k) {
+    if (!counted[k]) continue;
+    int g = 1 + static_cast<int>(assignment_.of(users_[k]));
+    sum_recall[0] += recall[k];
+    sum_ndcg[0] += ndcg[k];
     counts[0]++;
-    sum_recall[g] += recall;
-    sum_ndcg[g] += ndcg;
+    sum_recall[g] += recall[k];
+    sum_ndcg[g] += ndcg[k];
     counts[g]++;
   }
 
+  GroupedEval out;
   auto finalize = [&](int idx) {
     EvalResult r;
     r.users = counts[idx];

@@ -4,6 +4,11 @@
 // trained on, take the top-20, and compute Recall@20 / NDCG@20 against the
 // held-out 20% test interactions. Reported overall and per client group
 // (Fig. 6 breaks NDCG down by Us/Um/Ul).
+//
+// Users are independent, so evaluation parallelizes over them: the
+// ThreadPool overload computes per-user metrics into per-index slots and
+// reduces them serially in user order, making the result bit-identical for
+// every thread count (asserted by tests/eval/evaluator_test.cc).
 #ifndef HETEFEDREC_EVAL_EVALUATOR_H_
 #define HETEFEDREC_EVAL_EVALUATOR_H_
 
@@ -16,6 +21,8 @@
 #include "src/fed/groups.h"
 
 namespace hetefedrec {
+
+class ThreadPool;
 
 /// \brief Mean metrics over a set of users.
 struct EvalResult {
@@ -41,6 +48,12 @@ class Evaluator {
   using ScoreFn =
       std::function<void(UserId user, std::vector<double>* scores)>;
 
+  /// Like ScoreFn, with the executing thread's slot (< pool->num_slots(),
+  /// or 0 when serial) so callers can keep per-thread scorer scratch. Must
+  /// be safe to invoke concurrently for distinct users on distinct slots.
+  using ThreadedScoreFn = std::function<void(
+      UserId user, size_t thread_slot, std::vector<double>* scores)>;
+
   /// \param ds dataset (test sets + train masks).
   /// \param assignment client group division (for the per-group breakdown).
   /// \param top_k recommendation list length (paper: 20).
@@ -50,8 +63,13 @@ class Evaluator {
   Evaluator(const Dataset& ds, const GroupAssignment& assignment,
             size_t top_k = 20, size_t user_sample = 0, uint64_t seed = 9177);
 
-  /// Evaluates `score_fn` over the (sampled) user population.
+  /// Evaluates `score_fn` over the (sampled) user population, serially.
   GroupedEval Evaluate(const ScoreFn& score_fn) const;
+
+  /// Parallel evaluation over users. `pool` may be null (serial). Result is
+  /// bit-identical to the serial overload for any thread count.
+  GroupedEval Evaluate(const ThreadedScoreFn& score_fn,
+                       ThreadPool* pool) const;
 
   const std::vector<UserId>& eval_users() const { return users_; }
 

@@ -18,6 +18,10 @@ size_t CommStats::Participations(Group g) const {
   return groups_[static_cast<int>(g)].uploads;
 }
 
+size_t CommStats::Downloads(Group g) const {
+  return groups_[static_cast<int>(g)].downloads;
+}
+
 double CommStats::AvgUpload(Group g) const {
   const auto& pg = groups_[static_cast<int>(g)];
   if (pg.uploads == 0) return 0.0;
@@ -31,12 +35,35 @@ double CommStats::AvgDownload(Group g) const {
          static_cast<double>(pg.downloads);
 }
 
+size_t CommStats::DownParams(Group g) const {
+  return groups_[static_cast<int>(g)].down_params;
+}
+
+size_t CommStats::UpParams(Group g) const {
+  return groups_[static_cast<int>(g)].up_params;
+}
+
 size_t CommStats::TotalTransmitted() const {
   size_t total = 0;
   for (const auto& pg : groups_) total += pg.up_params + pg.down_params;
   return total;
 }
 
-void CommStats::Reset() { groups_ = {}; }
+double CommStats::AvgUploadBytes(Group g) const {
+  return AvgUpload(g) * static_cast<double>(wire_scalar_bytes_);
+}
+
+double CommStats::AvgDownloadBytes(Group g) const {
+  return AvgDownload(g) * static_cast<double>(wire_scalar_bytes_);
+}
+
+size_t CommStats::TotalBytes() const {
+  return TotalTransmitted() * wire_scalar_bytes_;
+}
+
+void CommStats::Reset() {
+  // The wire format is configuration, not accumulated state.
+  groups_ = {};
+}
 
 }  // namespace hetefedrec

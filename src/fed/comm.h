@@ -3,6 +3,11 @@
 // The simulation never serializes bytes; instead every download/upload of
 // public parameters is recorded as a scalar count, which is exactly the
 // quantity Table III compares (size(V_a + Θ...) per client per round).
+// Byte-level views multiply by the wire format's scalar size
+// (`set_wire_scalar_bytes`: 8 = fp64, 4 = fp32, 2 = fp16) so deployment
+// budgets can be read off directly; row indices in sparse/delta payloads
+// are counted as one scalar each, a deliberate simplification documented in
+// docs/SYNC.md.
 #ifndef HETEFEDREC_FED_COMM_H_
 #define HETEFEDREC_FED_COMM_H_
 
@@ -22,8 +27,16 @@ class CommStats {
   /// Records one client upload of `params` scalars.
   void RecordUpload(Group g, size_t params);
 
-  /// Number of (download+upload) participations recorded for the group.
+  /// Number of *merged* participations (uploads accepted by the server).
+  /// Under over-selection this is smaller than Downloads(): stragglers
+  /// receive their download but their upload is cancelled at round close
+  /// and never recorded — CommStats counts accepted traffic only, a
+  /// conservative lower bound on wire bytes (docs/SYNC.md).
   size_t Participations(Group g) const;
+
+  /// Number of downloads recorded for the group (>= Participations under
+  /// over-selection / deadlines).
+  size_t Downloads(Group g) const;
 
   /// Mean scalars uploaded per participation for the group (0 if none).
   double AvgUpload(Group g) const;
@@ -31,8 +44,21 @@ class CommStats {
   /// Mean scalars downloaded per participation for the group.
   double AvgDownload(Group g) const;
 
+  /// Raw per-group totals (scalars) — the down/up split of Table III.
+  size_t DownParams(Group g) const;
+  size_t UpParams(Group g) const;
+
   /// Total scalars transmitted either direction across all groups.
   size_t TotalTransmitted() const;
+
+  /// Wire format: bytes per transmitted scalar (default 8, fp64).
+  void set_wire_scalar_bytes(size_t bytes) { wire_scalar_bytes_ = bytes; }
+  size_t wire_scalar_bytes() const { return wire_scalar_bytes_; }
+
+  /// Byte views of the scalar counts under the configured wire format.
+  double AvgUploadBytes(Group g) const;
+  double AvgDownloadBytes(Group g) const;
+  size_t TotalBytes() const;
 
   void Reset();
 
@@ -44,6 +70,7 @@ class CommStats {
     size_t down_params = 0;
   };
   std::array<PerGroup, kNumGroups> groups_;
+  size_t wire_scalar_bytes_ = 8;
 };
 
 }  // namespace hetefedrec

@@ -1,0 +1,58 @@
+#include "src/fed/sync/network.h"
+
+#include "src/util/logging.h"
+
+namespace hetefedrec {
+
+namespace {
+// Stream tags keep the independent draw families from colliding.
+constexpr uint64_t kOnlineStream = 0xa11ceULL;
+constexpr uint64_t kBandwidthStream = 0xba2dULL;
+constexpr uint64_t kLatencyStream = 0x1a7eULL;
+}  // namespace
+
+SimulatedNetwork::SimulatedNetwork(const NetworkOptions& options)
+    : options_(options), base_(options.seed) {
+  HFR_CHECK_GT(options_.availability, 0.0);
+  HFR_CHECK_LE(options_.availability, 1.0);
+  HFR_CHECK_GT(options_.bandwidth_bytes_per_sec, 0.0);
+  HFR_CHECK_GE(options_.bandwidth_sigma, 0.0);
+  HFR_CHECK_GE(options_.latency_seconds, 0.0);
+  HFR_CHECK_GE(options_.latency_sigma, 0.0);
+  HFR_CHECK_GE(options_.compute_seconds_per_sample, 0.0);
+}
+
+bool SimulatedNetwork::Online(UserId u, uint64_t round) const {
+  if (options_.availability >= 1.0) return true;
+  Rng draw = base_.Fork(kOnlineStream)
+                 .Fork(static_cast<uint64_t>(u))
+                 .Fork(round);
+  return draw.Bernoulli(options_.availability);
+}
+
+double SimulatedNetwork::ClientBandwidth(UserId u) const {
+  if (options_.bandwidth_sigma == 0.0) {
+    return options_.bandwidth_bytes_per_sec;
+  }
+  Rng draw = base_.Fork(kBandwidthStream).Fork(static_cast<uint64_t>(u));
+  return options_.bandwidth_bytes_per_sec *
+         draw.LogNormal(0.0, options_.bandwidth_sigma);
+}
+
+double SimulatedNetwork::FinishSeconds(UserId u, uint64_t round,
+                                       size_t bytes_down, size_t bytes_up,
+                                       size_t samples) const {
+  double latency = options_.latency_seconds;
+  if (options_.latency_sigma > 0.0) {
+    Rng draw = base_.Fork(kLatencyStream)
+                   .Fork(static_cast<uint64_t>(u))
+                   .Fork(round);
+    latency *= draw.LogNormal(0.0, options_.latency_sigma);
+  }
+  const double bw = ClientBandwidth(u);
+  return latency +
+         static_cast<double>(bytes_down + bytes_up) / bw +
+         options_.compute_seconds_per_sample * static_cast<double>(samples);
+}
+
+}  // namespace hetefedrec

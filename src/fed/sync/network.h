@@ -1,0 +1,74 @@
+// Simulated client network conditions: availability, bandwidth, latency.
+//
+// Federated-recommendation surveys name client availability and stragglers
+// as the main gap between simulation and deployment. This model closes it
+// without giving up determinism: every draw is keyed by (seed, client) or
+// (seed, client, round) through the splittable Rng, so results are
+// bit-reproducible for any thread count and independent of call order —
+// the round executor may query clients in any order, or not at all.
+//
+// Three effects are modeled:
+//   availability — each *selection* of a client finds it online with
+//     probability p (fresh draw per round, so a client that was offline
+//     can come back later);
+//   bandwidth    — a per-client log-normal draw, fixed across the run
+//     (device classes: a slow phone stays slow);
+//   latency      — a per-(client, round) jittered round-trip base.
+//
+// FinishSeconds composes them into the client's wall-clock round time:
+//   latency + bytes_down / bw + compute_per_sample × samples + bytes_up / bw
+// which the over-selection protocol in the trainer uses to rank stragglers.
+#ifndef HETEFEDREC_FED_SYNC_NETWORK_H_
+#define HETEFEDREC_FED_SYNC_NETWORK_H_
+
+#include <cstdint>
+
+#include "src/data/types.h"
+#include "src/util/rng.h"
+
+namespace hetefedrec {
+
+/// \brief Knobs of the simulated network.
+struct NetworkOptions {
+  /// P(selected client is online) per selection. 1.0 = everyone always on.
+  double availability = 1.0;
+  /// Median client bandwidth, bytes/second (default 10 Mbit/s).
+  double bandwidth_bytes_per_sec = 1.25e6;
+  /// Log-normal sigma of the per-client bandwidth multiplier (0 = uniform
+  /// fleet).
+  double bandwidth_sigma = 0.0;
+  /// Base round-trip latency, seconds.
+  double latency_seconds = 0.05;
+  /// Log-normal sigma of the per-(client, round) latency multiplier.
+  double latency_sigma = 0.0;
+  /// Local training compute, seconds per (sample × task) forward/backward.
+  double compute_seconds_per_sample = 0.0;
+  uint64_t seed = 1;
+};
+
+/// \brief Deterministic per-client network condition draws.
+class SimulatedNetwork {
+ public:
+  explicit SimulatedNetwork(const NetworkOptions& options);
+
+  const NetworkOptions& options() const { return options_; }
+
+  /// Whether client `u`, selected in `round`, is online. Fresh Bernoulli
+  /// draw per (client, round).
+  bool Online(UserId u, uint64_t round) const;
+
+  /// The client's fixed bandwidth, bytes/second.
+  double ClientBandwidth(UserId u) const;
+
+  /// Wall-clock seconds for one full participation of client `u`.
+  double FinishSeconds(UserId u, uint64_t round, size_t bytes_down,
+                       size_t bytes_up, size_t samples) const;
+
+ private:
+  NetworkOptions options_;
+  Rng base_;
+};
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_FED_SYNC_NETWORK_H_

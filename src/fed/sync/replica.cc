@@ -1,0 +1,34 @@
+#include "src/fed/sync/replica.h"
+
+#include <algorithm>
+
+namespace hetefedrec {
+
+void ClientReplica::HoldValues(uint32_t row, const double* data,
+                               size_t width) {
+  auto it = value_pos_.find(row);
+  size_t pos;
+  if (it == value_pos_.end()) {
+    pos = values_.size();
+    values_.resize(pos + width);
+    value_pos_.emplace(row, pos);
+  } else {
+    pos = it->second;
+  }
+  std::copy(data, data + width, values_.begin() + pos);
+}
+
+const double* ClientReplica::Values(uint32_t row, size_t width) const {
+  auto it = value_pos_.find(row);
+  if (it == value_pos_.end()) return nullptr;
+  (void)width;
+  return values_.data() + it->second;
+}
+
+void ClientReplica::Invalidate() {
+  held_.clear();
+  value_pos_.clear();
+  values_.clear();
+}
+
+}  // namespace hetefedrec

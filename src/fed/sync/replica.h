@@ -1,0 +1,69 @@
+// Server-side bookkeeping of one client's cached row state.
+//
+// Under delta sync the server must know, per client, which rows the client
+// already holds and at which version, so each participation ships only the
+// subscribed rows whose version advanced. A `ClientReplica` is exactly that
+// record: (slot, row → held version), plus — optionally, for verification —
+// the row bytes the client would hold, so tests can assert the protocol is
+// lossless (a row the server decides not to ship must be bit-identical to
+// the live table).
+//
+// Memory is proportional to the rows the client has ever subscribed to
+// (its interacted items + sampled negatives), not the catalogue.
+#ifndef HETEFEDREC_FED_SYNC_REPLICA_H_
+#define HETEFEDREC_FED_SYNC_REPLICA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace hetefedrec {
+
+/// \brief One client's cached (row → version [, values]) state.
+class ClientReplica {
+ public:
+  /// Sentinel "never shipped" version; any real version compares newer.
+  static constexpr uint64_t kNeverHeld = ~uint64_t{0};
+
+  /// Model slot this replica mirrors, or npos before the first sync.
+  static constexpr size_t kNoSlot = ~size_t{0};
+  size_t slot() const { return slot_; }
+  void set_slot(size_t slot) { slot_ = slot; }
+
+  size_t rows_held() const { return held_.size(); }
+
+  /// Version the client holds for `row`, or kNeverHeld.
+  uint64_t HeldVersion(uint32_t row) const {
+    auto it = held_.find(row);
+    return it == held_.end() ? kNeverHeld : it->second;
+  }
+
+  bool IsStale(uint32_t row, uint64_t current_version) const {
+    const uint64_t held = HeldVersion(row);
+    return held == kNeverHeld || held < current_version;
+  }
+
+  /// Records that the client now holds `row` at `version`.
+  void Hold(uint32_t row, uint64_t version) { held_[row] = version; }
+
+  /// Records the shipped bytes (verification mode only).
+  void HoldValues(uint32_t row, const double* data, size_t width);
+
+  /// Cached bytes for `row`, nullptr if values are not tracked for it.
+  const double* Values(uint32_t row, size_t width) const;
+
+  /// Drops everything — the client behaves as a first-time participant.
+  void Invalidate();
+
+ private:
+  size_t slot_ = kNoSlot;
+  std::unordered_map<uint32_t, uint64_t> held_;
+  // Verification mode: row → offset into values_ (rows never shrink).
+  std::unordered_map<uint32_t, size_t> value_pos_;
+  std::vector<double> values_;
+};
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_FED_SYNC_REPLICA_H_

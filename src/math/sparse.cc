@@ -38,6 +38,24 @@ double* SparseRowStore::EnsureRow(size_t r) {
   return data_.data() + static_cast<size_t>(p) * cols_;
 }
 
+void SparseRowStore::Snapshot(std::vector<uint32_t>* rows,
+                              std::vector<double>* data) const {
+  rows->assign(rows_.begin(), rows_.end());
+  data->assign(data_.begin(), data_.end());
+}
+
+void SparseRowStore::Restore(const std::vector<uint32_t>& rows,
+                             const std::vector<double>& data) {
+  HFR_CHECK_EQ(data.size(), rows.size() * cols_);
+  Clear();
+  rows_.assign(rows.begin(), rows.end());
+  data_.assign(data.begin(), data.end());
+  for (size_t k = 0; k < rows_.size(); ++k) {
+    HFR_CHECK_LT(rows_[k], num_rows_);
+    pos_[rows_[k]] = static_cast<int64_t>(k);
+  }
+}
+
 void RowOverlayTable::Reset(const Matrix* base) {
   HFR_CHECK(base != nullptr);
   base_ = base;

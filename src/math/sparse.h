@@ -80,6 +80,16 @@ class SparseRowStore {
   /// accumulator in templated backward passes.
   double* MutableRow(size_t r) { return EnsureRow(r); }
 
+  /// Copies the packed touched state (rows + data, NOT the O(num_rows)
+  /// position table) into the caller's buffers. O(touched).
+  void Snapshot(std::vector<uint32_t>* rows, std::vector<double>* data) const;
+
+  /// Replaces the touched set with a snapshot taken from a store of the
+  /// same logical shape. O(touched_current + touched_snapshot): the
+  /// position table is patched incrementally, never reallocated.
+  void Restore(const std::vector<uint32_t>& rows,
+               const std::vector<double>& data);
+
  private:
   size_t num_rows_ = 0;
   size_t cols_ = 0;
@@ -118,12 +128,23 @@ class RowOverlayTable {
 
   const Matrix& base() const { return *base_; }
 
-  /// Copies the overlay rows (used to snapshot the best validation epoch).
+  /// Read access to the overlay store (tests / diagnostics).
   const SparseRowStore& local() const { return local_; }
 
-  /// Replaces the overlay with `snapshot` (rows touched after the snapshot
-  /// revert to base values by vanishing from the overlay).
-  void RestoreLocal(const SparseRowStore& snapshot) { local_ = snapshot; }
+  /// Packed copy of the overlay rows (used to snapshot the best validation
+  /// epoch). O(touched) — deliberately not a SparseRowStore copy, whose
+  /// position table would cost O(num_items) per improving epoch.
+  void SnapshotLocal(std::vector<uint32_t>* rows,
+                     std::vector<double>* data) const {
+    local_.Snapshot(rows, data);
+  }
+
+  /// Replaces the overlay with a snapshot (rows touched after the snapshot
+  /// revert to base values by vanishing from the overlay). O(touched).
+  void RestoreLocal(const std::vector<uint32_t>& rows,
+                    const std::vector<double>& data) {
+    local_.Restore(rows, data);
+  }
 
  private:
   const Matrix* base_ = nullptr;

@@ -1,0 +1,206 @@
+// Delta-sync equivalence: the row-subscription download protocol must be
+// invisible to training — bit-identical metrics and tables for all seven
+// methods — while shrinking the reported download volume. Also pins
+// replica invalidation after RESKD distillation and the determinism of
+// the availability / straggler machinery under a fixed seed.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/hetero_server.h"
+#include "src/core/local_trainer.h"
+#include "src/core/trainer.h"
+#include "src/fed/sync/sync_service.h"
+
+namespace hetefedrec {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig cfg;
+  cfg.dataset = "ml";
+  cfg.data_scale = 0.02;
+  cfg.global_epochs = 2;
+  cfg.clients_per_round = 32;
+  cfg.eval_user_sample = 60;
+  cfg.ddr_sample_rows = 64;
+  cfg.kd_items = 16;
+  cfg.seed = 41;
+  return cfg;
+}
+
+void ExpectSameEval(const GroupedEval& a, const GroupedEval& b) {
+  EXPECT_EQ(a.overall.recall, b.overall.recall);
+  EXPECT_EQ(a.overall.ndcg, b.overall.ndcg);
+  EXPECT_EQ(a.overall.users, b.overall.users);
+  for (int g = 0; g < kNumGroups; ++g) {
+    EXPECT_EQ(a.per_group[g].recall, b.per_group[g].recall);
+    EXPECT_EQ(a.per_group[g].ndcg, b.per_group[g].ndcg);
+  }
+}
+
+// Every method, full pipeline: delta sync with replica verification ON
+// (every skipped row is CHECKed byte-identical against the live table, so
+// a missed version stamp aborts the test) must reproduce the
+// full-download run exactly. DDR and RESKD matter here: both dirty rows
+// outside any single client's touched set.
+TEST(DeltaSyncEquivalence, AllMethodsMatchFullDownloads) {
+  for (Method method : kAllMethods) {
+    ExperimentConfig full_cfg = SmallConfig();
+    full_cfg.full_downloads = true;
+    ExperimentConfig delta_cfg = SmallConfig();
+    delta_cfg.full_downloads = false;
+    delta_cfg.sync_verify_replicas = true;
+
+    auto full_runner = ExperimentRunner::Create(full_cfg);
+    auto delta_runner = ExperimentRunner::Create(delta_cfg);
+    ASSERT_TRUE(full_runner.ok());
+    ASSERT_TRUE(delta_runner.ok());
+    ExperimentResult full_res = (*full_runner)->Run(method);
+    ExperimentResult delta_res = (*delta_runner)->Run(method);
+
+    SCOPED_TRACE(MethodName(method));
+    ExpectSameEval(full_res.final_eval, delta_res.final_eval);
+    if (method != Method::kStandalone) {
+      EXPECT_EQ(full_res.collapse_variance, delta_res.collapse_variance);
+      EXPECT_EQ(full_res.collapse_cv, delta_res.collapse_cv);
+      // Default accounting still reports the paper's dense numbers.
+      EXPECT_EQ(full_res.comm.TotalTransmitted(),
+                delta_res.comm.TotalTransmitted());
+    }
+  }
+}
+
+TEST(DeltaSyncEquivalence, DeltaAccountingShrinksDownloads) {
+  ExperimentConfig delta_cfg = SmallConfig();
+  delta_cfg.full_downloads = false;
+  delta_cfg.sparse_comm_accounting = true;
+  ExperimentConfig dense_cfg = SmallConfig();
+  dense_cfg.sparse_comm_accounting = true;
+
+  auto delta_runner = ExperimentRunner::Create(delta_cfg);
+  auto dense_runner = ExperimentRunner::Create(dense_cfg);
+  ASSERT_TRUE(delta_runner.ok());
+  ASSERT_TRUE(dense_runner.ok());
+  ExperimentResult delta_res = (*delta_runner)->Run(Method::kHeteFedRec);
+  ExperimentResult dense_res = (*dense_runner)->Run(Method::kHeteFedRec);
+
+  ExpectSameEval(delta_res.final_eval, dense_res.final_eval);
+  for (Group g : {Group::kSmall, Group::kMedium, Group::kLarge}) {
+    EXPECT_LT(delta_res.comm.AvgDownload(g), dense_res.comm.AvgDownload(g))
+        << GroupName(g);
+    // Uploads are identical — delta sync only changes the down direction.
+    EXPECT_EQ(delta_res.comm.AvgUpload(g), dense_res.comm.AvgUpload(g));
+  }
+}
+
+// After Distill, rows in the Vkd sample must re-ship even to a client
+// that held them fresh — RESKD perturbs every slot's table server-side.
+TEST(DeltaSyncEquivalence, ReplicaInvalidationAfterDistill) {
+  HeteroServer::Options opts;
+  opts.widths = {4, 8};
+  opts.num_items = 40;
+  opts.seed = 17;
+  HeteroServer server(opts);
+  SyncService sync(1);
+
+  std::vector<uint32_t> subs(40);
+  for (uint32_t r = 0; r < 40; ++r) subs[r] = r;
+
+  server.BeginRound();
+  server.FinishRound();
+  SyncPlan first =
+      sync.Sync(0, 1, subs, server.table(1), server.versions(), 0);
+  EXPECT_EQ(first.shipped_rows, 40u);
+
+  // An idle round: nothing to re-ship.
+  server.BeginRound();
+  server.FinishRound();
+  SyncPlan idle =
+      sync.Sync(0, 1, subs, server.table(1), server.versions(), 0);
+  EXPECT_EQ(idle.shipped_rows, 0u);
+
+  // A round with distillation: exactly the Vkd rows go stale.
+  server.BeginRound();
+  server.FinishRound();
+  DistillationOptions kd;
+  kd.kd_items = 8;
+  kd.steps = 1;
+  kd.lr = 0.01;
+  Rng kd_rng(23);
+  server.Distill(kd, &kd_rng);
+  SyncPlan after =
+      sync.Sync(0, 1, subs, server.table(1), server.versions(), 0);
+  EXPECT_EQ(after.shipped_rows, 8u);
+}
+
+// The availability / over-selection protocol must be a pure function of
+// the seed: two identical runs agree bit-for-bit, and the protocol still
+// covers the population (uploads keep flowing).
+TEST(DeltaSyncDeterminism, AvailabilityAndStragglersReproduce) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.full_downloads = false;
+  cfg.availability = 0.6;
+  cfg.straggler_slack = 4;
+  cfg.net_bandwidth_sigma = 0.6;
+  cfg.net_latency_sigma = 0.2;
+  cfg.net_compute_per_sample = 1e-6;
+
+  auto runner_a = ExperimentRunner::Create(cfg);
+  auto runner_b = ExperimentRunner::Create(cfg);
+  ASSERT_TRUE(runner_a.ok());
+  ASSERT_TRUE(runner_b.ok());
+  ExperimentResult a = (*runner_a)->Run(Method::kHeteFedRec);
+  ExperimentResult b = (*runner_b)->Run(Method::kHeteFedRec);
+
+  ExpectSameEval(a.final_eval, b.final_eval);
+  EXPECT_EQ(a.collapse_variance, b.collapse_variance);
+  EXPECT_EQ(a.comm.TotalTransmitted(), b.comm.TotalTransmitted());
+  size_t participations = 0;
+  for (Group g : {Group::kSmall, Group::kMedium, Group::kLarge}) {
+    participations += a.comm.Participations(g);
+  }
+  EXPECT_GT(participations, 0u);
+}
+
+// ... and thread count must not change the outcome even with stragglers
+// in play (winners merge in batch order, not completion order).
+TEST(DeltaSyncDeterminism, StragglerRunsAreThreadCountInvariant) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.availability = 0.7;
+  cfg.straggler_slack = 3;
+  cfg.net_bandwidth_sigma = 0.4;
+  ExperimentConfig cfg4 = cfg;
+  cfg4.num_threads = 4;
+
+  auto serial = ExperimentRunner::Create(cfg);
+  auto parallel = ExperimentRunner::Create(cfg4);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ExperimentResult a = (*serial)->Run(Method::kHeteFedRec);
+  ExperimentResult b = (*parallel)->Run(Method::kHeteFedRec);
+  ExpectSameEval(a.final_eval, b.final_eval);
+  EXPECT_EQ(a.collapse_variance, b.collapse_variance);
+  EXPECT_EQ(a.comm.TotalTransmitted(), b.comm.TotalTransmitted());
+}
+
+// Over-selection with everyone online and no network noise: every round
+// still merges exactly clients_per_round updates, so the acceptance bar
+// "availability 1.0 / no stragglers == paper protocol" holds by
+// construction and the slack only adds discarded work.
+TEST(DeltaSyncDeterminism, DeadlineDropsStragglers) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.net_latency = 0.05;
+  cfg.round_deadline = 0.01;  // everyone misses it
+  auto runner = ExperimentRunner::Create(cfg);
+  ASSERT_TRUE(runner.ok());
+  ExperimentResult r = (*runner)->Run(Method::kAllSmall);
+  size_t uploads = 0;
+  for (Group g : {Group::kSmall, Group::kMedium, Group::kLarge}) {
+    uploads += r.comm.Participations(g);
+  }
+  // No update ever merges; the round budget caps the epoch.
+  EXPECT_EQ(uploads, 0u);
+}
+
+}  // namespace
+}  // namespace hetefedrec

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "src/util/thread_pool.h"
+
 namespace hetefedrec {
 namespace {
 
@@ -93,6 +97,50 @@ TEST(EvaluatorTest, SampleDeterministicPerSeed) {
   Evaluator a(ds, groups, 5, 3, 42);
   Evaluator b(ds, groups, 5, 3, 42);
   EXPECT_EQ(a.eval_users(), b.eval_users());
+}
+
+TEST(EvaluatorTest, ParallelEvaluationBitIdenticalToSerial) {
+  // Larger population with non-trivial fractional metrics: any ordering
+  // difference in the parallel reduction would perturb the FP sums.
+  std::vector<Interaction> xs;
+  for (UserId u = 0; u < 64; ++u) {
+    for (ItemId k = 0; k < 8; ++k) {
+      xs.push_back({u, static_cast<ItemId>((u * 11 + k * 3) % 200)});
+    }
+  }
+  Dataset ds = Dataset::FromInteractions(xs, 64, 200).value();
+  GroupAssignment groups = AssignGroups(ds, {5, 3, 2}).value();
+  Evaluator ev(ds, groups, 10);
+
+  // Deterministic per-user scoring with irrational-ish values so averaged
+  // metrics exercise full double precision.
+  auto serial_fn = [&](UserId u, std::vector<double>* scores) {
+    scores->resize(ds.num_items());
+    for (size_t j = 0; j < ds.num_items(); ++j) {
+      (*scores)[j] = std::sin(static_cast<double>(u * 131 + j * 17) * 0.01);
+    }
+  };
+  auto threaded_fn = [&](UserId u, size_t /*slot*/,
+                         std::vector<double>* scores) {
+    serial_fn(u, scores);
+  };
+
+  GroupedEval serial = ev.Evaluate(serial_fn);
+  ThreadPool pool(3);  // 4 executing slots
+  GroupedEval parallel = ev.Evaluate(threaded_fn, &pool);
+  ThreadPool none(0);  // pool-less threaded overload
+  GroupedEval degenerate = ev.Evaluate(threaded_fn, &none);
+
+  for (const GroupedEval* other : {&parallel, &degenerate}) {
+    EXPECT_EQ(serial.overall.recall, other->overall.recall);
+    EXPECT_EQ(serial.overall.ndcg, other->overall.ndcg);
+    EXPECT_EQ(serial.overall.users, other->overall.users);
+    for (int g = 0; g < kNumGroups; ++g) {
+      EXPECT_EQ(serial.per_group[g].recall, other->per_group[g].recall);
+      EXPECT_EQ(serial.per_group[g].ndcg, other->per_group[g].ndcg);
+      EXPECT_EQ(serial.per_group[g].users, other->per_group[g].users);
+    }
+  }
 }
 
 TEST(EvaluatorTest, UsersWithoutTestItemsSkipped) {

@@ -54,5 +54,66 @@ TEST(SchedulerTest, DeterministicGivenRngState) {
   EXPECT_EQ(sched.EpochBatches(&a), sched.EpochBatches(&b));
 }
 
+// The availability-capable queue must degrade to the paper's protocol:
+// with no requeues and no over-selection, its rounds are exactly the
+// RoundScheduler batches of the same Rng draw. This is what keeps the
+// default execution path bit-identical after the round-loop rewrite.
+TEST(ClientQueueTest, MatchesEpochBatchesWhenEveryoneIsOnline) {
+  RoundScheduler sched(1000, 256);
+  ClientQueue queue(1000, 256);
+  Rng a(17), b(17);
+  auto batches = sched.EpochBatches(&a);
+  queue.BeginEpoch(&b);
+  for (const auto& batch : batches) {
+    ASSERT_FALSE(queue.Exhausted());
+    EXPECT_EQ(queue.NextRound(), batch);
+  }
+  EXPECT_TRUE(queue.Exhausted());
+  EXPECT_EQ(queue.rounds_per_epoch(), sched.rounds_per_epoch());
+}
+
+TEST(ClientQueueTest, OverSelectionPopsSlackExtra) {
+  ClientQueue queue(100, 10, /*over_selection=*/4);
+  Rng rng(19);
+  queue.BeginEpoch(&rng);
+  EXPECT_EQ(queue.NextRound().size(), 14u);
+}
+
+TEST(ClientQueueTest, RequeuedClientsComeBackThisEpoch) {
+  ClientQueue queue(20, 8);
+  Rng rng(23);
+  queue.BeginEpoch(&rng);
+  auto first = queue.NextRound();
+  // Pretend the first three were offline.
+  for (size_t k = 0; k < 3; ++k) queue.Requeue(first[k]);
+  std::set<UserId> rest;
+  while (!queue.Exhausted()) {
+    for (UserId u : queue.NextRound()) rest.insert(u);
+  }
+  // 12 remaining + the 3 requeued.
+  EXPECT_EQ(rest.size(), 15u);
+  for (size_t k = 0; k < 3; ++k) EXPECT_TRUE(rest.count(first[k]));
+}
+
+TEST(ClientQueueTest, CompactionKeepsOrderUnderLongRequeueChains) {
+  // Many rounds of "everyone offline" exercise the internal compaction;
+  // selection order must stay FIFO.
+  ClientQueue queue(16, 4);
+  Rng rng(29);
+  queue.BeginEpoch(&rng);
+  std::vector<UserId> first_pass;
+  for (int round = 0; round < 4; ++round) {
+    for (UserId u : queue.NextRound()) {
+      first_pass.push_back(u);
+      queue.Requeue(u);
+    }
+  }
+  std::vector<UserId> second_pass;
+  for (int round = 0; round < 4; ++round) {
+    for (UserId u : queue.NextRound()) second_pass.push_back(u);
+  }
+  EXPECT_EQ(first_pass, second_pass);
+}
+
 }  // namespace
 }  // namespace hetefedrec

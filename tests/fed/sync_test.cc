@@ -1,0 +1,220 @@
+// Unit tests for the delta-sync subsystem: version stamps, client
+// replicas, the sync service's staleness logic, and the simulated
+// network's determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/fed/sync/network.h"
+#include "src/fed/sync/replica.h"
+#include "src/fed/sync/sync_service.h"
+#include "src/fed/sync/versioned_table.h"
+#include "src/math/init.h"
+
+namespace hetefedrec {
+namespace {
+
+TEST(VersionedTableTest, StartsAtVersionZeroAndStamps) {
+  VersionedTable v(2, 10);
+  EXPECT_EQ(v.round(), 0u);
+  EXPECT_EQ(v.Version(0, 3), 0u);
+
+  v.AdvanceRound();
+  v.Stamp(0, 3);
+  EXPECT_EQ(v.Version(0, 3), 1u);
+  EXPECT_EQ(v.Version(0, 4), 0u);  // untouched row
+  EXPECT_EQ(v.Version(1, 3), 0u);  // untouched slot
+}
+
+TEST(VersionedTableTest, StampAllFloorsEveryRow) {
+  VersionedTable v(1, 5);
+  v.AdvanceRound();
+  v.Stamp(0, 1);
+  v.AdvanceRound();
+  v.StampAll(0);
+  for (size_t r = 0; r < 5; ++r) EXPECT_EQ(v.Version(0, r), 2u);
+  // A later per-row stamp rises above the floor.
+  v.AdvanceRound();
+  v.Stamp(0, 4);
+  EXPECT_EQ(v.Version(0, 4), 3u);
+  EXPECT_EQ(v.Version(0, 0), 2u);
+}
+
+TEST(VersionedTableTest, VersionsAreMonotone) {
+  VersionedTable v(1, 4);
+  uint64_t last = v.Version(0, 2);
+  for (int round = 0; round < 5; ++round) {
+    v.AdvanceRound();
+    if (round % 2 == 0) v.Stamp(0, 2);
+    if (round == 3) v.StampAll(0);
+    EXPECT_GE(v.Version(0, 2), last);
+    last = v.Version(0, 2);
+  }
+}
+
+TEST(ClientReplicaTest, HoldAndStaleness) {
+  ClientReplica rep;
+  EXPECT_EQ(rep.HeldVersion(7), ClientReplica::kNeverHeld);
+  EXPECT_TRUE(rep.IsStale(7, 0));  // never held is always stale
+
+  rep.Hold(7, 3);
+  EXPECT_EQ(rep.HeldVersion(7), 3u);
+  EXPECT_FALSE(rep.IsStale(7, 3));
+  EXPECT_TRUE(rep.IsStale(7, 4));
+  EXPECT_EQ(rep.rows_held(), 1u);
+
+  rep.Invalidate();
+  EXPECT_EQ(rep.HeldVersion(7), ClientReplica::kNeverHeld);
+  EXPECT_EQ(rep.rows_held(), 0u);
+}
+
+TEST(SyncServiceTest, FirstSyncShipsEverythingSecondShipsNothing) {
+  Matrix table(20, 4);
+  Rng rng(3);
+  InitNormal(&table, 0.1, &rng);
+  VersionedTable versions(1, 20);
+  SyncService sync(2);
+
+  const std::vector<uint32_t> subs = {1, 5, 9};
+  SyncPlan first = sync.Sync(0, 0, subs, table, versions, 100);
+  EXPECT_EQ(first.subscribed_rows, 3u);
+  EXPECT_EQ(first.shipped_rows, 3u);
+  EXPECT_EQ(first.params, 3 * (4 + 1) + 100 + 1);
+
+  // Nothing changed server-side: only Θ and the header go down.
+  SyncPlan second = sync.Sync(0, 0, subs, table, versions, 100);
+  EXPECT_EQ(second.shipped_rows, 0u);
+  EXPECT_EQ(second.params, 100u + 1);
+
+  // Another client's replica is independent.
+  SyncPlan other = sync.Sync(1, 0, subs, table, versions, 100);
+  EXPECT_EQ(other.shipped_rows, 3u);
+}
+
+TEST(SyncServiceTest, OnlyAdvancedRowsReship) {
+  Matrix table(20, 4);
+  Rng rng(5);
+  InitNormal(&table, 0.1, &rng);
+  VersionedTable versions(1, 20);
+  SyncService sync(1);
+
+  sync.Sync(0, 0, {1, 5, 9}, table, versions, 0);
+  versions.AdvanceRound();
+  versions.Stamp(0, 5);
+
+  SyncPlan plan = sync.Sync(0, 0, {1, 5, 9, 12}, table, versions, 0);
+  // 5 advanced, 12 was never held; 1 and 9 are fresh.
+  EXPECT_EQ(plan.shipped_rows, 2u);
+}
+
+TEST(SyncServiceTest, StampAllInvalidatesWholeReplica) {
+  Matrix table(10, 2);
+  Rng rng(7);
+  InitNormal(&table, 0.1, &rng);
+  VersionedTable versions(1, 10);
+  SyncService sync(1);
+
+  sync.Sync(0, 0, {0, 1, 2, 3}, table, versions, 0);
+  versions.AdvanceRound();
+  versions.StampAll(0);  // e.g. a dense round
+  SyncPlan plan = sync.Sync(0, 0, {0, 1, 2, 3}, table, versions, 0);
+  EXPECT_EQ(plan.shipped_rows, 4u);
+}
+
+TEST(SyncServiceTest, VerifyValuesCatchesFreshRowsAndTracksBytes) {
+  Matrix table(10, 3);
+  Rng rng(11);
+  InitNormal(&table, 0.1, &rng);
+  VersionedTable versions(1, 10);
+  SyncService::Options opts;
+  opts.verify_values = true;
+  SyncService sync(1, opts);
+
+  sync.Sync(0, 0, {2, 4}, table, versions, 0);
+  const double* cached = sync.replica(0).Values(2, 3);
+  ASSERT_NE(cached, nullptr);
+  for (size_t d = 0; d < 3; ++d) EXPECT_EQ(cached[d], table.Row(2)[d]);
+
+  // Mutating a row WITH a stamp: the row re-ships and the cache follows.
+  versions.AdvanceRound();
+  table.Row(2)[0] += 1.0;
+  versions.Stamp(0, 2);
+  SyncPlan plan = sync.Sync(0, 0, {2, 4}, table, versions, 0);
+  EXPECT_EQ(plan.shipped_rows, 1u);
+  EXPECT_EQ(sync.replica(0).Values(2, 3)[0], table.Row(2)[0]);
+}
+
+TEST(SyncServiceTest, VerifyValuesDiesOnUnstampedMutation) {
+  Matrix table(10, 3);
+  Rng rng(13);
+  InitNormal(&table, 0.1, &rng);
+  VersionedTable versions(1, 10);
+  SyncService::Options opts;
+  opts.verify_values = true;
+  SyncService sync(1, opts);
+
+  sync.Sync(0, 0, {2}, table, versions, 0);
+  table.Row(2)[1] += 1.0;  // mutation without a version stamp
+  EXPECT_DEATH(sync.Sync(0, 0, {2}, table, versions, 0), "");
+}
+
+TEST(SimulatedNetworkTest, DrawsAreDeterministicAndOrderFree) {
+  NetworkOptions opts;
+  opts.availability = 0.5;
+  opts.bandwidth_sigma = 0.8;
+  opts.latency_sigma = 0.3;
+  opts.seed = 42;
+  SimulatedNetwork a(opts);
+  SimulatedNetwork b(opts);
+
+  // Same (client, round) key gives the same draw regardless of query
+  // order or interleaving.
+  for (UserId u = 0; u < 20; ++u) {
+    EXPECT_EQ(a.Online(u, 3), b.Online(u, 3));
+    EXPECT_EQ(a.ClientBandwidth(u), b.ClientBandwidth(u));
+    EXPECT_EQ(a.FinishSeconds(u, 3, 1000, 500, 64),
+              b.FinishSeconds(u, 3, 1000, 500, 64));
+  }
+  for (UserId u = 19; u >= 0; --u) {
+    EXPECT_EQ(a.Online(u, 3), b.Online(u, 3));
+  }
+}
+
+TEST(SimulatedNetworkTest, AvailabilityOneNeverDrops) {
+  NetworkOptions opts;
+  opts.availability = 1.0;
+  SimulatedNetwork net(opts);
+  for (UserId u = 0; u < 50; ++u) {
+    EXPECT_TRUE(net.Online(u, 1));
+  }
+}
+
+TEST(SimulatedNetworkTest, AvailabilityVariesAcrossRounds) {
+  NetworkOptions opts;
+  opts.availability = 0.5;
+  opts.seed = 9;
+  SimulatedNetwork net(opts);
+  // A client offline in one round must be able to come back: over many
+  // rounds both states appear.
+  bool seen_on = false, seen_off = false;
+  for (uint64_t round = 0; round < 64; ++round) {
+    (net.Online(0, round) ? seen_on : seen_off) = true;
+  }
+  EXPECT_TRUE(seen_on);
+  EXPECT_TRUE(seen_off);
+}
+
+TEST(SimulatedNetworkTest, FinishTimeGrowsWithPayload) {
+  NetworkOptions opts;
+  opts.latency_seconds = 0.01;
+  opts.compute_seconds_per_sample = 1e-5;
+  SimulatedNetwork net(opts);
+  const double small = net.FinishSeconds(0, 1, 1000, 1000, 10);
+  const double big = net.FinishSeconds(0, 1, 1000000, 1000, 10);
+  EXPECT_LT(small, big);
+  const double more_compute = net.FinishSeconds(0, 1, 1000, 1000, 10000);
+  EXPECT_LT(small, more_compute);
+}
+
+}  // namespace
+}  // namespace hetefedrec

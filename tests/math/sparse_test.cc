@@ -151,5 +151,41 @@ TEST(SparseRowAdamTest, MatchesDenseAdamBitForBit) {
   }
 }
 
+TEST(RowOverlayTableTest, PackedSnapshotRestoreRoundTrips) {
+  // The best-validation-epoch snapshot path: save the overlay after some
+  // mutations, mutate more (including brand-new rows), restore — the view
+  // must read exactly the snapshot state, with later rows reverting to
+  // base values by vanishing from the overlay.
+  Matrix base(6, 2);
+  for (size_t r = 0; r < 6; ++r) {
+    base(r, 0) = static_cast<double>(r);
+    base(r, 1) = 10.0 + static_cast<double>(r);
+  }
+  RowOverlayTable view;
+  view.Reset(&base);
+  view.MutableRow(1)[0] = 100.0;
+  view.MutableRow(4)[1] = 200.0;
+
+  std::vector<uint32_t> snap_rows;
+  std::vector<double> snap_data;
+  view.SnapshotLocal(&snap_rows, &snap_data);
+  EXPECT_EQ(snap_rows.size(), 2u);
+  EXPECT_EQ(snap_data.size(), 4u);
+
+  view.MutableRow(1)[0] = -1.0;  // post-snapshot drift on a snapshot row
+  view.MutableRow(3)[0] = -2.0;  // post-snapshot touch of a new row
+
+  view.RestoreLocal(snap_rows, snap_data);
+  EXPECT_EQ(view.Row(1)[0], 100.0);
+  EXPECT_EQ(view.Row(4)[1], 200.0);
+  EXPECT_EQ(view.Row(3)[0], 3.0);  // reverted to base
+  EXPECT_EQ(view.touched().size(), 2u);
+
+  // The restored overlay stays mutable and consistent.
+  view.MutableRow(3)[0] = 7.0;
+  EXPECT_EQ(view.Row(3)[0], 7.0);
+  EXPECT_EQ(view.touched().size(), 3u);
+}
+
 }  // namespace
 }  // namespace hetefedrec

@@ -45,8 +45,20 @@ int Main(int argc, char** argv) {
   cli.AddFlag("dense_updates", "false",
               "use the dense reference client-update path");
   cli.AddFlag("sparse_comm", "false",
-              "report actually-uploaded (sparse) scalars instead of the "
-              "paper's dense accounting");
+              "report actually-shipped (sparse/delta) scalars instead of "
+              "the paper's dense accounting");
+  cli.AddFlag("delta_downloads", "false",
+              "row-subscription delta downloads instead of full-table "
+              "downloads (bit-identical metrics; see docs/SYNC.md)");
+  cli.AddFlag("availability", "1.0",
+              "P(selected client is online); offline clients requeue");
+  cli.AddFlag("straggler_slack", "0",
+              "over-selection slack: select N extra clients per round, "
+              "merge the first clients_per_round to finish");
+  cli.AddFlag("round_deadline", "0",
+              "simulated round deadline in seconds (0 = none)");
+  cli.AddFlag("wire_format", "fp64",
+              "wire scalar width for byte accounting: fp64 | fp32 | fp16");
 
   Status st = cli.Parse(argc, argv);
   if (!st.ok()) {
@@ -79,6 +91,16 @@ int Main(int argc, char** argv) {
   cfg.num_threads = static_cast<size_t>(cli.GetInt("threads"));
   cfg.use_sparse_updates = !cli.GetBool("dense_updates");
   cfg.sparse_comm_accounting = cli.GetBool("sparse_comm");
+  cfg.full_downloads = !cli.GetBool("delta_downloads");
+  cfg.availability = cli.GetDouble("availability");
+  cfg.straggler_slack = static_cast<size_t>(cli.GetInt("straggler_slack"));
+  cfg.round_deadline = cli.GetDouble("round_deadline");
+  auto wire = WireScalarBytesByName(cli.GetString("wire_format"));
+  if (!wire.ok()) {
+    std::fprintf(stderr, "%s\n", wire.status().ToString().c_str());
+    return 1;
+  }
+  cfg.wire_scalar_bytes = *wire;
   if (cli.GetString("agg") == "sum") {
     cfg.aggregation = AggregationMode::kSum;
   } else if (cli.GetString("agg") == "weighted") {
@@ -136,10 +158,20 @@ int Main(int argc, char** argv) {
       r.final_eval.group(Group::kSmall).ndcg,
       r.final_eval.group(Group::kMedium).ndcg,
       r.final_eval.group(Group::kLarge).ndcg, r.final_eval.overall.users);
-  std::printf("comm: %s scalars transmitted total\n",
+  std::printf("comm: %s scalars transmitted total (%s MB on the wire)\n",
               TablePrinter::Count(
                   static_cast<long long>(r.comm.TotalTransmitted()))
+                  .c_str(),
+              TablePrinter::Num(
+                  static_cast<double>(r.comm.TotalBytes()) / (1024.0 * 1024.0),
+                  1)
                   .c_str());
+  std::printf("comm per participation (down | up scalars): Us %.0f|%.0f  "
+              "Um %.0f|%.0f  Ul %.0f|%.0f\n",
+              r.comm.AvgDownload(Group::kSmall), r.comm.AvgUpload(Group::kSmall),
+              r.comm.AvgDownload(Group::kMedium),
+              r.comm.AvgUpload(Group::kMedium),
+              r.comm.AvgDownload(Group::kLarge), r.comm.AvgUpload(Group::kLarge));
   std::printf("collapse: var=%.6f normalized=%.4f\n", r.collapse_variance,
               r.collapse_cv);
   std::printf("wall time: %.1fs\n", r.train_seconds);
