@@ -75,6 +75,100 @@ void BM_FfnForwardBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_FfnForwardBackward)->Arg(8)->Arg(32)->Arg(128);
 
+void BM_BatchedForward(benchmark::State& state) {
+  // Per-sample Forward vs one ForwardBatch over the same 256-row block —
+  // the shape of one training task's per-epoch sample set.
+  const size_t width = static_cast<size_t>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  constexpr size_t kBatch = 256;
+  FeedForwardNet net(2 * width, {8, 8});
+  Rng rng(5);
+  net.InitXavier(&rng);
+  std::vector<double> x(kBatch * 2 * width);
+  for (double& v : x) v = rng.Normal(0.0, 0.3);
+  std::vector<double> logits(kBatch);
+  for (auto _ : state) {
+    if (batched) {
+      net.ForwardBatch(x.data(), kBatch, nullptr, logits.data());
+    } else {
+      for (size_t b = 0; b < kBatch; ++b) {
+        logits[b] = net.Forward(x.data() + b * 2 * width, nullptr);
+      }
+    }
+    benchmark::DoNotOptimize(logits);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_BatchedForward)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({128, 0})
+    ->Args({128, 1});
+
+// Evaluator scoring cost for one user at the Anime paper scale (6,888
+// items, width 32): per-item scalar Score vs batched ScoreRange vs the
+// candidate slice (test + 200 seeded negatives, eval_candidate_sample
+// style). The scalar-vs-batched ratio is the evaluator scoring speedup
+// recorded in docs/PERFORMANCE.md (acceptance bar: >= 2x).
+void BM_EvalScoring(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));  // 0 scalar | 1 batch
+                                                      // | 2 candidates
+  const BaseModel model =
+      state.range(1) == 0 ? BaseModel::kNcf : BaseModel::kLightGcn;
+  constexpr size_t kAnimeItems = 6888;
+  constexpr size_t kWidth = 32;
+  Matrix table = RandomTable(kAnimeItems, kWidth, 103);
+  Matrix user = RandomTable(1, kWidth, 107);
+  FeedForwardNet theta(2 * kWidth, {8, 8});
+  Rng rng(109);
+  theta.InitXavier(&rng);
+  std::vector<ItemId> interacted;
+  for (ItemId i = 0; i < 64; ++i) interacted.push_back(i * 97 % kAnimeItems);
+  // Candidate slice: ~20 test items + 200 negatives.
+  std::vector<ItemId> candidates;
+  for (size_t i = 0; i < 220; ++i) {
+    candidates.push_back(static_cast<ItemId>(rng.UniformInt(kAnimeItems)));
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  Scorer sc(model, kWidth);
+  std::vector<double> out(kAnimeItems);
+  size_t scored = 0;
+  for (auto _ : state) {
+    sc.BeginUser(user.Row(0), table, interacted);
+    switch (mode) {
+      case 0:
+        for (size_t j = 0; j < kAnimeItems; ++j) {
+          out[j] = sc.Score(table, theta, static_cast<ItemId>(j));
+        }
+        scored += kAnimeItems;
+        break;
+      case 1:
+        sc.ScoreRange(table, theta, 0, kAnimeItems, out.data());
+        scored += kAnimeItems;
+        break;
+      default:
+        sc.ScoreBatch(table, theta, candidates.data(), candidates.size(),
+                      out.data());
+        scored += candidates.size();
+        break;
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(scored));
+}
+BENCHMARK(BM_EvalScoring)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({2, 1});
+
 void BM_ScorerFullCatalogue(benchmark::State& state) {
   // Cost of ranking all items for one user (the evaluation inner loop).
   const size_t width = static_cast<size_t>(state.range(0));
@@ -221,6 +315,9 @@ struct RoundBenchSetup {
 void BM_FederatedRound(benchmark::State& state) {
   const bool use_sparse = state.range(0) != 0;
   RoundBenchSetup& setup = RoundBenchSetup::Get(state.range(1) != 0);
+  // arg 2 (default on): batched scoring kernels vs the per-sample
+  // reference — the training-side half of the batched-layer speedup.
+  const bool use_batched = state.range(2) != 0;
 
   HeteroServer::Options so;
   so.widths = {RoundBenchSetup::kWidth};
@@ -233,6 +330,7 @@ void BM_FederatedRound(benchmark::State& state) {
   LocalTrainerOptions opt;
   opt.local_epochs = 2;
   opt.use_sparse = use_sparse;
+  opt.use_batched = use_batched;
 
   size_t uploaded_rows = 0;
   for (auto _ : state) {
@@ -253,10 +351,12 @@ void BM_FederatedRound(benchmark::State& state) {
        static_cast<double>(setup.clients.size())));
 }
 BENCHMARK(BM_FederatedRound)
-    ->Args({0, 0})
-    ->Args({1, 0})
-    ->Args({0, 1})
-    ->Args({1, 1})
+    ->Args({0, 0, 1})
+    ->Args({1, 0, 1})
+    ->Args({0, 1, 1})
+    ->Args({1, 1, 1})
+    ->Args({1, 0, 0})  // sparse + per-sample reference scoring
+    ->Args({1, 1, 0})
     ->Unit(benchmark::kMillisecond)
     ->MinTime(2.0);
 

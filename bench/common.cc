@@ -19,6 +19,16 @@ void AddCommonFlags(CommandLine* cli) {
   cli->AddFlag("dense_updates", "false",
                "use the dense reference client-update path instead of "
                "sparse row-touched updates");
+  cli->AddFlag("scalar_scoring", "false",
+               "use the per-sample reference scoring path instead of the "
+               "batched kernels (bit-identical; for comparison runs)");
+  cli->AddFlag("eval_candidates", "0",
+               "candidate-sliced evaluation: test items + N seeded "
+               "negatives per user (0 = full catalogue, the paper's "
+               "protocol)");
+  cli->AddFlag("replica_cap", "0",
+               "per-client LRU cap on delta-sync replica rows (0 = "
+               "unlimited)");
   cli->AddFlag("sparse_comm", "false",
                "report actually-shipped (sparse/delta) scalars instead of "
                "the paper's dense accounting");
@@ -70,6 +80,10 @@ StatusOr<ExperimentConfig> ConfigFromFlags(const CommandLine& cli) {
 
   cfg.num_threads = static_cast<size_t>(cli.GetInt("threads"));
   cfg.use_sparse_updates = !cli.GetBool("dense_updates");
+  cfg.use_batched_scoring = !cli.GetBool("scalar_scoring");
+  cfg.eval_candidate_sample =
+      static_cast<size_t>(cli.GetInt("eval_candidates"));
+  cfg.sync_replica_cap = static_cast<size_t>(cli.GetInt("replica_cap"));
   cfg.sparse_comm_accounting = cli.GetBool("sparse_comm");
   cfg.full_downloads = !cli.GetBool("delta_downloads");
   cfg.availability = cli.GetDouble("availability");

@@ -78,6 +78,12 @@ Status ExperimentConfig::Validate() const {
     return Status::InvalidArgument("kd_steps/kd_lr must be non-negative");
   }
   if (top_k == 0) return Status::InvalidArgument("top_k must be positive");
+  if (eval_candidate_sample > 0 && eval_candidate_sample < top_k) {
+    // A candidate pool smaller than the list length would silently report
+    // metrics over truncated rankings, incomparable with full evaluation.
+    return Status::InvalidArgument(
+        "eval_candidate_sample must be 0 (full catalogue) or >= top_k");
+  }
   if (local_validation_fraction < 0.0 || local_validation_fraction >= 1.0) {
     return Status::InvalidArgument(
         "local_validation_fraction must be in [0, 1)");
@@ -93,6 +99,14 @@ Status ExperimentConfig::Validate() const {
   // Catches negative CLI ints cast through size_t (2^64-ish values).
   if (num_threads > 4096) {
     return Status::InvalidArgument("num_threads is implausibly large");
+  }
+  if (eval_candidate_sample > (size_t{1} << 32)) {
+    return Status::InvalidArgument(
+        "eval_candidate_sample is implausibly large (negative CLI value?)");
+  }
+  if (sync_replica_cap > (size_t{1} << 32)) {
+    return Status::InvalidArgument(
+        "sync_replica_cap is implausibly large (negative CLI value?)");
   }
   if (straggler_slack > 16 * clients_per_round) {
     return Status::InvalidArgument(

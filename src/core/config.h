@@ -119,6 +119,12 @@ struct ExperimentConfig {
   /// the paper regardless of execution path. True: count the scalars the
   /// sparse path actually uploads (touched rows × (width + 1) + Θ).
   bool sparse_comm_accounting = false;
+  /// Batched scoring kernels (src/math/kernels.h): run each client's
+  /// per-epoch sample set and every evaluation scoring pass as blocked FFN
+  /// batches instead of per-sample calls. Bit-identical either way
+  /// (accumulation order is preserved per sample); false keeps the
+  /// per-sample reference path for equivalence tests and benchmarks.
+  bool use_batched_scoring = true;
   /// Threads executing the clients of each round. 1 = serial (default);
   /// 0 = hardware concurrency. Results are bit-identical for any value:
   /// client training is independent and updates merge in batch order.
@@ -135,6 +141,12 @@ struct ExperimentConfig {
   /// skipped row is CHECKed bit-identical against the live table. O(rows
   /// held × width) memory per client; tests and audits only.
   bool sync_verify_replicas = false;
+  /// Per-client LRU cap on replica rows under delta sync (0 = unlimited).
+  /// A production server cannot let every client's replica grow with its
+  /// lifetime subscription union; capped replicas evict the least recently
+  /// used rows and re-ship them on the next subscription — metrics are
+  /// unchanged (the protocol stays lossless), `params_down` rises.
+  size_t sync_replica_cap = 0;
   /// P(scheduled client is online) per selection. Offline clients re-enter
   /// the epoch's queue. 1.0 (default) = the paper's deterministic protocol.
   double availability = 1.0;
@@ -163,6 +175,14 @@ struct ExperimentConfig {
   size_t top_k = 20;
   int eval_every = 0;     // 0 = only final epoch; n = every n epochs
   size_t eval_user_sample = 0;  // 0 = all users
+  /// Candidate-sliced evaluation: score each user's test items plus this
+  /// many seeded negative candidates instead of the full catalogue
+  /// (He et al.'s sampled-candidate protocol). 0 (default) keeps the
+  /// paper's full-catalogue ranking, so reported metrics are unchanged;
+  /// when > 0, per-user cost drops from O(items) to O(test + candidates).
+  /// Candidate top-K provably equals the full top-K restricted to the
+  /// candidate set (same ordering; pinned by tests/eval/evaluator_test.cc).
+  size_t eval_candidate_sample = 0;
 
   uint64_t seed = 7;
 

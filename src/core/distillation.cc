@@ -1,25 +1,61 @@
 #include "src/core/distillation.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 #include "src/data/types.h"
+#include "src/math/kernels.h"
 
 namespace hetefedrec {
+
+namespace {
+
+// Gathers the selected rows into a contiguous k x n block — the layout the
+// batched Gram kernel (and any future SIMD backend) wants. The Vkd rows are
+// scattered across the table; everything downstream then reads packed rows.
+void GatherRows(const Matrix& table, const std::vector<ItemId>& items,
+                std::vector<double>* packed) {
+  const size_t n = table.cols();
+  packed->resize(items.size() * n);
+  for (size_t a = 0; a < items.size(); ++a) {
+    const double* src = table.Row(items[a]);
+    std::copy(src, src + n, packed->data() + a * n);
+  }
+}
+
+// Relation matrix from a precomputed Gram matrix: rel(a,b) =
+// gram(a,b) / (norm_a * norm_b) with 1s on the diagonal and 0 for all-zero
+// rows — exactly CosineSimilarity per pair (norms are the diagonal sqrts,
+// the same Dot the scalar path computed).
+void RelationFromGram(const Matrix& gram, const std::vector<double>& norm,
+                      Matrix* rel) {
+  const size_t k = gram.rows();
+  for (size_t a = 0; a < k; ++a) {
+    (*rel)(a, a) = 1.0;
+    for (size_t b = a + 1; b < k; ++b) {
+      double s = (norm[a] == 0.0 || norm[b] == 0.0)
+                     ? 0.0
+                     : gram(a, b) / (norm[a] * norm[b]);
+      (*rel)(a, b) = s;
+      (*rel)(b, a) = s;
+    }
+  }
+}
+
+}  // namespace
 
 Matrix RelationMatrix(const Matrix& table, const std::vector<ItemId>& items) {
   const size_t k = items.size();
   const size_t n = table.cols();
+  std::vector<double> packed;
+  GatherRows(table, items, &packed);
+  Matrix gram(k, k);
+  GramMatrix(packed.data(), k, n, &gram);
+  std::vector<double> norm(k);
+  for (size_t a = 0; a < k; ++a) norm[a] = std::sqrt(gram(a, a));
   Matrix rel(k, k);
-  for (size_t a = 0; a < k; ++a) {
-    rel(a, a) = 1.0;
-    const double* xa = table.Row(items[a]);
-    for (size_t b = a + 1; b < k; ++b) {
-      double s = CosineSimilarity(xa, table.Row(items[b]), n);
-      rel(a, b) = s;
-      rel(b, a) = s;
-    }
-  }
+  RelationFromGram(gram, norm, &rel);
   return rel;
 }
 
@@ -40,19 +76,27 @@ void DistillStep(Matrix* table, const std::vector<ItemId>& items,
                  const Matrix& target, double lr) {
   const size_t k = items.size();
   const size_t n = table->cols();
-  // Normalized copies ẑ_a and norms of the selected rows.
+  // One gather + one batched Gram serve norms, normalized copies and the
+  // relation matrix (the scalar path recomputed each dot per pair).
+  std::vector<double> packed;
+  GatherRows(*table, items, &packed);
+  Matrix gram(k, k);
+  GramMatrix(packed.data(), k, n, &gram);
+  // Normalized copies ẑ_a and norms of the selected rows. Norm2 is
+  // sqrt(Dot(row, row)) — the Gram diagonal.
   Matrix z(k, n);
   std::vector<double> norm(k, 0.0);
   for (size_t a = 0; a < k; ++a) {
-    const double* row = table->Row(items[a]);
-    norm[a] = Norm2(row, n);
+    norm[a] = std::sqrt(gram(a, a));
     if (norm[a] > 0) {
       double inv = 1.0 / norm[a];
+      const double* row = packed.data() + a * n;
       double* zr = z.Row(a);
       for (size_t d = 0; d < n; ++d) zr[d] = row[d] * inv;
     }
   }
-  Matrix rel = RelationMatrix(*table, items);
+  Matrix rel(k, k);
+  RelationFromGram(gram, norm, &rel);
 
   // Accumulate gradients; entries (a,b) and (b,a) both appear in the
   // squared norm, so each unordered pair contributes coefficient

@@ -143,16 +143,39 @@ LocalUpdateResult LocalTrainer::TrainImpl(
 
     double bce_loss = 0.0;
     Scorer::TrainCache cache;
+    if (options.use_batched) {
+      // The epoch's item list is shared by every task's forward block.
+      const size_t n = samples.size();
+      sample_items_.resize(n);
+      logits_.resize(n);
+      dlogits_.resize(n);
+      for (size_t b = 0; b < n; ++b) sample_items_[b] = samples[b].item;
+    }
     for (size_t t = 0; t < tasks.size(); ++t) {
       Scorer& sc = scorers[t];
       sc.BeginUser(client->user_embedding.Row(0), vtab, train_items);
-      for (const Sample& s : samples) {
-        double logit = sc.ScoreForTrain(vtab, theta_local_[t], s.item,
-                                        &cache);
-        bce_loss += BceWithLogits(logit, s.label);
-        sc.BackwardSample(theta_local_[t], cache,
-                          BceWithLogitsGrad(logit, s.label), &vgrad,
-                          u_grad_.Row(0), &theta_grad_[t]);
+      if (options.use_batched) {
+        // One forward block and one backward block per task; losses and
+        // dlogits materialize in sample order, so every accumulator
+        // (bce_loss, gradients) sums in the per-sample reference order.
+        const size_t n = samples.size();
+        sc.ScoreForTrainBatch(vtab, theta_local_[t], sample_items_.data(), n,
+                              &batch_cache_, logits_.data());
+        for (size_t b = 0; b < n; ++b) {
+          bce_loss += BceWithLogits(logits_[b], samples[b].label);
+          dlogits_[b] = BceWithLogitsGrad(logits_[b], samples[b].label);
+        }
+        sc.BackwardBatch(theta_local_[t], batch_cache_, dlogits_.data(),
+                         &vgrad, u_grad_.Row(0), &theta_grad_[t]);
+      } else {
+        for (const Sample& s : samples) {
+          double logit = sc.ScoreForTrain(vtab, theta_local_[t], s.item,
+                                          &cache);
+          bce_loss += BceWithLogits(logit, s.label);
+          sc.BackwardSample(theta_local_[t], cache,
+                            BceWithLogitsGrad(logit, s.label), &vgrad,
+                            u_grad_.Row(0), &theta_grad_[t]);
+        }
       }
       sc.FinishUserBackward(&vgrad, u_grad_.Row(0));
     }
@@ -190,9 +213,21 @@ LocalUpdateResult LocalTrainer::TrainImpl(
       Scorer& own = scorers.back();
       own.BeginUser(client->user_embedding.Row(0), vtab, fit_items);
       double val = 0.0;
-      for (const Sample& s : val_samples) {
-        val += BceWithLogits(own.Score(vtab, theta_local_.back(), s.item),
-                             s.label);
+      if (options.use_batched) {
+        const size_t n = val_samples.size();
+        val_items_.resize(n);
+        val_scores_.resize(n);
+        for (size_t b = 0; b < n; ++b) val_items_[b] = val_samples[b].item;
+        own.ScoreBatch(vtab, theta_local_.back(), val_items_.data(), n,
+                       val_scores_.data());
+        for (size_t b = 0; b < n; ++b) {
+          val += BceWithLogits(val_scores_[b], val_samples[b].label);
+        }
+      } else {
+        for (const Sample& s : val_samples) {
+          val += BceWithLogits(own.Score(vtab, theta_local_.back(), s.item),
+                               s.label);
+        }
       }
       val /= static_cast<double>(val_samples.size());
       result.train_samples += val_samples.size();

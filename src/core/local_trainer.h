@@ -90,6 +90,12 @@ struct LocalTrainerOptions {
   /// ExperimentConfig::use_sparse_updates (default true) switches the
   /// experiment pipeline to the sparse path.
   bool use_sparse = false;
+  /// Batched scoring: run each epoch's sample set as one
+  /// ScoreForTrainBatch/BackwardBatch block per task (and validation as one
+  /// ScoreBatch) instead of per-sample calls. Bit-identical either way
+  /// (src/math/kernels.h); false keeps the per-sample reference for
+  /// equivalence tests and benchmarks.
+  bool use_batched = true;
   /// When true, `params_up` counts the scalars the sparse upload actually
   /// ships (touched rows × (width + 1) + Θ). When false (default),
   /// `params_up` reports the paper's dense accounting regardless of path,
@@ -141,6 +147,14 @@ class LocalTrainer {
   Matrix u_grad_;
   std::vector<FeedForwardNet> theta_local_;  // download buffers (reused)
   std::vector<FeedForwardNet> theta_grad_;   // gradient accumulators
+
+  // Batched-scoring scratch (options.use_batched).
+  Scorer::BatchTrainCache batch_cache_;
+  std::vector<ItemId> sample_items_;
+  std::vector<double> logits_;
+  std::vector<double> dlogits_;
+  std::vector<ItemId> val_items_;
+  std::vector<double> val_scores_;
 };
 
 }  // namespace hetefedrec

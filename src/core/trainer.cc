@@ -41,6 +41,28 @@ size_t EffectiveThreads(const ExperimentConfig& cfg) {
   return hw > 0 ? hw : 1;
 }
 
+/// Shared evaluator scoring dispatch: the per-item reference loop, the
+/// in-place ScoreRange over the full span (full mode passes the contiguous
+/// ids [0, num_items)), or the id-list ScoreBatch (candidate mode).
+/// Requires a prior BeginUser on `sc`.
+void ScoreIdsForEval(const Scorer& sc, const Matrix& table,
+                     const FeedForwardNet& theta,
+                     const std::vector<ItemId>& ids, bool use_batched,
+                     bool full_span, double* out) {
+  if (!use_batched) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      out[i] = sc.Score(table, theta, ids[i]);
+    }
+  } else if (full_span) {
+    // full_span promises ids == [0, table.rows()); scoring the wrong span
+    // here would silently corrupt metrics.
+    HFR_CHECK_EQ(ids.size(), table.rows());
+    sc.ScoreRange(table, theta, 0, ids.size(), out);
+  } else {
+    sc.ScoreBatch(table, theta, ids.data(), ids.size(), out);
+  }
+}
+
 MethodSetup BuildSetup(const ExperimentConfig& cfg, Method method) {
   MethodSetup s;
   const auto& dims = cfg.dims;
@@ -182,6 +204,7 @@ ExperimentResult ExperimentRunner::RunFederated(Method method) const {
   if (delta_sync) {
     SyncService::Options sync_opts;
     sync_opts.verify_values = cfg.sync_verify_replicas;
+    sync_opts.replica_cap = cfg.sync_replica_cap;
     sync = std::make_unique<SyncService>(dataset_.num_users(), sync_opts);
   }
   NetworkOptions net_opts;
@@ -199,7 +222,7 @@ ExperimentResult ExperimentRunner::RunFederated(Method method) const {
       cfg.straggler_slack > 0 || cfg.round_deadline > 0.0;
 
   Evaluator evaluator(dataset_, groups_, cfg.top_k, cfg.eval_user_sample,
-                      cfg.seed ^ 0xe5a1ULL);
+                      cfg.seed ^ 0xe5a1ULL, cfg.eval_candidate_sample);
   // One Scorer per (executing thread, slot), constructed once and reused
   // for every evaluated user (Scorer construction allocates per-width
   // scratch; the evaluator likewise reuses per-thread scores buffers).
@@ -211,17 +234,15 @@ ExperimentResult ExperimentRunner::RunFederated(Method method) const {
     }
   }
   auto score_fn = [&](UserId u, size_t thread_slot,
-                      std::vector<double>* scores) {
+                      const std::vector<ItemId>& ids, double* out) {
     const ClientState& c = clients[u];
     size_t slot = setup.slot_of_group[static_cast<int>(c.group)];
     Scorer& sc = eval_scorers[thread_slot][slot];
     sc.BeginUser(c.user_embedding.Row(0), server.table(slot),
                  dataset_.TrainItems(u));
-    scores->resize(dataset_.num_items());
-    for (size_t j = 0; j < dataset_.num_items(); ++j) {
-      (*scores)[j] = sc.Score(server.table(slot), server.theta(slot),
-                              static_cast<ItemId>(j));
-    }
+    ScoreIdsForEval(sc, server.table(slot), server.theta(slot), ids,
+                    cfg.use_batched_scoring, cfg.eval_candidate_sample == 0,
+                    out);
   };
 
   ExperimentResult result;
@@ -281,6 +302,7 @@ ExperimentResult ExperimentRunner::RunFederated(Method method) const {
         lopt.ddr_sample_rows = cfg.ddr_sample_rows;
         lopt.validation_fraction = cfg.local_validation_fraction;
         lopt.use_sparse = cfg.use_sparse_updates;
+        lopt.use_batched = cfg.use_batched_scoring;
         lopt.sparse_comm_accounting = cfg.sparse_comm_accounting;
 
         size_t slot = setup.slot_of_group[g];
@@ -455,14 +477,14 @@ ExperimentResult ExperimentRunner::RunStandalone() const {
     locals.push_back(std::make_unique<LocalTrainer>(dataset_, cfg.base_model));
   }
   Evaluator evaluator(dataset_, groups_, cfg.top_k, cfg.eval_user_sample,
-                      cfg.seed ^ 0xe5a1ULL);
+                      cfg.seed ^ 0xe5a1ULL, cfg.eval_candidate_sample);
 
   // Train-and-score each evaluated user in isolation: no parameters are
   // ever exchanged, which is exactly the baseline's premise. Training
   // budget matches federated clients: global_epochs x local_epochs local
   // passes over the user's own data.
   auto score_fn = [&](UserId u, size_t thread_slot,
-                      std::vector<double>* scores) {
+                      const std::vector<ItemId>& ids, double* out) {
     LocalTrainer& local = *locals[thread_slot];
     Group g = groups_.of(u);
     size_t width = cfg.dims[static_cast<int>(g)];
@@ -481,6 +503,7 @@ ExperimentResult ExperimentRunner::RunStandalone() const {
     lopt.lr = cfg.lr;
     lopt.apply_ddr = false;
     lopt.use_sparse = cfg.use_sparse_updates;
+    lopt.use_batched = cfg.use_batched_scoring;
     lopt.sparse_comm_accounting = cfg.sparse_comm_accounting;
     LocalUpdateResult update =
         local.Train(&client, table, {&theta}, tasks, lopt);
@@ -494,10 +517,8 @@ ExperimentResult ExperimentRunner::RunStandalone() const {
     Scorer sc(cfg.base_model, width);
     sc.BeginUser(client.user_embedding.Row(0), table,
                  dataset_.TrainItems(u));
-    scores->resize(dataset_.num_items());
-    for (size_t j = 0; j < dataset_.num_items(); ++j) {
-      (*scores)[j] = sc.Score(table, theta, static_cast<ItemId>(j));
-    }
+    ScoreIdsForEval(sc, table, theta, ids, cfg.use_batched_scoring,
+                    cfg.eval_candidate_sample == 0, out);
   };
 
   ExperimentResult result;

@@ -1,18 +1,23 @@
 #include "src/eval/evaluator.h"
 
+#include <algorithm>
 #include <numeric>
 #include <unordered_set>
 
 #include "src/eval/metrics.h"
 #include "src/util/logging.h"
-#include "src/util/rng.h"
 #include "src/util/thread_pool.h"
 
 namespace hetefedrec {
 
 Evaluator::Evaluator(const Dataset& ds, const GroupAssignment& assignment,
-                     size_t top_k, size_t user_sample, uint64_t seed)
-    : ds_(ds), assignment_(assignment), top_k_(top_k) {
+                     size_t top_k, size_t user_sample, uint64_t seed,
+                     size_t candidate_sample)
+    : ds_(ds),
+      assignment_(assignment),
+      top_k_(top_k),
+      candidate_sample_(candidate_sample),
+      candidate_root_(seed ^ 0xca9d1da7e5ULL) {
   users_.resize(ds.num_users());
   std::iota(users_.begin(), users_.end(), 0);
   if (user_sample > 0 && user_sample < users_.size()) {
@@ -20,17 +25,41 @@ Evaluator::Evaluator(const Dataset& ds, const GroupAssignment& assignment,
     rng.Shuffle(&users_);
     users_.resize(user_sample);
   }
+  all_items_.resize(ds.num_items());
+  std::iota(all_items_.begin(), all_items_.end(), 0);
 }
 
-GroupedEval Evaluator::Evaluate(const ScoreFn& score_fn) const {
-  return Evaluate(
-      [&score_fn](UserId u, size_t /*thread_slot*/,
-                  std::vector<double>* scores) { score_fn(u, scores); },
-      /*pool=*/nullptr);
+std::vector<ItemId> Evaluator::CandidateItems(UserId u) const {
+  const auto& test_items = ds_.TestItems(u);
+  std::vector<ItemId> ids(test_items.begin(), test_items.end());
+  const size_t interacted = ds_.InteractionCount(u);
+  const size_t never_seen =
+      ds_.num_items() > interacted ? ds_.num_items() - interacted : 0;
+  if (candidate_sample_ >= never_seen) {
+    // Degenerate catalogue: every never-interacted item is a candidate.
+    for (ItemId j = 0; j < static_cast<ItemId>(ds_.num_items()); ++j) {
+      if (!ds_.HasInteracted(u, j)) ids.push_back(j);
+    }
+  } else {
+    // Rejection-sample distinct never-interacted items. Forking per user
+    // makes the draw independent of evaluation order and thread count.
+    Rng rng = candidate_root_.Fork(u);
+    std::unordered_set<ItemId> chosen;
+    chosen.reserve(candidate_sample_);
+    while (chosen.size() < candidate_sample_) {
+      ItemId j = static_cast<ItemId>(rng.UniformInt(ds_.num_items()));
+      if (ds_.HasInteracted(u, j)) continue;
+      if (chosen.insert(j).second) ids.push_back(j);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
 }
 
-GroupedEval Evaluator::Evaluate(const ThreadedScoreFn& score_fn,
-                                ThreadPool* pool) const {
+template <typename PerUserFn>
+GroupedEval Evaluator::Reduce(const PerUserFn& eval_user,
+                              ThreadPool* pool) const {
   // Per-user metrics land in per-index slots; the reduction below walks
   // them in user order, so sums (and therefore results) are bit-identical
   // for any thread count.
@@ -38,33 +67,13 @@ GroupedEval Evaluator::Evaluate(const ThreadedScoreFn& score_fn,
   std::vector<double> ndcg(users_.size(), 0.0);
   std::vector<uint8_t> counted(users_.size(), 0);
 
-  const size_t n_slots = pool != nullptr ? pool->num_slots() : 1;
-  // Per-thread scratch: the candidate scores and the train-item mask.
-  std::vector<std::vector<double>> scores(n_slots);
-  std::vector<std::vector<bool>> masked(n_slots,
-                                        std::vector<bool>(ds_.num_items()));
-
-  auto eval_user = [&](size_t k, size_t slot) {
-    const UserId u = users_[k];
-    const auto& test_items = ds_.TestItems(u);
-    if (test_items.empty()) return;
-    score_fn(u, slot, &scores[slot]);
-    HFR_CHECK_EQ(scores[slot].size(), ds_.num_items());
-
-    std::fill(masked[slot].begin(), masked[slot].end(), false);
-    for (ItemId i : ds_.TrainItems(u)) masked[slot][i] = true;
-
-    std::unordered_set<ItemId> relevant(test_items.begin(), test_items.end());
-    std::vector<ItemId> topk = TopKItems(scores[slot], masked[slot], top_k_);
-    recall[k] = RecallAtK(topk, relevant);
-    ndcg[k] = NdcgAtK(topk, relevant);
-    counted[k] = 1;
+  auto run_one = [&](size_t k, size_t slot) {
+    eval_user(k, slot, &recall[k], &ndcg[k], &counted[k]);
   };
-
   if (pool != nullptr && pool->num_workers() > 0) {
-    pool->ParallelFor(users_.size(), eval_user);
+    pool->ParallelFor(users_.size(), run_one);
   } else {
-    for (size_t k = 0; k < users_.size(); ++k) eval_user(k, 0);
+    for (size_t k = 0; k < users_.size(); ++k) run_one(k, 0);
   }
 
   double sum_recall[1 + kNumGroups] = {0};
@@ -94,6 +103,79 @@ GroupedEval Evaluator::Evaluate(const ThreadedScoreFn& score_fn,
   out.overall = finalize(0);
   for (int g = 0; g < kNumGroups; ++g) out.per_group[g] = finalize(1 + g);
   return out;
+}
+
+GroupedEval Evaluator::Evaluate(const ScoreFn& score_fn) const {
+  return Evaluate(
+      [&score_fn](UserId u, size_t /*thread_slot*/,
+                  std::vector<double>* scores) { score_fn(u, scores); },
+      /*pool=*/nullptr);
+}
+
+GroupedEval Evaluator::Evaluate(const ThreadedScoreFn& score_fn,
+                                ThreadPool* pool) const {
+  const size_t n_slots = pool != nullptr ? pool->num_slots() : 1;
+  // Per-thread scratch: the candidate scores and the train-item mask.
+  std::vector<std::vector<double>> scores(n_slots);
+  std::vector<std::vector<bool>> masked(n_slots,
+                                        std::vector<bool>(ds_.num_items()));
+
+  auto eval_user = [&](size_t k, size_t slot, double* recall, double* ndcg,
+                       uint8_t* counted) {
+    const UserId u = users_[k];
+    const auto& test_items = ds_.TestItems(u);
+    if (test_items.empty()) return;
+    score_fn(u, slot, &scores[slot]);
+    HFR_CHECK_EQ(scores[slot].size(), ds_.num_items());
+
+    std::fill(masked[slot].begin(), masked[slot].end(), false);
+    for (ItemId i : ds_.TrainItems(u)) masked[slot][i] = true;
+
+    std::unordered_set<ItemId> relevant(test_items.begin(), test_items.end());
+    std::vector<ItemId> topk = TopKItems(scores[slot], masked[slot], top_k_);
+    *recall = RecallAtK(topk, relevant);
+    *ndcg = NdcgAtK(topk, relevant);
+    *counted = 1;
+  };
+  return Reduce(eval_user, pool);
+}
+
+GroupedEval Evaluator::Evaluate(const BatchScoreFn& score_fn,
+                                ThreadPool* pool) const {
+  const size_t n_slots = pool != nullptr ? pool->num_slots() : 1;
+  std::vector<std::vector<double>> scores(n_slots);
+  std::vector<std::vector<bool>> masked(n_slots);
+  if (candidate_sample_ == 0) {
+    for (auto& m : masked) m.resize(ds_.num_items());
+  }
+
+  auto eval_user = [&](size_t k, size_t slot, double* recall, double* ndcg,
+                       uint8_t* counted) {
+    const UserId u = users_[k];
+    const auto& test_items = ds_.TestItems(u);
+    if (test_items.empty()) return;
+    std::unordered_set<ItemId> relevant(test_items.begin(), test_items.end());
+    std::vector<ItemId> topk;
+    if (candidate_sample_ == 0) {
+      // Full-catalogue ranking over the contiguous id span.
+      scores[slot].resize(ds_.num_items());
+      score_fn(u, slot, all_items_, scores[slot].data());
+      std::fill(masked[slot].begin(), masked[slot].end(), false);
+      for (ItemId i : ds_.TrainItems(u)) masked[slot][i] = true;
+      topk = TopKItems(scores[slot], masked[slot], top_k_);
+    } else {
+      // Candidate slice: test items + seeded negatives. Train items are
+      // excluded by construction, so no mask is needed.
+      std::vector<ItemId> ids = CandidateItems(u);
+      scores[slot].resize(ids.size());
+      score_fn(u, slot, ids, scores[slot].data());
+      topk = TopKFromCandidates(ids, scores[slot], top_k_);
+    }
+    *recall = RecallAtK(topk, relevant);
+    *ndcg = NdcgAtK(topk, relevant);
+    *counted = 1;
+  };
+  return Reduce(eval_user, pool);
 }
 
 }  // namespace hetefedrec

@@ -1,4 +1,4 @@
-// Top-K ranking evaluation over the full catalogue.
+// Top-K ranking evaluation over the full catalogue or a candidate slice.
 //
 // Protocol (§V-A/B): for each user, score every item the user has not
 // trained on, take the top-20, and compute Recall@20 / NDCG@20 against the
@@ -6,9 +6,17 @@
 // (Fig. 6 breaks NDCG down by Us/Um/Ul).
 //
 // Users are independent, so evaluation parallelizes over them: the
-// ThreadPool overload computes per-user metrics into per-index slots and
-// reduces them serially in user order, making the result bit-identical for
+// ThreadPool overloads compute per-user metrics into per-index slots and
+// reduce them serially in user order, making the result bit-identical for
 // every thread count (asserted by tests/eval/evaluator_test.cc).
+//
+// Candidate-sliced evaluation (`candidate_sample > 0`) scores only each
+// user's test items plus a seeded sample of never-interacted negative
+// candidates (He et al.'s sampled-candidate protocol) instead of the whole
+// catalogue — O(test + candidates) per user instead of O(items). It is off
+// by default so the paper's full-ranking metrics are unchanged; when on,
+// the candidate top-K equals the full top-K restricted to the candidate
+// set (same ordering — pinned by tests/eval/evaluator_test.cc).
 #ifndef HETEFEDREC_EVAL_EVALUATOR_H_
 #define HETEFEDREC_EVAL_EVALUATOR_H_
 
@@ -19,6 +27,7 @@
 #include "src/data/dataset.h"
 #include "src/fed/group.h"
 #include "src/fed/groups.h"
+#include "src/util/rng.h"
 
 namespace hetefedrec {
 
@@ -54,30 +63,63 @@ class Evaluator {
   using ThreadedScoreFn = std::function<void(
       UserId user, size_t thread_slot, std::vector<double>* scores)>;
 
+  /// Scores an explicit item-id list for a user: writes ids.size() logits
+  /// into `out`, out[i] scoring ids[i]. The evaluator passes the full
+  /// catalogue span in full mode and the user's candidate slice in
+  /// candidate mode, so one callback (typically Scorer::ScoreBatch) serves
+  /// both. Same concurrency contract as ThreadedScoreFn.
+  using BatchScoreFn = std::function<void(
+      UserId user, size_t thread_slot, const std::vector<ItemId>& ids,
+      double* out)>;
+
   /// \param ds dataset (test sets + train masks).
   /// \param assignment client group division (for the per-group breakdown).
   /// \param top_k recommendation list length (paper: 20).
   /// \param user_sample evaluate only this many users (0 = all); users are
   ///   drawn deterministically from `seed` so curves are comparable across
   ///   epochs and methods.
+  /// \param candidate_sample negative candidates per user for
+  ///   candidate-sliced evaluation; 0 = rank the full catalogue. Candidate
+  ///   draws are seeded per user, independent of thread count.
   Evaluator(const Dataset& ds, const GroupAssignment& assignment,
-            size_t top_k = 20, size_t user_sample = 0, uint64_t seed = 9177);
+            size_t top_k = 20, size_t user_sample = 0, uint64_t seed = 9177,
+            size_t candidate_sample = 0);
 
   /// Evaluates `score_fn` over the (sampled) user population, serially.
+  /// Full-catalogue mode only (ignores candidate_sample).
   GroupedEval Evaluate(const ScoreFn& score_fn) const;
 
   /// Parallel evaluation over users. `pool` may be null (serial). Result is
   /// bit-identical to the serial overload for any thread count.
+  /// Full-catalogue mode only (ignores candidate_sample).
   GroupedEval Evaluate(const ThreadedScoreFn& score_fn,
                        ThreadPool* pool) const;
 
+  /// Parallel evaluation through the id-list callback: full-catalogue
+  /// ranking when candidate_sample is 0 (bit-identical to the
+  /// ThreadedScoreFn overload given the same per-item scores), the
+  /// candidate slice otherwise.
+  GroupedEval Evaluate(const BatchScoreFn& score_fn, ThreadPool* pool) const;
+
+  /// The candidate id list for `u`: test items plus `candidate_sample`
+  /// seeded never-interacted negatives, ascending and duplicate-free.
+  /// Exposed for the candidate-vs-full pinning test.
+  std::vector<ItemId> CandidateItems(UserId u) const;
+
   const std::vector<UserId>& eval_users() const { return users_; }
+  size_t candidate_sample() const { return candidate_sample_; }
 
  private:
+  template <typename PerUserFn>
+  GroupedEval Reduce(const PerUserFn& eval_user, ThreadPool* pool) const;
+
   const Dataset& ds_;
   const GroupAssignment& assignment_;
   size_t top_k_;
+  size_t candidate_sample_;
+  Rng candidate_root_;  // forked per user for candidate draws
   std::vector<UserId> users_;
+  std::vector<ItemId> all_items_;  // iota span for full-mode BatchScoreFn
 };
 
 }  // namespace hetefedrec

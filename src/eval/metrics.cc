@@ -93,4 +93,21 @@ std::vector<ItemId> TopKItems(const std::vector<double>& scores,
   return candidates;
 }
 
+std::vector<ItemId> TopKFromCandidates(const std::vector<ItemId>& ids,
+                                       const std::vector<double>& scores,
+                                       size_t k) {
+  HFR_CHECK_EQ(ids.size(), scores.size());
+  std::vector<size_t> order(ids.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  k = std::min(k, order.size());
+  auto better = [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return ids[a] < ids[b];
+  };
+  std::partial_sort(order.begin(), order.begin() + k, order.end(), better);
+  std::vector<ItemId> topk(k);
+  for (size_t i = 0; i < k; ++i) topk[i] = ids[order[i]];
+  return topk;
+}
+
 }  // namespace hetefedrec

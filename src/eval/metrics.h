@@ -26,6 +26,14 @@ double NdcgAtK(const std::vector<ItemId>& topk,
 std::vector<ItemId> TopKItems(const std::vector<double>& scores,
                               const std::vector<bool>& masked, size_t k);
 
+/// Top-K over an explicit candidate list: `scores[i]` is the score of
+/// `ids[i]`. Uses the same (score descending, item id ascending) order as
+/// TopKItems, so the result equals TopKItems' full ranking restricted to
+/// the candidate set — the invariant behind candidate-sliced evaluation.
+std::vector<ItemId> TopKFromCandidates(const std::vector<ItemId>& ids,
+                                       const std::vector<double>& scores,
+                                       size_t k);
+
 // --- Supplementary ranking metrics ----------------------------------------
 // The paper reports Recall@20 and NDCG@20; these are provided for users of
 // the library who want the other standard top-K diagnostics.

@@ -9,18 +9,23 @@
 // the live table).
 //
 // Memory is proportional to the rows the client has ever subscribed to
-// (its interacted items + sampled negatives), not the catalogue.
+// (its interacted items + sampled negatives), not the catalogue — and with
+// a capacity set, to min(rows subscribed, capacity): the replica evicts its
+// least recently used rows and the protocol simply re-ships them on the
+// next subscription (a miss looks exactly like a never-held row).
 #ifndef HETEFEDREC_FED_SYNC_REPLICA_H_
 #define HETEFEDREC_FED_SYNC_REPLICA_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <list>
 #include <unordered_map>
 #include <vector>
 
 namespace hetefedrec {
 
-/// \brief One client's cached (row → version [, values]) state.
+/// \brief One client's cached (row → version [, values]) state with an
+/// optional LRU capacity.
 class ClientReplica {
  public:
   /// Sentinel "never shipped" version; any real version compares newer.
@@ -31,12 +36,17 @@ class ClientReplica {
   size_t slot() const { return slot_; }
   void set_slot(size_t slot) { slot_ = slot; }
 
+  /// Maximum rows held (0 = unlimited). Exceeding rows are evicted least
+  /// recently used first; an evicted row reads as never held.
+  size_t capacity() const { return capacity_; }
+  void set_capacity(size_t capacity);
+
   size_t rows_held() const { return held_.size(); }
 
   /// Version the client holds for `row`, or kNeverHeld.
   uint64_t HeldVersion(uint32_t row) const {
     auto it = held_.find(row);
-    return it == held_.end() ? kNeverHeld : it->second;
+    return it == held_.end() ? kNeverHeld : it->second.version;
   }
 
   bool IsStale(uint32_t row, uint64_t current_version) const {
@@ -44,8 +54,13 @@ class ClientReplica {
     return held == kNeverHeld || held < current_version;
   }
 
-  /// Records that the client now holds `row` at `version`.
-  void Hold(uint32_t row, uint64_t version) { held_[row] = version; }
+  /// Records that the client now holds `row` at `version`, marks it most
+  /// recently used, and evicts LRU rows beyond the capacity.
+  void Hold(uint32_t row, uint64_t version);
+
+  /// Marks a held row most recently used (a subscription read that needed
+  /// no ship still pins the row's recency). No-op for unheld rows.
+  void Touch(uint32_t row);
 
   /// Records the shipped bytes (verification mode only).
   void HoldValues(uint32_t row, const double* data, size_t width);
@@ -57,10 +72,21 @@ class ClientReplica {
   void Invalidate();
 
  private:
+  struct Entry {
+    uint64_t version = 0;
+    std::list<uint32_t>::iterator lru;  // position in lru_ (front = hottest)
+  };
+
+  void EvictOverCapacity();
+
   size_t slot_ = kNoSlot;
-  std::unordered_map<uint32_t, uint64_t> held_;
-  // Verification mode: row → offset into values_ (rows never shrink).
+  size_t capacity_ = 0;
+  std::unordered_map<uint32_t, Entry> held_;
+  std::list<uint32_t> lru_;  // most recently used at the front
+  // Verification mode: row → offset into values_. Slots of evicted rows are
+  // recycled through free_value_pos_ so capped replicas stay bounded.
   std::unordered_map<uint32_t, size_t> value_pos_;
+  std::vector<size_t> free_value_pos_;
   std::vector<double> values_;
 };
 

@@ -8,7 +8,13 @@ SyncService::SyncService(size_t num_users)
     : SyncService(num_users, Options()) {}
 
 SyncService::SyncService(size_t num_users, const Options& options)
-    : options_(options), replicas_(num_users) {}
+    : options_(options), replicas_(num_users) {
+  if (options_.replica_cap > 0) {
+    for (ClientReplica& rep : replicas_) {
+      rep.set_capacity(options_.replica_cap);
+    }
+  }
+}
 
 SyncPlan SyncService::Sync(UserId u, size_t slot,
                            const std::vector<uint32_t>& subscription,
@@ -35,15 +41,21 @@ SyncPlan SyncService::Sync(UserId u, size_t slot,
       if (options_.verify_values) {
         rep.HoldValues(row, table.Row(row), width);
       }
-    } else if (options_.verify_values) {
-      // Losslessness: a row we decline to ship must still be byte-for-byte
-      // what the client holds. A failure here means a server mutation
-      // skipped its version stamp.
-      const double* cached = rep.Values(row, width);
-      HFR_CHECK(cached != nullptr);
-      const double* live = table.Row(row);
-      for (size_t d = 0; d < width; ++d) {
-        HFR_CHECK(cached[d] == live[d]);
+    } else {
+      // An up-to-date subscription read still pins the row's recency:
+      // under a capacity the working set a client keeps re-reading should
+      // outlive rows it subscribed to once.
+      rep.Touch(row);
+      if (options_.verify_values) {
+        // Losslessness: a row we decline to ship must still be
+        // byte-for-byte what the client holds. A failure here means a
+        // server mutation skipped its version stamp.
+        const double* cached = rep.Values(row, width);
+        HFR_CHECK(cached != nullptr);
+        const double* live = table.Row(row);
+        for (size_t d = 0; d < width; ++d) {
+          HFR_CHECK(cached[d] == live[d]);
+        }
       }
     }
   }

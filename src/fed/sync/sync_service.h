@@ -50,6 +50,11 @@ class SyncService {
     /// (up-to-date) subscribed row is bit-identical to the live server row.
     /// O(rows held × width) memory per client — for tests and audits.
     bool verify_values = false;
+    /// Per-client LRU cap on replica rows (0 = unlimited). Evicted rows
+    /// read as never held and are simply re-shipped on the next
+    /// subscription, so the protocol stays lossless; `params_down` rises
+    /// with the miss rate (ExperimentConfig::sync_replica_cap).
+    size_t replica_cap = 0;
   };
 
   explicit SyncService(size_t num_users);

@@ -2,6 +2,7 @@
 
 #include "src/math/activations.h"
 #include "src/math/init.h"
+#include "src/math/kernels.h"
 
 namespace hetefedrec {
 
@@ -33,9 +34,10 @@ double FeedForwardNet::Forward(const double* x, Cache* cache) const {
     cache->pre.resize(weights_.size());
     cache->post.resize(weights_.size());
   }
-  // Forward runs per (sample × task × epoch) during training and per item
-  // during full-catalogue scoring; thread-local ping-pong buffers keep the
-  // hot path allocation-free (each round thread has its own pair).
+  // Per-sample Forward is the *reference* implementation the batched
+  // kernels are pinned bit-identical against; it keeps the plain scalar
+  // loops on purpose (thread-local ping-pong buffers keep it
+  // allocation-free). The hot paths run ForwardBatch instead.
   thread_local std::vector<double> cur;
   thread_local std::vector<double> next;
   cur.assign(x, x + input_dim_);
@@ -61,13 +63,98 @@ double FeedForwardNet::Forward(const double* x, Cache* cache) const {
   return cur[0];
 }
 
+void FeedForwardNet::ForwardBatch(const double* x, size_t batch,
+                                  BatchCache* cache, double* logits) const {
+  HFR_CHECK(!weights_.empty());
+  if (cache) cache->batch = batch;
+  if (batch == 0) return;
+  if (cache) {
+    cache->input.assign(x, x + batch * input_dim_);
+    cache->pre.resize(weights_.size());
+    cache->post.resize(weights_.size());
+  }
+  thread_local std::vector<double> cur;
+  thread_local std::vector<double> next;
+  const double* src = x;  // first layer reads the caller's block in place
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    const Matrix& w = weights_[l];
+    const Matrix& b = biases_[l];
+    next.resize(batch * w.cols());
+    GemvBatchBiased(src, batch, w.rows(), w.data().data(), b.data().data(),
+                    w.cols(), next.data());
+    if (cache) cache->pre[l].assign(next.begin(), next.end());
+    const bool is_output = (l + 1 == weights_.size());
+    if (!is_output) {
+      for (double& v : next) v = Relu(v);
+    }
+    if (cache) cache->post[l].assign(next.begin(), next.end());
+    std::swap(cur, next);
+    src = cur.data();
+  }
+  // The output layer has one column, so cur is batch x 1.
+  std::copy(cur.begin(), cur.end(), logits);
+}
+
+void FeedForwardNet::ForwardPrefix(const double* x, size_t split,
+                                   double* acc) const {
+  HFR_CHECK(!weights_.empty());
+  const Matrix& w = weights_[0];
+  const Matrix& b = biases_[0];
+  HFR_CHECK_LE(split, w.rows());
+  for (size_t j = 0; j < w.cols(); ++j) acc[j] = b(0, j);
+  for (size_t i = 0; i < split; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* wrow = w.Row(i);
+    for (size_t j = 0; j < w.cols(); ++j) acc[j] += xi * wrow[j];
+  }
+}
+
+void FeedForwardNet::ForwardBatchFromPrefix(const double* prefix,
+                                            const double* suffix,
+                                            size_t batch, size_t suffix_dim,
+                                            size_t suffix_stride,
+                                            double* logits) const {
+  HFR_CHECK(!weights_.empty());
+  if (batch == 0) return;
+  const Matrix& w0 = weights_[0];
+  HFR_CHECK_LE(suffix_dim, w0.rows());
+  const size_t split = w0.rows() - suffix_dim;
+  thread_local std::vector<double> cur;
+  thread_local std::vector<double> next;
+  next.resize(batch * w0.cols());
+  GemvBatchResume(suffix, batch, suffix_stride, suffix_dim,
+                  w0.data().data() + split * w0.cols(), prefix, w0.cols(),
+                  next.data());
+  if (weights_.size() > 1) {
+    for (double& v : next) v = Relu(v);
+  }
+  std::swap(cur, next);
+  const double* src = cur.data();
+  for (size_t l = 1; l < weights_.size(); ++l) {
+    const Matrix& w = weights_[l];
+    const Matrix& b = biases_[l];
+    next.resize(batch * w.cols());
+    GemvBatchBiased(src, batch, w.rows(), w.data().data(), b.data().data(),
+                    w.cols(), next.data());
+    const bool is_output = (l + 1 == weights_.size());
+    if (!is_output) {
+      for (double& v : next) v = Relu(v);
+    }
+    std::swap(cur, next);
+    src = cur.data();
+  }
+  std::copy(cur.begin(), cur.end(), logits);
+}
+
 void FeedForwardNet::Backward(const Cache& cache, double dlogit,
                               FeedForwardNet* grads, double* dx) const {
   HFR_CHECK(grads != nullptr);
   HFR_CHECK_EQ(grads->weights_.size(), weights_.size());
   const size_t L = weights_.size();
   // delta = dL/d(pre-activation of layer l), starting at the output logit.
-  // Thread-local ping-pong buffers for the same reason as Forward's.
+  // Like Forward, this is the scalar reference path the batched kernels
+  // are pinned against; thread-local ping-pong buffers as above.
   thread_local std::vector<double> delta;
   thread_local std::vector<double> prev_delta;
   delta.assign(1, dlogit);
@@ -101,6 +188,39 @@ void FeedForwardNet::Backward(const Cache& cache, double dlogit,
       std::swap(delta, prev_delta);
     } else if (dx) {
       for (size_t i = 0; i < input_dim_; ++i) dx[i] = prev_delta[i];
+    }
+  }
+}
+
+void FeedForwardNet::BackwardBatch(const BatchCache& cache,
+                                   const double* dlogits, FeedForwardNet* grads,
+                                   double* dx) const {
+  HFR_CHECK(grads != nullptr);
+  HFR_CHECK_EQ(grads->weights_.size(), weights_.size());
+  const size_t batch = cache.batch;
+  if (batch == 0) return;
+  const size_t L = weights_.size();
+  thread_local std::vector<double> delta;
+  thread_local std::vector<double> prev_delta;
+  delta.assign(dlogits, dlogits + batch);  // output layer: batch x 1
+  for (size_t l = L; l-- > 0;) {
+    const std::vector<double>& layer_in =
+        (l == 0) ? cache.input : cache.post[l - 1];
+    const Matrix& w = weights_[l];
+    AccumulateOuterBatch(layer_in.data(), delta.data(), batch, w.rows(),
+                         w.cols(), grads->weights_[l].data().data(),
+                         grads->biases_[l].data().data());
+    prev_delta.resize(batch * w.rows());
+    GemvBatchTransposed(delta.data(), batch, w.cols(), w.data().data(),
+                        w.rows(), prev_delta.data());
+    if (l > 0) {
+      const std::vector<double>& pre = cache.pre[l - 1];
+      for (size_t t = 0; t < prev_delta.size(); ++t) {
+        prev_delta[t] *= ReluGrad(pre[t]);
+      }
+      std::swap(delta, prev_delta);
+    } else if (dx) {
+      std::copy(prev_delta.begin(), prev_delta.end(), dx);
     }
   }
 }

@@ -41,15 +41,56 @@ class FeedForwardNet {
     std::vector<std::vector<double>> post;   // post-activation per layer
   };
 
+  /// Batch-of-samples activations needed by BackwardBatch. Layout mirrors
+  /// Cache with every buffer widened to `batch` packed rows.
+  struct BatchCache {
+    size_t batch = 0;
+    std::vector<double> input;               // batch x input_dim
+    std::vector<std::vector<double>> pre;    // per layer, batch x width_l
+    std::vector<std::vector<double>> post;   // per layer, batch x width_l
+  };
+
   /// Computes the output logit for input `x` (length input_dim). If `cache`
   /// is non-null it is filled for a subsequent Backward call.
   double Forward(const double* x, Cache* cache) const;
+
+  /// Pushes a batch x input_dim block through all layers at once via the
+  /// blocked kernels of src/math/kernels.h, writing one logit per row into
+  /// `logits`. Bit-identical per row to Forward on that row. If `cache` is
+  /// non-null it is filled for a subsequent BackwardBatch call.
+  void ForwardBatch(const double* x, size_t batch, BatchCache* cache,
+                    double* logits) const;
+
+  /// Partial first-layer accumulators after consuming only x[0..split):
+  /// acc[j] = bias0[j] + Σ_{i<split} x[i]·W0[i,j], ascending i with
+  /// exact-zero skip — the scalar layer-0 loop paused after `split`
+  /// iterations. `acc` receives layer-0-width values. The scoring model's
+  /// [pu, pv] input shares its user half across a whole batch of items, so
+  /// this prefix is computed once per user and resumed per item.
+  void ForwardPrefix(const double* x, size_t split, double* acc) const;
+
+  /// ForwardBatch for rows sharing their first (input_dim - suffix_dim)
+  /// input dims: resumes the layer-0 accumulation from `prefix` with each
+  /// row's suffix (rows start `suffix_stride` doubles apart — pass an
+  /// embedding table stride to score rows in place), then runs the
+  /// remaining layers batched. Bit-identical to ForwardBatch on the fully
+  /// assembled rows. Evaluation only — no backward cache.
+  void ForwardBatchFromPrefix(const double* prefix, const double* suffix,
+                              size_t batch, size_t suffix_dim,
+                              size_t suffix_stride, double* logits) const;
 
   /// Accumulates gradients into `grads` (a same-shape FeedForwardNet) given
   /// dL/dlogit. If `dx` is non-null, writes dL/dx (length input_dim) —
   /// the path through which item/user embeddings receive gradient.
   void Backward(const Cache& cache, double dlogit, FeedForwardNet* grads,
                 double* dx) const;
+
+  /// Batched Backward over a ForwardBatch cache and one dL/dlogit per row.
+  /// Gradient sums accumulate in ascending sample order, so the result is
+  /// bit-identical to calling Backward sample-by-sample in row order. If
+  /// `dx` is non-null it receives the batch x input_dim input gradients.
+  void BackwardBatch(const BatchCache& cache, const double* dlogits,
+                     FeedForwardNet* grads, double* dx) const;
 
   /// Zeroes all parameters (turns the net into a gradient accumulator).
   void SetZero();

@@ -34,6 +34,7 @@ void Scorer::BeginUser(const double* user_emb, const TableT& item_table,
 
   if (model_ == BaseModel::kNcf) {
     pu_ = raw_user_;
+    std::copy(pu_.begin(), pu_.end(), x_.begin());
     return;
   }
 
@@ -54,26 +55,90 @@ void Scorer::BeginUser(const double* user_emb, const TableT& item_table,
   for (size_t d = 0; d < width_; ++d) {
     pu_[d] = 0.5 * (raw_user_[d] + inv_sqrt_deg_ * pu_[d]);
   }
+  std::copy(pu_.begin(), pu_.end(), x_.begin());
   dpu_accum_.assign(width_, 0.0);
+}
+
+template <typename TableT>
+void Scorer::FillItemHalf(const TableT& item_table, ItemId j,
+                          double* dst) const {
+  HFR_CHECK_LT(static_cast<size_t>(j), item_table.rows());
+  const double* vj = item_table.Row(j);
+  if (model_ == BaseModel::kNcf) {
+    std::copy(vj, vj + width_, dst);
+  } else {
+    const bool linked = is_interacted_[j];
+    for (size_t d = 0; d < width_; ++d) {
+      double prop = linked ? inv_sqrt_deg_ * raw_user_[d] : 0.0;
+      dst[d] = 0.5 * (vj[d] + prop);
+    }
+  }
 }
 
 template <typename TableT>
 double Scorer::Score(const TableT& item_table, const FeedForwardNet& theta,
                      ItemId j) const {
   HFR_CHECK_EQ(theta.input_dim(), 2 * width_);
-  HFR_CHECK_LT(static_cast<size_t>(j), item_table.rows());
-  const double* vj = item_table.Row(j);
-  std::copy(pu_.begin(), pu_.end(), x_.begin());
-  if (model_ == BaseModel::kNcf) {
-    std::copy(vj, vj + width_, x_.begin() + width_);
-  } else {
-    const bool linked = is_interacted_[j];
-    for (size_t d = 0; d < width_; ++d) {
-      double prop = linked ? inv_sqrt_deg_ * raw_user_[d] : 0.0;
-      x_[width_ + d] = 0.5 * (vj[d] + prop);
+  // The user half of x_ was filled by BeginUser; only the item half moves.
+  FillItemHalf(item_table, j, x_.data() + width_);
+  return theta.Forward(x_.data(), nullptr);
+}
+
+// Computes the per-user layer-0 prefix (bias + user-half terms) shared by
+// every item of a batch — the batched structural win: the user half of
+// [pu, pv] contributes identical first-layer partial sums for all items,
+// so it is accumulated once per user instead of once per item.
+void Scorer::PreparePrefix(const FeedForwardNet& theta) const {
+  prefix_.resize(theta.weight(0).cols());
+  theta.ForwardPrefix(pu_.data(), width_, prefix_.data());
+}
+
+template <typename TableT, typename IdFn>
+void Scorer::ScoreBlocks(const TableT& item_table, const FeedForwardNet& theta,
+                         size_t n, IdFn id_of, double* out) const {
+  if (batch_x_.size() != kScoreBlock * width_) {
+    batch_x_.resize(kScoreBlock * width_);
+  }
+  for (size_t done = 0; done < n; done += kScoreBlock) {
+    const size_t bs = std::min(kScoreBlock, n - done);
+    for (size_t b = 0; b < bs; ++b) {
+      FillItemHalf(item_table, id_of(done + b), batch_x_.data() + b * width_);
+    }
+    theta.ForwardBatchFromPrefix(prefix_.data(), batch_x_.data(), bs, width_,
+                                 width_, out + done);
+  }
+}
+
+template <typename TableT>
+void Scorer::ScoreBatch(const TableT& item_table, const FeedForwardNet& theta,
+                        const ItemId* ids, size_t n, double* out) const {
+  HFR_CHECK_EQ(theta.input_dim(), 2 * width_);
+  PreparePrefix(theta);
+  ScoreBlocks(item_table, theta, n, [ids](size_t k) { return ids[k]; }, out);
+}
+
+template <typename TableT>
+void Scorer::ScoreRange(const TableT& item_table, const FeedForwardNet& theta,
+                        ItemId first, size_t n, double* out) const {
+  HFR_CHECK_EQ(theta.input_dim(), 2 * width_);
+  PreparePrefix(theta);
+  if constexpr (std::is_same_v<TableT, Matrix>) {
+    if (model_ == BaseModel::kNcf) {
+      // NCF item halves are the table rows themselves: score the span in
+      // place with the table's row stride — zero assembly.
+      HFR_CHECK_LE(static_cast<size_t>(first) + n, item_table.rows());
+      for (size_t done = 0; done < n; done += kScoreBlock) {
+        const size_t bs = std::min(kScoreBlock, n - done);
+        theta.ForwardBatchFromPrefix(
+            prefix_.data(), item_table.Row(static_cast<size_t>(first) + done),
+            bs, width_, item_table.cols(), out + done);
+      }
+      return;
     }
   }
-  return theta.Forward(x_.data(), nullptr);
+  ScoreBlocks(
+      item_table, theta, n,
+      [first](size_t k) { return static_cast<ItemId>(first + k); }, out);
 }
 
 template <typename TableT>
@@ -81,23 +146,33 @@ double Scorer::ScoreForTrain(const TableT& item_table,
                              const FeedForwardNet& theta, ItemId j,
                              TrainCache* cache) {
   HFR_CHECK_EQ(theta.input_dim(), 2 * width_);
-  HFR_CHECK_LT(static_cast<size_t>(j), item_table.rows());
-  const double* vj = item_table.Row(j);
-  std::copy(pu_.begin(), pu_.end(), x_.begin());
   cache->item = j;
-  if (model_ == BaseModel::kNcf) {
-    cache->item_is_interacted = false;
-    std::copy(vj, vj + width_, x_.begin() + width_);
-  } else {
-    cache->item_is_interacted = is_interacted_[j];
-    for (size_t d = 0; d < width_; ++d) {
-      double prop =
-          cache->item_is_interacted ? inv_sqrt_deg_ * raw_user_[d] : 0.0;
-      x_[width_ + d] = 0.5 * (vj[d] + prop);
-    }
-  }
+  cache->item_is_interacted =
+      model_ == BaseModel::kLightGcn && is_interacted_[j];
+  FillItemHalf(item_table, j, x_.data() + width_);
   pending_backward_ = true;
   return theta.Forward(x_.data(), &cache->ffn);
+}
+
+template <typename TableT>
+void Scorer::ScoreForTrainBatch(const TableT& item_table,
+                                const FeedForwardNet& theta,
+                                const ItemId* items, size_t n,
+                                BatchTrainCache* cache, double* logits) {
+  HFR_CHECK_EQ(theta.input_dim(), 2 * width_);
+  const size_t row_len = 2 * width_;
+  train_x_.resize(n * row_len);
+  cache->items.assign(items, items + n);
+  cache->item_is_interacted.resize(n);
+  for (size_t b = 0; b < n; ++b) {
+    double* row = train_x_.data() + b * row_len;
+    std::copy(pu_.begin(), pu_.end(), row);
+    FillItemHalf(item_table, items[b], row + width_);
+    cache->item_is_interacted[b] =
+        model_ == BaseModel::kLightGcn && is_interacted_[items[b]] ? 1 : 0;
+  }
+  pending_backward_ = n > 0;
+  theta.ForwardBatch(train_x_.data(), n, &cache->ffn, logits);
 }
 
 template <typename GradT>
@@ -132,6 +207,42 @@ void Scorer::BackwardSample(const FeedForwardNet& theta,
 }
 
 template <typename GradT>
+void Scorer::BackwardBatch(const FeedForwardNet& theta,
+                           const BatchTrainCache& cache, const double* dlogits,
+                           GradT* d_item_table, double* d_user,
+                           FeedForwardNet* d_theta) {
+  HFR_CHECK_GE(d_item_table->cols(), width_);
+  const size_t n = cache.ffn.batch;
+  HFR_CHECK_EQ(cache.items.size(), n);
+  batch_dx_.resize(n * 2 * width_);
+  theta.BackwardBatch(cache.ffn, dlogits, d_theta, batch_dx_.data());
+  // Embedding scatters in ascending sample order: multiple samples may hit
+  // the same item row (or d_user / dpu_accum_), and sample order is what
+  // the per-sample reference accumulates in.
+  for (size_t b = 0; b < n; ++b) {
+    const double* dpu = batch_dx_.data() + b * 2 * width_;
+    const double* dpv = dpu + width_;
+    double* dvj = d_item_table->MutableRow(cache.items[b]);
+    if (model_ == BaseModel::kNcf) {
+      for (size_t d = 0; d < width_; ++d) {
+        d_user[d] += dpu[d];
+        dvj[d] += dpv[d];
+      }
+      continue;
+    }
+    for (size_t d = 0; d < width_; ++d) {
+      d_user[d] += 0.5 * dpu[d];
+      dpu_accum_[d] += dpu[d];
+      dvj[d] += 0.5 * dpv[d];
+    }
+    if (cache.item_is_interacted[b]) {
+      const double s = 0.5 * inv_sqrt_deg_;
+      for (size_t d = 0; d < width_; ++d) d_user[d] += s * dpv[d];
+    }
+  }
+}
+
+template <typename GradT>
 void Scorer::FinishUserBackward(GradT* d_item_table, double* d_user) {
   (void)d_user;
   pending_backward_ = false;
@@ -156,12 +267,32 @@ template double Scorer::Score<Matrix>(const Matrix&, const FeedForwardNet&,
 template double Scorer::Score<RowOverlayTable>(const RowOverlayTable&,
                                                const FeedForwardNet&,
                                                ItemId) const;
+template void Scorer::ScoreBatch<Matrix>(const Matrix&, const FeedForwardNet&,
+                                         const ItemId*, size_t,
+                                         double*) const;
+template void Scorer::ScoreBatch<RowOverlayTable>(const RowOverlayTable&,
+                                                  const FeedForwardNet&,
+                                                  const ItemId*, size_t,
+                                                  double*) const;
+template void Scorer::ScoreRange<Matrix>(const Matrix&, const FeedForwardNet&,
+                                         ItemId, size_t, double*) const;
+template void Scorer::ScoreRange<RowOverlayTable>(const RowOverlayTable&,
+                                                  const FeedForwardNet&,
+                                                  ItemId, size_t,
+                                                  double*) const;
 template double Scorer::ScoreForTrain<Matrix>(const Matrix&,
                                               const FeedForwardNet&, ItemId,
                                               TrainCache*);
 template double Scorer::ScoreForTrain<RowOverlayTable>(const RowOverlayTable&,
                                                        const FeedForwardNet&,
                                                        ItemId, TrainCache*);
+template void Scorer::ScoreForTrainBatch<Matrix>(const Matrix&,
+                                                 const FeedForwardNet&,
+                                                 const ItemId*, size_t,
+                                                 BatchTrainCache*, double*);
+template void Scorer::ScoreForTrainBatch<RowOverlayTable>(
+    const RowOverlayTable&, const FeedForwardNet&, const ItemId*, size_t,
+    BatchTrainCache*, double*);
 template void Scorer::BackwardSample<Matrix>(const FeedForwardNet&,
                                              const TrainCache&, double,
                                              Matrix*, double*,
@@ -171,6 +302,15 @@ template void Scorer::BackwardSample<SparseRowStore>(const FeedForwardNet&,
                                                      double, SparseRowStore*,
                                                      double*,
                                                      FeedForwardNet*);
+template void Scorer::BackwardBatch<Matrix>(const FeedForwardNet&,
+                                            const BatchTrainCache&,
+                                            const double*, Matrix*, double*,
+                                            FeedForwardNet*);
+template void Scorer::BackwardBatch<SparseRowStore>(const FeedForwardNet&,
+                                                    const BatchTrainCache&,
+                                                    const double*,
+                                                    SparseRowStore*, double*,
+                                                    FeedForwardNet*);
 template void Scorer::FinishUserBackward<Matrix>(Matrix*, double*);
 template void Scorer::FinishUserBackward<SparseRowStore>(SparseRowStore*,
                                                          double*);

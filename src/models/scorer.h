@@ -19,6 +19,16 @@
 // gradient into Σ v_i is identical for every interacted item, so it is
 // accumulated once per user and scattered by `FinishUserBackward`.
 //
+// Scoring is batched: `ScoreBatch`/`ScoreRange` push an item-id span
+// through the FFN in width-blocked batches (evaluation and local
+// validation; RESKD is batched separately via the GramMatrix kernel), and
+// `ScoreForTrainBatch` + `BackwardBatch` run a user's whole per-epoch
+// sample set as one forward/backward block. Every batched entry
+// point is bit-identical per item/sample to its scalar counterpart
+// (`Score`, `ScoreForTrain` + `BackwardSample`), which remain as the
+// reference path — see src/math/kernels.h for the accumulation-order
+// argument and tests/models/scorer_batch_test.cc for the pins.
+//
 // The table and gradient parameters are templates so the same code runs
 // over a dense `Matrix` (evaluation, reference path) or over the sparse
 // containers of src/math/sparse.h (`RowOverlayTable` reads /
@@ -50,10 +60,17 @@ std::string BaseModelName(BaseModel model);
 ///
 /// Usage per user and pass:
 ///   scorer.BeginUser(user_emb, V, interacted);
-///   for each item: Score(...) or ScoreForTrain(...) + BackwardSample(...);
+///   evaluation: ScoreBatch / ScoreRange (or per-item Score);
+///   training:   ScoreForTrainBatch + BackwardBatch (or the per-sample
+///               ScoreForTrain + BackwardSample pair), then
 ///   scorer.FinishUserBackward(...);   // training passes only
 class Scorer {
  public:
+  /// Items per FFN block in ScoreBatch/ScoreRange: bounds the assembled
+  /// item-half block to kScoreBlock x w doubles of scorer-owned scratch
+  /// (the user half is shared as a layer-0 prefix, never materialized).
+  static constexpr size_t kScoreBlock = 128;
+
   /// \param model base algorithm.
   /// \param width embedding slice width w (first w dims are used).
   Scorer(BaseModel model, size_t width);
@@ -64,7 +81,8 @@ class Scorer {
   /// Prepares per-user state: copies the user slice and, for LightGCN, runs
   /// the local propagation over `interacted` (the user's training items).
   /// `V` must have at least `width` columns. `TableT` is `Matrix` or
-  /// `RowOverlayTable`.
+  /// `RowOverlayTable`. Also fills the user half of the FFN input scratch
+  /// once, so per-item scoring rewrites only the item half.
   template <typename TableT>
   void BeginUser(const double* user_emb, const TableT& item_table,
                  const std::vector<ItemId>& interacted);
@@ -76,15 +94,42 @@ class Scorer {
     bool item_is_interacted = false;
   };
 
+  /// Batch-of-samples context for BackwardBatch.
+  struct BatchTrainCache {
+    FeedForwardNet::BatchCache ffn;
+    std::vector<ItemId> items;
+    std::vector<uint8_t> item_is_interacted;
+  };
+
   /// Scores item `j` (logit). Requires a prior BeginUser.
   template <typename TableT>
   double Score(const TableT& item_table, const FeedForwardNet& theta,
                ItemId j) const;
 
+  /// Scores the `n` items `ids[0..n)` into out[0..n), batching the FFN
+  /// forwards in blocks of kScoreBlock. Bit-identical per item to Score().
+  template <typename TableT>
+  void ScoreBatch(const TableT& item_table, const FeedForwardNet& theta,
+                  const ItemId* ids, size_t n, double* out) const;
+
+  /// ScoreBatch over the contiguous item-id span [first, first + n) —
+  /// the full-catalogue evaluation shape.
+  template <typename TableT>
+  void ScoreRange(const TableT& item_table, const FeedForwardNet& theta,
+                  ItemId first, size_t n, double* out) const;
+
   /// Scores item `j` and fills `cache` for BackwardSample.
   template <typename TableT>
   double ScoreForTrain(const TableT& item_table, const FeedForwardNet& theta,
                        ItemId j, TrainCache* cache);
+
+  /// Scores the `n` sample items `items[0..n)` in one FFN forward block,
+  /// filling `cache` for BackwardBatch and one logit per sample into
+  /// `logits`. Bit-identical per sample to ScoreForTrain().
+  template <typename TableT>
+  void ScoreForTrainBatch(const TableT& item_table,
+                          const FeedForwardNet& theta, const ItemId* items,
+                          size_t n, BatchTrainCache* cache, double* logits);
 
   /// Accumulates gradients for one sample given dL/dlogit.
   /// \param d_item_table |V| x width gradient sink (`Matrix` or
@@ -96,6 +141,14 @@ class Scorer {
                       double dlogit, GradT* d_item_table, double* d_user,
                       FeedForwardNet* d_theta);
 
+  /// Batched BackwardSample over a ScoreForTrainBatch cache: one FFN
+  /// BackwardBatch, then the embedding scatters in ascending sample order —
+  /// bit-identical to per-sample BackwardSample calls in the same order.
+  template <typename GradT>
+  void BackwardBatch(const FeedForwardNet& theta, const BatchTrainCache& cache,
+                     const double* dlogits, GradT* d_item_table,
+                     double* d_user, FeedForwardNet* d_theta);
+
   /// Flushes LightGCN's deferred propagation gradient into the interacted
   /// items' rows and the user embedding. No-op for NCF. Must be called once
   /// after the last BackwardSample of a pass.
@@ -103,6 +156,20 @@ class Scorer {
   void FinishUserBackward(GradT* d_item_table, double* d_user);
 
  private:
+  /// Writes the item half [pu | *here*] of one assembled FFN input row.
+  template <typename TableT>
+  void FillItemHalf(const TableT& item_table, ItemId j, double* dst) const;
+
+  /// Fills prefix_ with the current user's shared layer-0 partial sums.
+  void PreparePrefix(const FeedForwardNet& theta) const;
+
+  /// Shared blocked-scoring loop behind ScoreBatch/ScoreRange: assembles
+  /// item halves for items id_of(0..n) in kScoreBlock chunks and runs
+  /// ForwardBatchFromPrefix on each. Requires a prior PreparePrefix.
+  template <typename TableT, typename IdFn>
+  void ScoreBlocks(const TableT& item_table, const FeedForwardNet& theta,
+                   size_t n, IdFn id_of, double* out) const;
+
   BaseModel model_;
   size_t width_;
 
@@ -117,10 +184,17 @@ class Scorer {
   std::vector<double> dpu_accum_;
   bool pending_backward_ = false;
 
-  // Scratch buffers.
+  // Scratch buffers. x_'s user half is filled once per BeginUser. Batched
+  // evaluation shares the user half across the whole batch as a layer-0
+  // prefix (FeedForwardNet::ForwardPrefix), so batch_x_ holds item halves
+  // only.
   mutable std::vector<double> x_;   // FFN input [pu, pv]
   std::vector<double> dx_;          // FFN input gradient
   mutable FeedForwardNet::Cache eval_cache_;
+  mutable std::vector<double> prefix_;    // per-user layer-0 partial sums
+  mutable std::vector<double> batch_x_;   // kScoreBlock x w item halves
+  std::vector<double> train_x_;     // n x 2w training block
+  std::vector<double> batch_dx_;    // n x 2w training input gradients
 };
 
 }  // namespace hetefedrec

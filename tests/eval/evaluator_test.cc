@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <mutex>
+#include <unordered_set>
 
+#include "src/eval/metrics.h"
 #include "src/util/thread_pool.h"
 
 namespace hetefedrec {
@@ -141,6 +145,156 @@ TEST(EvaluatorTest, ParallelEvaluationBitIdenticalToSerial) {
       EXPECT_EQ(serial.per_group[g].users, other->per_group[g].users);
     }
   }
+}
+
+TEST(EvaluatorTest, BatchOverloadMatchesThreadedOverloadInFullMode) {
+  // The id-list overload with candidate_sample = 0 ranks the full
+  // catalogue; given the same per-item scores it must reproduce the
+  // legacy overload bit-for-bit.
+  std::vector<Interaction> xs;
+  for (UserId u = 0; u < 40; ++u) {
+    for (ItemId k = 0; k < 8; ++k) {
+      xs.push_back({u, static_cast<ItemId>((u * 7 + k * 5) % 120)});
+    }
+  }
+  Dataset ds = Dataset::FromInteractions(xs, 40, 120).value();
+  GroupAssignment groups = AssignGroups(ds, {5, 3, 2}).value();
+  Evaluator ev(ds, groups, 10);
+
+  auto item_score = [](UserId u, ItemId j) {
+    return std::sin(static_cast<double>(u * 131 + j * 17) * 0.01);
+  };
+  auto threaded_fn = [&](UserId u, size_t, std::vector<double>* scores) {
+    scores->resize(ds.num_items());
+    for (size_t j = 0; j < ds.num_items(); ++j) {
+      (*scores)[j] = item_score(u, static_cast<ItemId>(j));
+    }
+  };
+  auto batch_fn = [&](UserId u, size_t, const std::vector<ItemId>& ids,
+                      double* out) {
+    for (size_t i = 0; i < ids.size(); ++i) out[i] = item_score(u, ids[i]);
+  };
+
+  ThreadPool pool(3);
+  GroupedEval legacy = ev.Evaluate(
+      Evaluator::ThreadedScoreFn(threaded_fn), &pool);
+  GroupedEval batch = ev.Evaluate(Evaluator::BatchScoreFn(batch_fn), &pool);
+  EXPECT_EQ(legacy.overall.recall, batch.overall.recall);
+  EXPECT_EQ(legacy.overall.ndcg, batch.overall.ndcg);
+  EXPECT_EQ(legacy.overall.users, batch.overall.users);
+  for (int g = 0; g < kNumGroups; ++g) {
+    EXPECT_EQ(legacy.per_group[g].recall, batch.per_group[g].recall);
+    EXPECT_EQ(legacy.per_group[g].ndcg, batch.per_group[g].ndcg);
+  }
+}
+
+TEST(EvaluatorCandidateTest, CandidateSetContainsTestAndExcludesInteracted) {
+  std::vector<Interaction> xs;
+  for (UserId u = 0; u < 10; ++u) {
+    for (ItemId k = 0; k < 10; ++k) {
+      xs.push_back({u, static_cast<ItemId>((u * 13 + k * 3) % 150)});
+    }
+  }
+  Dataset ds = Dataset::FromInteractions(xs, 10, 150).value();
+  GroupAssignment groups = AssignGroups(ds, {5, 3, 2}).value();
+  Evaluator ev(ds, groups, 5, 0, 9177, /*candidate_sample=*/25);
+
+  for (UserId u = 0; u < 10; ++u) {
+    std::vector<ItemId> ids = ev.CandidateItems(u);
+    // Sorted, duplicate-free.
+    ASSERT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+    ASSERT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+    // Every test item is present; no train item sneaks in.
+    std::unordered_set<ItemId> in_ids(ids.begin(), ids.end());
+    for (ItemId t : ds.TestItems(u)) EXPECT_TRUE(in_ids.count(t)) << t;
+    for (ItemId t : ds.TrainItems(u)) EXPECT_FALSE(in_ids.count(t)) << t;
+    EXPECT_EQ(ids.size(), ds.TestItems(u).size() + 25);
+    // Deterministic per user.
+    EXPECT_EQ(ids, ev.CandidateItems(u));
+  }
+}
+
+TEST(EvaluatorCandidateTest, CandidateTopKEqualsFullTopKRestricted) {
+  // The pinning test: candidate top-K must equal the full-catalogue top-K
+  // restricted to the candidate set (same scores, same ordering).
+  std::vector<Interaction> xs;
+  for (UserId u = 0; u < 30; ++u) {
+    for (ItemId k = 0; k < 10; ++k) {
+      xs.push_back({u, static_cast<ItemId>((u * 11 + k * 7) % 250)});
+    }
+  }
+  Dataset ds = Dataset::FromInteractions(xs, 30, 250).value();
+  GroupAssignment groups = AssignGroups(ds, {5, 3, 2}).value();
+  const size_t top_k = 10;
+  Evaluator cand_ev(ds, groups, top_k, 0, 9177, /*candidate_sample=*/40);
+
+  auto item_score = [](UserId u, ItemId j) {
+    return std::sin(static_cast<double>(u * 37 + j * 101) * 0.013);
+  };
+  for (UserId u = 0; u < 30; ++u) {
+    if (ds.TestItems(u).empty()) continue;
+    std::vector<ItemId> ids = cand_ev.CandidateItems(u);
+
+    // Candidate ranking.
+    std::vector<double> cand_scores(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      cand_scores[i] = item_score(u, ids[i]);
+    }
+    std::vector<ItemId> cand_topk =
+        TopKFromCandidates(ids, cand_scores, top_k);
+
+    // Full ranking restricted to the candidate set.
+    std::vector<double> full_scores(ds.num_items());
+    for (size_t j = 0; j < ds.num_items(); ++j) {
+      full_scores[j] = item_score(u, static_cast<ItemId>(j));
+    }
+    std::vector<bool> mask(ds.num_items(), false);
+    for (ItemId i : ds.TrainItems(u)) mask[i] = true;
+    std::vector<ItemId> full_rank =
+        TopKItems(full_scores, mask, ds.num_items());
+    std::unordered_set<ItemId> cand_set(ids.begin(), ids.end());
+    std::vector<ItemId> restricted;
+    for (ItemId i : full_rank) {
+      if (cand_set.count(i)) restricted.push_back(i);
+      if (restricted.size() == top_k) break;
+    }
+    ASSERT_EQ(cand_topk, restricted) << "user " << u;
+  }
+}
+
+TEST(EvaluatorCandidateTest, CandidateEvalParallelBitIdenticalAndBounded) {
+  std::vector<Interaction> xs;
+  for (UserId u = 0; u < 48; ++u) {
+    for (ItemId k = 0; k < 9; ++k) {
+      xs.push_back({u, static_cast<ItemId>((u * 19 + k * 3) % 220)});
+    }
+  }
+  Dataset ds = Dataset::FromInteractions(xs, 48, 220).value();
+  GroupAssignment groups = AssignGroups(ds, {5, 3, 2}).value();
+  Evaluator ev(ds, groups, 10, 0, 9177, /*candidate_sample=*/30);
+
+  size_t max_ids_seen = 0;
+  std::mutex mu;
+  auto batch_fn = [&](UserId u, size_t, const std::vector<ItemId>& ids,
+                      double* out) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      max_ids_seen = std::max(max_ids_seen, ids.size());
+    }
+    for (size_t i = 0; i < ids.size(); ++i) {
+      out[i] = std::sin(static_cast<double>(u * 131 + ids[i] * 17) * 0.01);
+    }
+  };
+  GroupedEval serial = ev.Evaluate(Evaluator::BatchScoreFn(batch_fn),
+                                   /*pool=*/nullptr);
+  ThreadPool pool(3);
+  GroupedEval parallel = ev.Evaluate(Evaluator::BatchScoreFn(batch_fn),
+                                     &pool);
+  EXPECT_EQ(serial.overall.recall, parallel.overall.recall);
+  EXPECT_EQ(serial.overall.ndcg, parallel.overall.ndcg);
+  EXPECT_EQ(serial.overall.users, parallel.overall.users);
+  // Candidate slicing actually slices: no callback saw the catalogue.
+  EXPECT_LT(max_ids_seen, ds.num_items());
 }
 
 TEST(EvaluatorTest, UsersWithoutTestItemsSkipped) {

@@ -68,6 +68,62 @@ TEST(ClientReplicaTest, HoldAndStaleness) {
   EXPECT_EQ(rep.rows_held(), 0u);
 }
 
+TEST(ClientReplicaTest, CapacityEvictsLeastRecentlyUsed) {
+  ClientReplica rep;
+  rep.set_capacity(2);
+  rep.Hold(1, 5);
+  rep.Hold(2, 5);
+  rep.Hold(3, 5);  // evicts row 1 (least recently used)
+  EXPECT_EQ(rep.rows_held(), 2u);
+  EXPECT_EQ(rep.HeldVersion(1), ClientReplica::kNeverHeld);
+  EXPECT_EQ(rep.HeldVersion(2), 5u);
+  EXPECT_EQ(rep.HeldVersion(3), 5u);
+
+  // Touch refreshes recency: row 2 survives the next eviction.
+  rep.Touch(2);
+  rep.Hold(4, 6);  // evicts row 3, not the freshly touched 2
+  EXPECT_EQ(rep.HeldVersion(3), ClientReplica::kNeverHeld);
+  EXPECT_EQ(rep.HeldVersion(2), 5u);
+  EXPECT_EQ(rep.HeldVersion(4), 6u);
+
+  // Re-holding an existing row is an update, not an insertion.
+  rep.Hold(2, 7);
+  EXPECT_EQ(rep.rows_held(), 2u);
+  EXPECT_EQ(rep.HeldVersion(2), 7u);
+
+  // Shrinking the capacity evicts immediately.
+  rep.set_capacity(1);
+  EXPECT_EQ(rep.rows_held(), 1u);
+  EXPECT_EQ(rep.HeldVersion(2), 7u);  // most recently used survives
+}
+
+TEST(SyncServiceTest, CappedReplicaReshipsEvictedRows) {
+  Matrix table(20, 4);
+  Rng rng(3);
+  InitNormal(&table, 0.1, &rng);
+  VersionedTable versions(1, 20);
+  SyncService::Options opts;
+  opts.replica_cap = 2;
+  opts.verify_values = true;  // eviction must stay lossless under audit
+  SyncService sync(1, opts);
+
+  const std::vector<uint32_t> ab = {1, 2};
+  SyncPlan first = sync.Sync(0, 0, ab, table, versions, 0);
+  EXPECT_EQ(first.shipped_rows, 2u);
+  // Within capacity: a repeat subscription ships nothing.
+  EXPECT_EQ(sync.Sync(0, 0, ab, table, versions, 0).shipped_rows, 0u);
+
+  // A third row evicts the least recently used; the repeat subscription
+  // of the original pair must re-ship the evicted row only.
+  const std::vector<uint32_t> c = {3};
+  EXPECT_EQ(sync.Sync(0, 0, c, table, versions, 0).shipped_rows, 1u);
+  EXPECT_EQ(sync.replica(0).rows_held(), 2u);
+  SyncPlan again = sync.Sync(0, 0, ab, table, versions, 0);
+  EXPECT_EQ(again.shipped_rows, 2u);  // row 3 evicted one of {1,2} then
+                                      // re-shipping 1 evicted the other
+  EXPECT_LE(sync.replica(0).rows_held(), 2u);
+}
+
 TEST(SyncServiceTest, FirstSyncShipsEverythingSecondShipsNothing) {
   Matrix table(20, 4);
   Rng rng(3);

@@ -1,0 +1,132 @@
+// The batched micro-kernels must be bit-identical to their scalar
+// reference loops — batching regroups independent accumulator targets but
+// never the additions into one target. EXPECT_EQ on doubles is deliberate.
+#include "src/math/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/math/init.h"
+#include "src/util/rng.h"
+
+namespace hetefedrec {
+namespace {
+
+std::vector<double> RandomBlock(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Normal(0.0, 0.3);
+  return v;
+}
+
+// The scalar FFN-layer loop (ffn.cc's original Forward body).
+void ScalarGemv(const double* x, size_t in_dim, const double* w,
+                const double* bias, size_t out_dim, double* out) {
+  for (size_t j = 0; j < out_dim; ++j) out[j] = bias[j];
+  for (size_t i = 0; i < in_dim; ++i) {
+    double xi = x[i];
+    if (xi == 0.0) continue;
+    for (size_t j = 0; j < out_dim; ++j) out[j] += xi * w[i * out_dim + j];
+  }
+}
+
+TEST(GemvBatchBiasedTest, BitIdenticalToPerSampleGemv) {
+  // Batch sizes straddle the kKernelRowBlock boundary.
+  for (size_t batch : {size_t{1}, size_t{7}, size_t{31}, size_t{32},
+                       size_t{33}, size_t{100}}) {
+    for (size_t in_dim : {size_t{5}, size_t{16}, size_t{64}}) {
+      const size_t out_dim = 8;
+      std::vector<double> x = RandomBlock(batch * in_dim, 1 + batch);
+      std::vector<double> w = RandomBlock(in_dim * out_dim, 2 + in_dim);
+      std::vector<double> bias = RandomBlock(out_dim, 3);
+      // Exercise the zero-skip path.
+      for (size_t t = 0; t < x.size(); t += 3) x[t] = 0.0;
+
+      std::vector<double> batched(batch * out_dim);
+      GemvBatchBiased(x.data(), batch, in_dim, w.data(), bias.data(),
+                      out_dim, batched.data());
+
+      std::vector<double> ref(out_dim);
+      for (size_t b = 0; b < batch; ++b) {
+        ScalarGemv(x.data() + b * in_dim, in_dim, w.data(), bias.data(),
+                   out_dim, ref.data());
+        for (size_t j = 0; j < out_dim; ++j) {
+          ASSERT_EQ(batched[b * out_dim + j], ref[j])
+              << "batch=" << batch << " b=" << b << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(AccumulateOuterBatchTest, BitIdenticalToSampleOrderAccumulation) {
+  const size_t in_dim = 12, out_dim = 8;
+  for (size_t batch : {size_t{1}, size_t{7}, size_t{64}}) {
+    std::vector<double> in = RandomBlock(batch * in_dim, 11 + batch);
+    std::vector<double> delta = RandomBlock(batch * out_dim, 13 + batch);
+    for (size_t t = 0; t < in.size(); t += 5) in[t] = 0.0;
+
+    std::vector<double> gw(in_dim * out_dim, 0.25);
+    std::vector<double> gb(out_dim, -0.5);
+    std::vector<double> gw_ref = gw;
+    std::vector<double> gb_ref = gb;
+
+    AccumulateOuterBatch(in.data(), delta.data(), batch, in_dim, out_dim,
+                         gw.data(), gb.data());
+
+    for (size_t b = 0; b < batch; ++b) {
+      const double* irow = in.data() + b * in_dim;
+      const double* drow = delta.data() + b * out_dim;
+      for (size_t j = 0; j < out_dim; ++j) gb_ref[j] += drow[j];
+      for (size_t i = 0; i < in_dim; ++i) {
+        if (irow[i] == 0.0) continue;
+        for (size_t j = 0; j < out_dim; ++j) {
+          gw_ref[i * out_dim + j] += irow[i] * drow[j];
+        }
+      }
+    }
+    for (size_t t = 0; t < gw.size(); ++t) ASSERT_EQ(gw[t], gw_ref[t]);
+    for (size_t t = 0; t < gb.size(); ++t) ASSERT_EQ(gb[t], gb_ref[t]);
+  }
+}
+
+TEST(GemvBatchTransposedTest, BitIdenticalToPerSampleDots) {
+  const size_t in_dim = 16, out_dim = 8;
+  for (size_t batch : {size_t{1}, size_t{7}, size_t{64}}) {
+    std::vector<double> delta = RandomBlock(batch * out_dim, 17 + batch);
+    std::vector<double> w = RandomBlock(in_dim * out_dim, 19);
+    std::vector<double> dx(batch * in_dim);
+    GemvBatchTransposed(delta.data(), batch, out_dim, w.data(), in_dim,
+                        dx.data());
+    for (size_t b = 0; b < batch; ++b) {
+      for (size_t i = 0; i < in_dim; ++i) {
+        double acc = 0.0;
+        for (size_t j = 0; j < out_dim; ++j) {
+          acc += w[i * out_dim + j] * delta[b * out_dim + j];
+        }
+        ASSERT_EQ(dx[b * in_dim + i], acc) << "b=" << b << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(GramMatrixTest, BitIdenticalToPairwiseDot) {
+  // k straddles the tile size; includes an all-zero row.
+  for (size_t k : {size_t{1}, size_t{7}, size_t{33}, size_t{70}}) {
+    const size_t n = 24;
+    std::vector<double> x = RandomBlock(k * n, 23 + k);
+    if (k > 2) std::fill(x.begin() + n, x.begin() + 2 * n, 0.0);
+    Matrix gram(k, k);
+    GramMatrix(x.data(), k, n, &gram);
+    for (size_t a = 0; a < k; ++a) {
+      for (size_t b = 0; b < k; ++b) {
+        ASSERT_EQ(gram(a, b), Dot(x.data() + a * n, x.data() + b * n, n))
+            << "k=" << k << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hetefedrec
