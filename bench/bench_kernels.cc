@@ -11,6 +11,7 @@
 #include "src/core/distillation.h"
 #include "src/core/hetero_server.h"
 #include "src/core/local_trainer.h"
+#include "src/core/trainer.h"
 #include "src/data/dataset.h"
 #include "src/data/synthetic.h"
 #include "src/eval/metrics.h"
@@ -511,6 +512,46 @@ BENCHMARK(BM_DeltaDownload)
     ->Args({1, 0})
     ->Args({0, 1})
     ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// One-epoch HeteFedRec run on a straggler-heavy simulated network,
+// synchronous barrier (arg 0 = 0) vs asynchronous merge-on-arrival
+// (arg 0 = 1). This is the end-to-end cost of the two server schedules —
+// wall time should be comparable (same client work), while the
+// `simulated_seconds` counter shows the virtual-clock gap the async
+// schedule exists for. Runs in CI's bench-smoke job with JSON output.
+void BM_AsyncVsSyncRound(benchmark::State& state) {
+  const bool async_mode = state.range(0) != 0;
+  ExperimentConfig cfg;
+  cfg.dataset = "ml";
+  cfg.data_scale = 0.02;
+  cfg.global_epochs = 1;
+  cfg.clients_per_round = 16;
+  cfg.eval_user_sample = 50;
+  cfg.ddr_sample_rows = 64;
+  cfg.kd_items = 16;
+  cfg.seed = 41;
+  cfg.availability = 0.8;
+  cfg.net_bandwidth_sigma = 1.0;
+  cfg.net_latency_sigma = 0.3;
+  cfg.async_mode = async_mode;
+  if (!async_mode) cfg.straggler_slack = 4;
+  auto runner = ExperimentRunner::Create(cfg).value();
+
+  double simulated = 0.0;
+  double ndcg = 0.0;
+  for (auto _ : state) {
+    ExperimentResult r = runner->Run(Method::kHeteFedRec);
+    simulated = r.simulated_seconds;
+    ndcg = r.final_eval.overall.ndcg;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["simulated_seconds"] = benchmark::Counter(simulated);
+  state.counters["ndcg"] = benchmark::Counter(ndcg);
+}
+BENCHMARK(BM_AsyncVsSyncRound)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 void BM_TopK(benchmark::State& state) {

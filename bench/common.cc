@@ -42,6 +42,27 @@ void AddCommonFlags(CommandLine* cli) {
                "protocol)");
   cli->AddFlag("wire_format", "fp64",
                "wire scalar width for byte accounting: fp64 | fp32 | fp16");
+  cli->AddFlag("async", "false",
+               "asynchronous merge-on-arrival aggregation instead of "
+               "synchronous rounds (docs/SYNC.md)");
+  cli->AddFlag("async_alpha", "0.5",
+               "staleness exponent: updates merge with w(s)=1/(1+s)^alpha");
+  cli->AddFlag("async_max_staleness", "0",
+               "drop arrivals staler than this version gap (0 = no cap)");
+  cli->AddFlag("async_dispatch_batch", "1",
+               "completions merged before freed slots re-dispatch as one "
+               "parallel batch");
+  cli->AddFlag("async_inflight", "0",
+               "clients concurrently in flight (0 = clients_per_round)");
+  cli->AddFlag("async_distill_every", "0",
+               "merged updates between RESKD distillations "
+               "(0 = clients_per_round)");
+  cli->AddFlag("net_bandwidth_sigma", "0",
+               "log-normal sigma of the per-client bandwidth multiplier");
+  cli->AddFlag("net_latency_sigma", "0",
+               "log-normal sigma of the per-(client,round) latency");
+  cli->AddFlag("net_compute", "0",
+               "local compute seconds per training sample");
 }
 
 StatusOr<ExperimentConfig> ConfigFromFlags(const CommandLine& cli) {
@@ -91,6 +112,18 @@ StatusOr<ExperimentConfig> ConfigFromFlags(const CommandLine& cli) {
   auto wire = WireScalarBytesByName(cli.GetString("wire_format"));
   if (!wire.ok()) return wire.status();
   cfg.wire_scalar_bytes = *wire;
+  cfg.async_mode = cli.GetBool("async");
+  cfg.async_staleness_alpha = cli.GetDouble("async_alpha");
+  cfg.async_max_staleness =
+      static_cast<size_t>(cli.GetInt("async_max_staleness"));
+  cfg.async_dispatch_batch =
+      static_cast<size_t>(cli.GetInt("async_dispatch_batch"));
+  cfg.async_inflight = static_cast<size_t>(cli.GetInt("async_inflight"));
+  cfg.async_distill_every =
+      static_cast<size_t>(cli.GetInt("async_distill_every"));
+  cfg.net_bandwidth_sigma = cli.GetDouble("net_bandwidth_sigma");
+  cfg.net_latency_sigma = cli.GetDouble("net_latency_sigma");
+  cfg.net_compute_per_sample = cli.GetDouble("net_compute");
 
   const std::string agg = cli.GetString("agg");
   if (agg == "mean") {

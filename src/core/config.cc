@@ -127,6 +127,26 @@ Status ExperimentConfig::Validate() const {
     return Status::InvalidArgument(
         "wire_scalar_bytes must be 2 (fp16), 4 (fp32) or 8 (fp64)");
   }
+  if (async_staleness_alpha < 0.0) {
+    return Status::InvalidArgument("async_staleness_alpha must be >= 0");
+  }
+  if (async_dispatch_batch == 0) {
+    return Status::InvalidArgument("async_dispatch_batch must be >= 1");
+  }
+  if (async_mode && aggregation == AggregationMode::kDataWeighted) {
+    // Async merges apply one update at a time with its staleness weight;
+    // there is no round population to normalize data-size weights against.
+    return Status::InvalidArgument(
+        "async_mode does not support data-weighted aggregation");
+  }
+  // Catch negative CLI ints cast through size_t (2^64-ish values).
+  if (async_inflight > (size_t{1} << 32) ||
+      async_distill_every > (size_t{1} << 32) ||
+      async_max_staleness > (size_t{1} << 32) ||
+      async_dispatch_batch > (size_t{1} << 32)) {
+    return Status::InvalidArgument(
+        "async_* knob is implausibly large (negative CLI value?)");
+  }
   return Status::OK();
 }
 

@@ -171,6 +171,36 @@ struct ExperimentConfig {
   /// the arithmetic stays double precision.
   size_t wire_scalar_bytes = 8;
 
+  // --- asynchronous aggregation (docs/SYNC.md "Asynchronous aggregation") -
+  /// Merge-on-arrival server: instead of a synchronous round barrier, each
+  /// client's update merges the moment its simulated completion time
+  /// arrives, weighted by how stale its downloaded model has become.
+  /// False (default): the paper's synchronous round protocol — every prior
+  /// result is bit-identical. Async merges ignore `aggregation` (each
+  /// update applies individually with its staleness weight).
+  bool async_mode = false;
+  /// Staleness exponent: an update trained on a model `s` server versions
+  /// old merges with weight w(s) = 1/(1+s)^alpha (FedAsync's polynomial
+  /// damping). 0 disables damping (every arrival applies at full weight).
+  double async_staleness_alpha = 0.5;
+  /// Drop arrivals staler than this version gap (0 = no cap). Dropped
+  /// clients re-enter the queue and train again on a fresh download; drops
+  /// are counted per group in CommStats.
+  size_t async_max_staleness = 0;
+  /// Merged updates between two RESKD distillations, replacing the
+  /// synchronous per-round trigger (0 = clients_per_round, matching the
+  /// per-round cadence in expectation).
+  size_t async_distill_every = 0;
+  /// Clients concurrently in flight (0 = clients_per_round, the same
+  /// device parallelism the synchronous protocol assumes).
+  size_t async_inflight = 0;
+  /// Completions merged before freed slots re-dispatch as one batch whose
+  /// clients train in parallel. Part of the protocol (a larger batch defers
+  /// dispatches to a slightly later virtual instant), so results depend on
+  /// it deterministically — but never on the thread count. 1 = dispatch on
+  /// every arrival (pure merge-on-arrival).
+  size_t async_dispatch_batch = 1;
+
   // --- evaluation -------------------------------------------------------
   size_t top_k = 20;
   int eval_every = 0;     // 0 = only final epoch; n = every n epochs

@@ -225,6 +225,20 @@ void HeteroServer::FinishRound() {
   }
 }
 
+void HeteroServer::ApplyUpdate(const std::vector<LocalTaskSpec>& tasks,
+                               const LocalUpdateResult& update, double scale) {
+  HFR_CHECK(!round_open_);
+  HFR_CHECK_GE(scale, 0.0);
+  BeginRound();
+  Accumulate(tasks, update, scale);
+  // Force sum semantics for the single accumulated update: under kMean the
+  // weight would normalize itself away (scale/scale = 1).
+  const AggregationMode saved = aggregation_;
+  aggregation_ = AggregationMode::kSum;
+  FinishRound();
+  aggregation_ = saved;
+}
+
 double HeteroServer::Distill(const DistillationOptions& options, Rng* rng) {
   if (tables_.size() < 2) return 0.0;
   std::vector<Matrix*> ptrs;

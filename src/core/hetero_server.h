@@ -79,6 +79,21 @@ class HeteroServer {
   /// skipping them is bit-identical to the dense sweep.
   void FinishRound();
 
+  /// Applies one client's update immediately, scaled by `scale` — the
+  /// asynchronous merge-on-arrival primitive (docs/SYNC.md). Equivalent to
+  /// a one-client round under kSum with weight = scale: the update lands
+  /// verbatim times `scale` regardless of the configured aggregation mode
+  /// (a mean over one update would cancel the staleness weight). Advances
+  /// the version and stamps the touched rows like any round. Must not be
+  /// called with a round open. Cost is proportional to the update's
+  /// touched rows on the sparse path; a *dense* update pays a full
+  /// accumulator zero + all-rows apply per merge (the synchronous schedule
+  /// amortizes that sweep over a whole round), so async runs should keep
+  /// use_sparse_updates on — the dense reference path is for equivalence
+  /// checks, not throughput.
+  void ApplyUpdate(const std::vector<LocalTaskSpec>& tasks,
+                   const LocalUpdateResult& update, double scale);
+
   /// Runs RESKD across all slots' tables (Eq. 16-17). Returns the mean
   /// pre-distillation relation loss. No-op (returns 0) with one slot.
   double Distill(const DistillationOptions& options, Rng* rng);

@@ -5,11 +5,13 @@
 #include <memory>
 #include <numeric>
 #include <thread>
+#include <utility>
 
 #include "src/core/checkpoint.h"
 #include "src/core/local_trainer.h"
 #include "src/data/synthetic.h"
 #include "src/fed/scheduler.h"
+#include "src/fed/sync/async_aggregator.h"
 #include "src/fed/sync/network.h"
 #include "src/fed/sync/sync_service.h"
 #include "src/math/eigen.h"
@@ -119,6 +121,529 @@ MethodSetup BuildSetup(const ExperimentConfig& cfg, Method method) {
   return s;
 }
 
+/// \brief One federated run: the shared executor core plus two schedules.
+///
+/// Both schedules drive the same per-client machinery — dispatch (download
+/// accounting + local training), simulated completion timing, merge,
+/// distillation, evaluation — and differ only in *when* merges happen:
+///
+///   SyncEpoch  — the paper's synchronous protocol, i.e. the degenerate
+///     schedule of the event loop: a whole batch dispatches at one virtual
+///     instant, a barrier closes the round (duration = the slowest merged
+///     completion), merges land in batch order and the version advances
+///     once per round. Bit-identical to the pre-async implementation.
+///   AsyncEpoch — merge-on-arrival through AsyncAggregator: dispatches
+///     fill free in-flight slots, completions merge strictly in virtual
+///     completion-time order with staleness weighting w(s) = 1/(1+s)^alpha,
+///     and the version advances once per merge (docs/SYNC.md).
+class FederatedRun {
+ public:
+  FederatedRun(const ExperimentConfig& cfg, const Dataset& dataset,
+               const GroupAssignment& groups, Method method)
+      : cfg_(cfg),
+        dataset_(dataset),
+        groups_(groups),
+        setup_(BuildSetup(cfg, method)),
+        root_(cfg.seed) {
+    if (setup_.widths.size() > 1) {
+      HFR_CHECK_LT(cfg_.dims[0], cfg_.dims[1]);
+      HFR_CHECK_LT(cfg_.dims[1], cfg_.dims[2]);
+    }
+
+    HeteroServer::Options server_opts;
+    server_opts.widths = setup_.widths;
+    server_opts.ffn_hidden = cfg_.ffn_hidden;
+    server_opts.num_items = dataset_.num_items();
+    server_opts.embed_init_std = cfg_.embed_init_std;
+    server_opts.aggregation = cfg_.aggregation;
+    server_opts.shared_aggregation = setup_.shared_aggregation;
+    server_opts.seed = root_.Fork(1).Next();
+    server_ = std::make_unique<HeteroServer>(server_opts);
+
+    clients_.resize(dataset_.num_users());
+    for (size_t u = 0; u < clients_.size(); ++u) {
+      Group g = groups_.of(static_cast<UserId>(u));
+      size_t width = setup_.widths[setup_.slot_of_group[static_cast<int>(g)]];
+      InitClient(&clients_[u], static_cast<UserId>(u), g, width,
+                 cfg_.embed_init_std, root_);
+    }
+
+    // One LocalTrainer per executing thread (scratch buffers are not
+    // shareable); slot t of the pool uses trainers[t].
+    const size_t n_threads = EffectiveThreads(cfg_);
+    pool_ = std::make_unique<ThreadPool>(n_threads - 1);
+    trainers_.reserve(pool_->num_slots());
+    for (size_t t = 0; t < pool_->num_slots(); ++t) {
+      trainers_.push_back(
+          std::make_unique<LocalTrainer>(dataset_, cfg_.base_model));
+    }
+    queue_ = std::make_unique<ClientQueue>(
+        dataset_.num_users(), cfg_.clients_per_round, cfg_.straggler_slack);
+    sched_rng_ = root_.Fork(2);
+    kd_rng_ = root_.Fork(3);
+    kd_opts_.kd_items = cfg_.kd_items;
+    kd_opts_.steps = cfg_.kd_steps;
+    kd_opts_.lr = cfg_.kd_lr;
+
+    // Delta-sync machinery (docs/SYNC.md). With full_downloads the replica
+    // bookkeeping is skipped entirely — the default path stays the paper's.
+    delta_sync_ = !cfg_.full_downloads;
+    if (delta_sync_) {
+      SyncService::Options sync_opts;
+      sync_opts.verify_values = cfg_.sync_verify_replicas;
+      sync_opts.replica_cap = cfg_.sync_replica_cap;
+      sync_ = std::make_unique<SyncService>(dataset_.num_users(), sync_opts);
+    }
+    NetworkOptions net_opts;
+    net_opts.availability = cfg_.availability;
+    net_opts.bandwidth_bytes_per_sec = cfg_.net_bandwidth;
+    net_opts.bandwidth_sigma = cfg_.net_bandwidth_sigma;
+    net_opts.latency_seconds = cfg_.net_latency;
+    net_opts.latency_sigma = cfg_.net_latency_sigma;
+    net_opts.compute_seconds_per_sample = cfg_.net_compute_per_sample;
+    net_opts.seed = root_.Fork(5).Next();
+    net_ = std::make_unique<SimulatedNetwork>(net_opts);
+    // Over-selection: rank completions by simulated time, merge the first
+    // clients_per_round (a deadline alone also activates the ranking).
+    over_select_ = cfg_.straggler_slack > 0 || cfg_.round_deadline > 0.0;
+
+    evaluator_ = std::make_unique<Evaluator>(
+        dataset_, groups_, cfg_.top_k, cfg_.eval_user_sample,
+        cfg_.seed ^ 0xe5a1ULL, cfg_.eval_candidate_sample);
+    // One Scorer per (executing thread, slot), constructed once and reused
+    // for every evaluated user (Scorer construction allocates per-width
+    // scratch; the evaluator likewise reuses per-thread scores buffers).
+    eval_scorers_.resize(pool_->num_slots());
+    for (size_t t = 0; t < pool_->num_slots(); ++t) {
+      eval_scorers_[t].reserve(server_->num_slots());
+      for (size_t s = 0; s < server_->num_slots(); ++s) {
+        eval_scorers_[t].emplace_back(cfg_.base_model, server_->width(s));
+      }
+    }
+
+    if (cfg_.async_mode) {
+      async_inflight_ = cfg_.async_inflight > 0 ? cfg_.async_inflight
+                                                : cfg_.clients_per_round;
+      AsyncAggregator::Options agg_opts;
+      agg_opts.staleness_alpha = cfg_.async_staleness_alpha;
+      agg_opts.max_staleness = cfg_.async_max_staleness;
+      // RESKD's per-round trigger becomes a per-N-merges cadence.
+      agg_opts.distill_every =
+          setup_.reskd ? (cfg_.async_distill_every > 0
+                              ? cfg_.async_distill_every
+                              : cfg_.clients_per_round)
+                       : 0;
+      agg_ = std::make_unique<AsyncAggregator>(server_.get(), agg_opts);
+    }
+
+    result_.comm.set_wire_scalar_bytes(cfg_.wire_scalar_bytes);
+  }
+
+  ExperimentResult Run() {
+    for (int epoch = 1; epoch <= cfg_.global_epochs; ++epoch) {
+      loss_sum_ = 0.0;
+      loss_count_ = 0;
+      if (cfg_.async_mode) {
+        AsyncEpoch(epoch);
+      } else {
+        SyncEpoch(epoch);
+      }
+
+      const bool last = (epoch == cfg_.global_epochs);
+      if ((cfg_.eval_every > 0 && epoch % cfg_.eval_every == 0) || last) {
+        EpochPoint point;
+        point.epoch = epoch;
+        point.eval = evaluator_->Evaluate(MakeScoreFn(), pool_.get());
+        point.mean_train_loss =
+            loss_count_ > 0 ? loss_sum_ / static_cast<double>(loss_count_)
+                            : 0.0;
+        point.simulated_seconds = sim_clock_;
+        if (cfg_.eval_every > 0) result_.history.push_back(point);
+        if (last) result_.final_eval = point.eval;
+      }
+    }
+
+    {
+      const Matrix& largest = server_->table(server_->num_slots() - 1);
+      std::vector<double> eig =
+          SymmetricEigenvalues(CovarianceMatrix(largest));
+      result_.collapse_variance = Variance(eig);
+      double mean = Mean(eig);
+      result_.collapse_cv =
+          mean > 0 ? result_.collapse_variance / (mean * mean) : 0.0;
+    }
+    if (!cfg_.checkpoint_path.empty()) {
+      Status st = SaveServerCheckpoint(cfg_.checkpoint_path, *server_,
+                                       BaseModelName(cfg_.base_model));
+      if (!st.ok()) {
+        HFR_LOG(Warning) << "checkpoint save failed: " << st.ToString();
+      }
+    }
+    result_.simulated_seconds = sim_clock_;
+    result_.train_seconds = timer_.Seconds();
+    return std::move(result_);
+  }
+
+ private:
+  /// Local training of one client against the current server tables.
+  void TrainOne(UserId u, size_t slot_idx, LocalUpdateResult* out) {
+    ClientState& client = clients_[u];
+    const int g = static_cast<int>(client.group);
+    const auto& tasks = setup_.tasks_of_group[g];
+    std::vector<const FeedForwardNet*> thetas;
+    thetas.reserve(tasks.size());
+    for (const auto& task : tasks) {
+      thetas.push_back(&server_->theta(task.slot));
+    }
+
+    LocalTrainerOptions lopt;
+    lopt.local_epochs = cfg_.local_epochs;
+    lopt.lr = cfg_.lr;
+    lopt.apply_ddr = setup_.apply_ddr[g];
+    lopt.alpha = cfg_.alpha;
+    lopt.ddr_sample_rows = cfg_.ddr_sample_rows;
+    lopt.validation_fraction = cfg_.local_validation_fraction;
+    lopt.use_sparse = cfg_.use_sparse_updates;
+    lopt.use_batched = cfg_.use_batched_scoring;
+    lopt.sparse_comm_accounting = cfg_.sparse_comm_accounting;
+
+    size_t slot = setup_.slot_of_group[g];
+    *out = trainers_[slot_idx]->Train(&client, server_->table(slot), thetas,
+                                      setup_.tasks_of_group[g], lopt);
+  }
+
+  /// Download accounting for one trained client, in deterministic dispatch
+  /// order (the replica commit must be deterministic). Returns the scalars
+  /// the active protocol actually ships down; also records CommStats.
+  size_t AccountDownload(UserId u, const LocalUpdateResult& update) {
+    const size_t slot =
+        setup_.slot_of_group[static_cast<int>(clients_[u].group)];
+    const Matrix& table = server_->table(slot);
+    // update.params_down is the dense accounting: |V| + |Θ...|.
+    const size_t theta_params = update.params_down - table.size();
+    size_t shipped = update.params_down;
+    if (delta_sync_ && update.sparse) {
+      SyncPlan plan = sync_->Sync(u, slot, update.read_rows, table,
+                                  server_->versions(), theta_params);
+      shipped = plan.params;
+    }
+    result_.comm.RecordDownload(
+        clients_[u].group,
+        cfg_.sparse_comm_accounting ? shipped : update.params_down);
+    return shipped;
+  }
+
+  /// Merges one accepted update into the open round's accumulators.
+  void MergeOne(UserId u, const LocalUpdateResult& update) {
+    result_.comm.RecordUpload(clients_[u].group, update.params_up);
+    loss_sum_ += update.train_loss;
+    loss_count_++;
+    double weight =
+        cfg_.aggregation == AggregationMode::kDataWeighted
+            ? static_cast<double>(dataset_.TrainItems(u).size())
+            : 1.0;
+    server_->Accumulate(
+        setup_.tasks_of_group[static_cast<int>(clients_[u].group)], update,
+        weight);
+  }
+
+  /// Simulated wall-clock seconds of one full participation: what the wire
+  /// actually carries down (`down_scalars`, from AccountDownload) and up
+  /// (packed touched rows on the sparse path, the dense delta otherwise),
+  /// plus local compute. `time_key` salts the per-participation latency
+  /// draw: the round id under the synchronous schedule, the dispatch
+  /// sequence number under the asynchronous one.
+  double ClientFinishSeconds(UserId u, uint64_t time_key, size_t down_scalars,
+                             const LocalUpdateResult& up) const {
+    const size_t slot =
+        setup_.slot_of_group[static_cast<int>(clients_[u].group)];
+    const size_t theta_params = up.params_down - server_->table(slot).size();
+    const size_t up_scalars =
+        up.sparse ? up.v_delta_sparse.ParamCount() + theta_params
+                  : up.params_down;
+    return net_->FinishSeconds(u, time_key,
+                               down_scalars * cfg_.wire_scalar_bytes,
+                               up_scalars * cfg_.wire_scalar_bytes,
+                               up.train_samples);
+  }
+
+  /// The synchronous round protocol (the paper's), unchanged semantics:
+  /// barrier rounds over the shuffled queue, optional over-selection.
+  void SyncEpoch(int epoch) {
+    queue_->BeginEpoch(&sched_rng_);
+    // With availability < 1 offline clients requeue, so an epoch can take
+    // more than the nominal number of rounds; the budget bounds the tail
+    // (P(still queued) decays geometrically) so a tiny p cannot hang a run.
+    size_t round_budget = 10 * queue_->rounds_per_epoch() + 10;
+    while (!queue_->Exhausted() && round_budget > 0) {
+      --round_budget;
+      const std::vector<UserId> selected = queue_->NextRound();
+      server_->BeginRound();
+      const uint64_t round_id = server_->versions().round();
+      // "All Large/Exclusive": data-poor clients are excluded from the
+      // federation entirely — they receive the global model for
+      // inference but are never selected for training, so even their
+      // private user embeddings stay at initialization. This matches the
+      // severity of the paper's reported drop (Table II). Offline clients
+      // re-enter the queue and are tried again in a later round.
+      std::vector<UserId> work;
+      work.reserve(selected.size());
+      for (UserId u : selected) {
+        if (setup_.excluded[static_cast<int>(clients_[u].group)]) continue;
+        if (!net_->Online(u, round_id)) {
+          queue_->Requeue(u);
+          continue;
+        }
+        work.push_back(u);
+      }
+
+      // The round's barrier in simulated time: the server applies the
+      // aggregate only once its slowest *merged* client has finished.
+      double round_seconds = 0.0;
+
+      // Clients of a batch train in parallel (each mutates only its own
+      // ClientState and its thread's LocalTrainer scratch; the server and
+      // dataset are read-only during the batch). Updates land in
+      // per-client slots and merge into the server afterwards in batch
+      // order, so results are bit-identical for every thread count.
+      if (!over_select_ && pool_->num_workers() == 0) {
+        // Serial: merge each update immediately so only one is ever live
+        // (a full batch of dense reference deltas would be large).
+        LocalUpdateResult update;
+        for (size_t k = 0; k < work.size(); ++k) {
+          TrainOne(work[k], 0, &update);
+          const size_t shipped = AccountDownload(work[k], update);
+          MergeOne(work[k], update);
+          round_seconds = std::max(
+              round_seconds,
+              ClientFinishSeconds(work[k], round_id, shipped, update));
+        }
+      } else {
+        std::vector<LocalUpdateResult> updates(work.size());
+        if (pool_->num_workers() == 0) {
+          for (size_t k = 0; k < work.size(); ++k) {
+            TrainOne(work[k], 0, &updates[k]);
+          }
+        } else {
+          pool_->ParallelFor(work.size(), [&](size_t k, size_t slot_idx) {
+            TrainOne(work[k], slot_idx, &updates[k]);
+          });
+        }
+        if (!over_select_) {
+          for (size_t k = 0; k < work.size(); ++k) {
+            const size_t shipped = AccountDownload(work[k], updates[k]);
+            MergeOne(work[k], updates[k]);
+            round_seconds = std::max(
+                round_seconds,
+                ClientFinishSeconds(work[k], round_id, shipped, updates[k]));
+          }
+        } else {
+          // Over-selection: every selected client downloads and trains
+          // (its replica, embedding and RNG advance), but only the first
+          // clients_per_round simulated completions merge — in batch
+          // order, so results stay thread-count independent. Stragglers
+          // and deadline misses are discarded and re-queued.
+          std::vector<double> finish(work.size());
+          for (size_t k = 0; k < work.size(); ++k) {
+            const size_t down_scalars = AccountDownload(work[k], updates[k]);
+            finish[k] = ClientFinishSeconds(work[k], round_id, down_scalars,
+                                            updates[k]);
+          }
+          std::vector<size_t> order(work.size());
+          std::iota(order.begin(), order.end(), 0);
+          std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+            return finish[a] != finish[b] ? finish[a] < finish[b] : a < b;
+          });
+          std::vector<uint8_t> merged(work.size(), 0);
+          size_t taken = 0;
+          bool deadline_cut = false;
+          for (size_t k : order) {
+            if (taken >= cfg_.clients_per_round) break;
+            if (cfg_.round_deadline > 0.0 &&
+                finish[k] > cfg_.round_deadline) {
+              deadline_cut = true;
+              break;  // order is sorted: everyone later missed it too
+            }
+            merged[k] = 1;
+            taken++;
+          }
+          for (size_t k = 0; k < work.size(); ++k) {
+            if (merged[k]) {
+              MergeOne(work[k], updates[k]);
+              round_seconds = std::max(round_seconds, finish[k]);
+            } else {
+              queue_->Requeue(work[k]);
+            }
+          }
+          if (deadline_cut) {
+            // The quota went unfilled because clients missed the deadline:
+            // the server waited the deadline out before closing the round.
+            round_seconds = cfg_.round_deadline;
+          }
+        }
+      }
+      server_->FinishRound();
+      if (setup_.reskd) server_->Distill(kd_opts_, &kd_rng_);
+      sim_clock_ += round_seconds;
+    }
+    if (!queue_->Exhausted()) {
+      HFR_LOG(Warning) << "epoch " << epoch
+                       << " round budget exhausted with " << queue_->pending()
+                       << " clients still queued (availability="
+                       << cfg_.availability
+                       << "); dropping them until next epoch";
+    }
+  }
+
+  /// Fills free in-flight slots from the queue at the current virtual
+  /// instant. The collected batch trains in parallel against the current
+  /// tables — every client of one dispatch batch downloads the same model
+  /// version, which is what dispatching at one virtual instant means.
+  /// Offline clients requeue (a fresh availability draw at their next
+  /// dispatch attempt); excluded groups never dispatch.
+  void AsyncDispatch(size_t* budget) {
+    HFR_CHECK_GE(async_inflight_, agg_->in_flight());
+    const size_t free_slots = async_inflight_ - agg_->in_flight();
+    dispatch_users_.clear();
+    dispatch_seqs_.clear();
+    while (dispatch_users_.size() < free_slots && !queue_->Exhausted() &&
+           *budget > 0) {
+      --*budget;
+      const UserId u = queue_->PopNext();
+      if (setup_.excluded[static_cast<int>(clients_[u].group)]) continue;
+      const uint64_t seq = dispatch_seq_++;
+      if (!net_->Online(u, seq)) {
+        queue_->Requeue(u);
+        continue;
+      }
+      dispatch_users_.push_back(u);
+      dispatch_seqs_.push_back(seq);
+    }
+    if (dispatch_users_.empty()) return;
+
+    // In-flight updates must coexist (they are "on the wire"), unlike the
+    // synchronous serial path's merge-immediately economy; on the default
+    // sparse path each holds only its touched rows.
+    dispatch_updates_.resize(dispatch_users_.size());
+    const uint64_t version = server_->versions().round();
+    if (pool_->num_workers() == 0) {
+      for (size_t k = 0; k < dispatch_users_.size(); ++k) {
+        TrainOne(dispatch_users_[k], 0, &dispatch_updates_[k]);
+      }
+    } else {
+      pool_->ParallelFor(dispatch_users_.size(),
+                         [&](size_t k, size_t slot_idx) {
+                           TrainOne(dispatch_users_[k], slot_idx,
+                                    &dispatch_updates_[k]);
+                         });
+    }
+    // Replica commits and the completion events in dispatch order.
+    for (size_t k = 0; k < dispatch_users_.size(); ++k) {
+      const UserId u = dispatch_users_[k];
+      const size_t shipped = AccountDownload(u, dispatch_updates_[k]);
+      const double finish =
+          agg_->clock_seconds() +
+          ClientFinishSeconds(u, dispatch_seqs_[k], shipped,
+                              dispatch_updates_[k]);
+      agg_->Submit(
+          u, &setup_.tasks_of_group[static_cast<int>(clients_[u].group)],
+          std::move(dispatch_updates_[k]), version, finish);
+    }
+    dispatch_updates_.clear();
+  }
+
+  /// Merge-on-arrival: completions pop in virtual-time order and merge (or
+  /// drop) immediately; freed slots re-dispatch every async_dispatch_batch
+  /// merges. The epoch ends when the queue is drained and every in-flight
+  /// completion has arrived — the virtual clock runs on across epochs.
+  void AsyncEpoch(int epoch) {
+    queue_->BeginEpoch(&sched_rng_);
+    // Dispatch-attempt budget, same role as the sync round budget: with
+    // availability < 1 (or a tight staleness cap) clients requeue, and the
+    // geometric retry tail must not be able to hang a run.
+    size_t budget = 10 * dataset_.num_users() + 10 * async_inflight_;
+    AsyncDispatch(&budget);
+    size_t since_dispatch = 0;
+    while (!agg_->empty()) {
+      AsyncAggregator::Outcome out =
+          agg_->MergeNext(kd_opts_, setup_.reskd ? &kd_rng_ : nullptr);
+      const Group g = clients_[out.user].group;
+      if (out.merged) {
+        result_.comm.RecordUpload(g, out.params_up);
+        loss_sum_ += out.train_loss;
+        loss_count_++;
+      } else {
+        // Dropped by the staleness cap: the work is discarded and the
+        // client re-queued for a fresh download, like a sync straggler.
+        result_.comm.RecordDropped(g);
+        queue_->Requeue(out.user);
+      }
+      if (++since_dispatch >= cfg_.async_dispatch_batch || agg_->empty()) {
+        AsyncDispatch(&budget);
+        since_dispatch = 0;
+      }
+    }
+    if (!queue_->Exhausted()) {
+      HFR_LOG(Warning) << "epoch " << epoch
+                       << " async dispatch budget exhausted with "
+                       << queue_->pending()
+                       << " clients still queued (availability="
+                       << cfg_.availability
+                       << "); dropping them until next epoch";
+    }
+    sim_clock_ = agg_->clock_seconds();
+  }
+
+  Evaluator::BatchScoreFn MakeScoreFn() {
+    return [this](UserId u, size_t thread_slot,
+                  const std::vector<ItemId>& ids, double* out) {
+      const ClientState& c = clients_[u];
+      size_t slot = setup_.slot_of_group[static_cast<int>(c.group)];
+      Scorer& sc = eval_scorers_[thread_slot][slot];
+      sc.BeginUser(c.user_embedding.Row(0), server_->table(slot),
+                   dataset_.TrainItems(u));
+      ScoreIdsForEval(sc, server_->table(slot), server_->theta(slot), ids,
+                      cfg_.use_batched_scoring,
+                      cfg_.eval_candidate_sample == 0, out);
+    };
+  }
+
+  const ExperimentConfig& cfg_;
+  const Dataset& dataset_;
+  const GroupAssignment& groups_;
+  MethodSetup setup_;
+  Timer timer_;  // wall clock, started at construction like the old loop
+  Rng root_;
+
+  std::unique_ptr<HeteroServer> server_;
+  std::vector<ClientState> clients_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<LocalTrainer>> trainers_;
+  std::unique_ptr<ClientQueue> queue_;
+  Rng sched_rng_{0};
+  Rng kd_rng_{0};
+  DistillationOptions kd_opts_;
+  bool delta_sync_ = false;
+  std::unique_ptr<SyncService> sync_;
+  std::unique_ptr<SimulatedNetwork> net_;
+  bool over_select_ = false;
+  std::unique_ptr<Evaluator> evaluator_;
+  std::vector<std::vector<Scorer>> eval_scorers_;
+
+  // Async schedule state.
+  std::unique_ptr<AsyncAggregator> agg_;
+  size_t async_inflight_ = 0;
+  uint64_t dispatch_seq_ = 0;  // monotone across epochs; salts net draws
+  std::vector<UserId> dispatch_users_;
+  std::vector<uint64_t> dispatch_seqs_;
+  std::vector<LocalUpdateResult> dispatch_updates_;
+
+  ExperimentResult result_;
+  double loss_sum_ = 0.0;
+  size_t loss_count_ = 0;
+  double sim_clock_ = 0.0;
+};
+
 }  // namespace
 
 ExperimentRunner::ExperimentRunner(ExperimentConfig config, Dataset dataset,
@@ -150,315 +675,8 @@ ExperimentResult ExperimentRunner::Run(Method method) const {
 }
 
 ExperimentResult ExperimentRunner::RunFederated(Method method) const {
-  const ExperimentConfig& cfg = config_;
-  MethodSetup setup = BuildSetup(cfg, method);
-  if (setup.widths.size() > 1) {
-    HFR_CHECK_LT(cfg.dims[0], cfg.dims[1]);
-    HFR_CHECK_LT(cfg.dims[1], cfg.dims[2]);
-  }
-
-  Timer timer;
-  Rng root(cfg.seed);
-
-  HeteroServer::Options server_opts;
-  server_opts.widths = setup.widths;
-  server_opts.ffn_hidden = cfg.ffn_hidden;
-  server_opts.num_items = dataset_.num_items();
-  server_opts.embed_init_std = cfg.embed_init_std;
-  server_opts.aggregation = cfg.aggregation;
-  server_opts.shared_aggregation = setup.shared_aggregation;
-  server_opts.seed = root.Fork(1).Next();
-  HeteroServer server(server_opts);
-
-  std::vector<ClientState> clients(dataset_.num_users());
-  for (size_t u = 0; u < clients.size(); ++u) {
-    Group g = groups_.of(static_cast<UserId>(u));
-    size_t width = setup.widths[setup.slot_of_group[static_cast<int>(g)]];
-    InitClient(&clients[u], static_cast<UserId>(u), g, width,
-               cfg.embed_init_std, root);
-  }
-
-  // One LocalTrainer per executing thread (scratch buffers are not
-  // shareable); slot t of the pool uses trainers[t].
-  const size_t n_threads = EffectiveThreads(cfg);
-  ThreadPool pool(n_threads - 1);
-  std::vector<std::unique_ptr<LocalTrainer>> trainers;
-  trainers.reserve(pool.num_slots());
-  for (size_t t = 0; t < pool.num_slots(); ++t) {
-    trainers.push_back(
-        std::make_unique<LocalTrainer>(dataset_, cfg.base_model));
-  }
-  ClientQueue queue(dataset_.num_users(), cfg.clients_per_round,
-                    cfg.straggler_slack);
-  Rng sched_rng = root.Fork(2);
-  Rng kd_rng = root.Fork(3);
-  DistillationOptions kd_opts;
-  kd_opts.kd_items = cfg.kd_items;
-  kd_opts.steps = cfg.kd_steps;
-  kd_opts.lr = cfg.kd_lr;
-
-  // Delta-sync machinery (docs/SYNC.md). With full_downloads the replica
-  // bookkeeping is skipped entirely — the default path stays the paper's.
-  const bool delta_sync = !cfg.full_downloads;
-  std::unique_ptr<SyncService> sync;
-  if (delta_sync) {
-    SyncService::Options sync_opts;
-    sync_opts.verify_values = cfg.sync_verify_replicas;
-    sync_opts.replica_cap = cfg.sync_replica_cap;
-    sync = std::make_unique<SyncService>(dataset_.num_users(), sync_opts);
-  }
-  NetworkOptions net_opts;
-  net_opts.availability = cfg.availability;
-  net_opts.bandwidth_bytes_per_sec = cfg.net_bandwidth;
-  net_opts.bandwidth_sigma = cfg.net_bandwidth_sigma;
-  net_opts.latency_seconds = cfg.net_latency;
-  net_opts.latency_sigma = cfg.net_latency_sigma;
-  net_opts.compute_seconds_per_sample = cfg.net_compute_per_sample;
-  net_opts.seed = root.Fork(5).Next();
-  SimulatedNetwork net(net_opts);
-  // Over-selection: rank completions by simulated time, merge the first
-  // clients_per_round (a deadline alone also activates the ranking).
-  const bool over_select =
-      cfg.straggler_slack > 0 || cfg.round_deadline > 0.0;
-
-  Evaluator evaluator(dataset_, groups_, cfg.top_k, cfg.eval_user_sample,
-                      cfg.seed ^ 0xe5a1ULL, cfg.eval_candidate_sample);
-  // One Scorer per (executing thread, slot), constructed once and reused
-  // for every evaluated user (Scorer construction allocates per-width
-  // scratch; the evaluator likewise reuses per-thread scores buffers).
-  std::vector<std::vector<Scorer>> eval_scorers(pool.num_slots());
-  for (size_t t = 0; t < pool.num_slots(); ++t) {
-    eval_scorers[t].reserve(server.num_slots());
-    for (size_t s = 0; s < server.num_slots(); ++s) {
-      eval_scorers[t].emplace_back(cfg.base_model, server.width(s));
-    }
-  }
-  auto score_fn = [&](UserId u, size_t thread_slot,
-                      const std::vector<ItemId>& ids, double* out) {
-    const ClientState& c = clients[u];
-    size_t slot = setup.slot_of_group[static_cast<int>(c.group)];
-    Scorer& sc = eval_scorers[thread_slot][slot];
-    sc.BeginUser(c.user_embedding.Row(0), server.table(slot),
-                 dataset_.TrainItems(u));
-    ScoreIdsForEval(sc, server.table(slot), server.theta(slot), ids,
-                    cfg.use_batched_scoring, cfg.eval_candidate_sample == 0,
-                    out);
-  };
-
-  ExperimentResult result;
-  result.comm.set_wire_scalar_bytes(cfg.wire_scalar_bytes);
-  for (int epoch = 1; epoch <= cfg.global_epochs; ++epoch) {
-    double loss_sum = 0.0;
-    size_t loss_count = 0;
-    queue.BeginEpoch(&sched_rng);
-    // With availability < 1 offline clients requeue, so an epoch can take
-    // more than the nominal number of rounds; the budget bounds the tail
-    // (P(still queued) decays geometrically) so a tiny p cannot hang a run.
-    size_t round_budget = 10 * queue.rounds_per_epoch() + 10;
-    while (!queue.Exhausted() && round_budget > 0) {
-      --round_budget;
-      const std::vector<UserId> selected = queue.NextRound();
-      server.BeginRound();
-      const uint64_t round_id = server.versions().round();
-      // "All Large/Exclusive": data-poor clients are excluded from the
-      // federation entirely — they receive the global model for
-      // inference but are never selected for training, so even their
-      // private user embeddings stay at initialization. This matches the
-      // severity of the paper's reported drop (Table II). Offline clients
-      // re-enter the queue and are tried again in a later round.
-      std::vector<UserId> work;
-      work.reserve(selected.size());
-      for (UserId u : selected) {
-        if (setup.excluded[static_cast<int>(clients[u].group)]) continue;
-        if (!net.Online(u, round_id)) {
-          queue.Requeue(u);
-          continue;
-        }
-        work.push_back(u);
-      }
-
-      // Clients of a batch train in parallel (each mutates only its own
-      // ClientState and its thread's LocalTrainer scratch; the server and
-      // dataset are read-only during the batch). Updates land in
-      // per-client slots and merge into the server afterwards in batch
-      // order, so results are bit-identical for every thread count.
-      auto train_one = [&](size_t k, size_t slot_idx,
-                           LocalUpdateResult* out) {
-        UserId u = work[k];
-        ClientState& client = clients[u];
-        const int g = static_cast<int>(client.group);
-        const auto& tasks = setup.tasks_of_group[g];
-        std::vector<const FeedForwardNet*> thetas;
-        thetas.reserve(tasks.size());
-        for (const auto& task : tasks) {
-          thetas.push_back(&server.theta(task.slot));
-        }
-
-        LocalTrainerOptions lopt;
-        lopt.local_epochs = cfg.local_epochs;
-        lopt.lr = cfg.lr;
-        lopt.apply_ddr = setup.apply_ddr[g];
-        lopt.alpha = cfg.alpha;
-        lopt.ddr_sample_rows = cfg.ddr_sample_rows;
-        lopt.validation_fraction = cfg.local_validation_fraction;
-        lopt.use_sparse = cfg.use_sparse_updates;
-        lopt.use_batched = cfg.use_batched_scoring;
-        lopt.sparse_comm_accounting = cfg.sparse_comm_accounting;
-
-        size_t slot = setup.slot_of_group[g];
-        *out = trainers[slot_idx]->Train(&client, server.table(slot),
-                                         thetas, tasks, lopt);
-      };
-
-      // Download accounting for one trained client, in batch order (the
-      // replica commit must be deterministic). Returns the scalars the
-      // active protocol actually ships down; also records CommStats.
-      auto account_download = [&](size_t k,
-                                  const LocalUpdateResult& update) -> size_t {
-        UserId u = work[k];
-        const size_t slot =
-            setup.slot_of_group[static_cast<int>(clients[u].group)];
-        const Matrix& table = server.table(slot);
-        // update.params_down is the dense accounting: |V| + |Θ...|.
-        const size_t theta_params = update.params_down - table.size();
-        size_t shipped = update.params_down;
-        if (delta_sync && update.sparse) {
-          SyncPlan plan = sync->Sync(u, slot, update.read_rows, table,
-                                     server.versions(), theta_params);
-          shipped = plan.params;
-        }
-        result.comm.RecordDownload(
-            clients[u].group,
-            cfg.sparse_comm_accounting ? shipped : update.params_down);
-        return shipped;
-      };
-
-      auto merge_one = [&](size_t k, const LocalUpdateResult& update) {
-        UserId u = work[k];
-        result.comm.RecordUpload(clients[u].group, update.params_up);
-        loss_sum += update.train_loss;
-        loss_count++;
-        double weight =
-            cfg.aggregation == AggregationMode::kDataWeighted
-                ? static_cast<double>(dataset_.TrainItems(u).size())
-                : 1.0;
-        server.Accumulate(setup.tasks_of_group[static_cast<int>(
-                              clients[u].group)],
-                          update, weight);
-      };
-
-      if (!over_select && pool.num_workers() == 0) {
-        // Serial: merge each update immediately so only one is ever live
-        // (a full batch of dense reference deltas would be large).
-        LocalUpdateResult update;
-        for (size_t k = 0; k < work.size(); ++k) {
-          train_one(k, 0, &update);
-          account_download(k, update);
-          merge_one(k, update);
-        }
-      } else {
-        std::vector<LocalUpdateResult> updates(work.size());
-        if (pool.num_workers() == 0) {
-          for (size_t k = 0; k < work.size(); ++k) {
-            train_one(k, 0, &updates[k]);
-          }
-        } else {
-          pool.ParallelFor(work.size(), [&](size_t k, size_t slot_idx) {
-            train_one(k, slot_idx, &updates[k]);
-          });
-        }
-        if (!over_select) {
-          for (size_t k = 0; k < work.size(); ++k) {
-            account_download(k, updates[k]);
-            merge_one(k, updates[k]);
-          }
-        } else {
-          // Over-selection: every selected client downloads and trains
-          // (its replica, embedding and RNG advance), but only the first
-          // clients_per_round simulated completions merge — in batch
-          // order, so results stay thread-count independent. Stragglers
-          // and deadline misses are discarded and re-queued.
-          std::vector<double> finish(work.size());
-          for (size_t k = 0; k < work.size(); ++k) {
-            const LocalUpdateResult& up = updates[k];
-            const size_t slot = setup.slot_of_group[static_cast<int>(
-                clients[work[k]].group)];
-            const size_t theta_params =
-                up.params_down - server.table(slot).size();
-            const size_t down_scalars = account_download(k, up);
-            // What the wire actually carries up: packed touched rows on
-            // the sparse path, the dense delta (== |V| + Θ) otherwise.
-            const size_t up_scalars =
-                up.sparse ? up.v_delta_sparse.ParamCount() + theta_params
-                          : up.params_down;
-            finish[k] = net.FinishSeconds(
-                work[k], round_id, down_scalars * cfg.wire_scalar_bytes,
-                up_scalars * cfg.wire_scalar_bytes, up.train_samples);
-          }
-          std::vector<size_t> order(work.size());
-          std::iota(order.begin(), order.end(), 0);
-          std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-            return finish[a] != finish[b] ? finish[a] < finish[b] : a < b;
-          });
-          std::vector<uint8_t> merged(work.size(), 0);
-          size_t taken = 0;
-          for (size_t k : order) {
-            if (taken >= cfg.clients_per_round) break;
-            if (cfg.round_deadline > 0.0 && finish[k] > cfg.round_deadline) {
-              break;  // order is sorted: everyone later missed it too
-            }
-            merged[k] = 1;
-            taken++;
-          }
-          for (size_t k = 0; k < work.size(); ++k) {
-            if (merged[k]) {
-              merge_one(k, updates[k]);
-            } else {
-              queue.Requeue(work[k]);
-            }
-          }
-        }
-      }
-      server.FinishRound();
-      if (setup.reskd) server.Distill(kd_opts, &kd_rng);
-    }
-    if (!queue.Exhausted()) {
-      HFR_LOG(Warning) << "epoch " << epoch << " round budget exhausted with "
-                       << queue.pending()
-                       << " clients still queued (availability="
-                       << cfg.availability
-                       << "); dropping them until next epoch";
-    }
-
-    const bool last = (epoch == cfg.global_epochs);
-    if ((cfg.eval_every > 0 && epoch % cfg.eval_every == 0) || last) {
-      EpochPoint point;
-      point.epoch = epoch;
-      point.eval = evaluator.Evaluate(score_fn, &pool);
-      point.mean_train_loss =
-          loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;
-      if (cfg.eval_every > 0) result.history.push_back(point);
-      if (last) result.final_eval = point.eval;
-    }
-  }
-
-  {
-    const Matrix& largest = server.table(server.num_slots() - 1);
-    std::vector<double> eig = SymmetricEigenvalues(CovarianceMatrix(largest));
-    result.collapse_variance = Variance(eig);
-    double mean = Mean(eig);
-    result.collapse_cv =
-        mean > 0 ? result.collapse_variance / (mean * mean) : 0.0;
-  }
-  if (!cfg.checkpoint_path.empty()) {
-    Status st = SaveServerCheckpoint(cfg.checkpoint_path, server,
-                                     BaseModelName(cfg.base_model));
-    if (!st.ok()) {
-      HFR_LOG(Warning) << "checkpoint save failed: " << st.ToString();
-    }
-  }
-  result.train_seconds = timer.Seconds();
-  return result;
+  FederatedRun run(config_, dataset_, groups_, method);
+  return run.Run();
 }
 
 ExperimentResult ExperimentRunner::RunStandalone() const {

@@ -20,6 +20,9 @@ struct EpochPoint {
   int epoch = 0;            // 1-based global epoch
   GroupedEval eval;         // metrics at that epoch
   double mean_train_loss = 0.0;
+  /// Simulated-network seconds elapsed when this point was taken (the
+  /// virtual clock of the round/event executor, not wall time).
+  double simulated_seconds = 0.0;
 };
 
 /// \brief Everything one experiment run produces.
@@ -35,6 +38,11 @@ struct ExperimentResult {
   /// quantity to compare across runs at reduced training scale.
   double collapse_cv = 0.0;
   double train_seconds = 0.0;
+  /// Total simulated-network seconds the run consumed: the sum of round
+  /// durations (each round waits for its slowest merged client) in the
+  /// synchronous protocol, the final virtual-clock reading of the event
+  /// queue in async mode. 0 for Standalone (no network).
+  double simulated_seconds = 0.0;
 };
 
 /// \brief Owns the dataset + group division and runs methods against them.

@@ -14,6 +14,20 @@ void CommStats::RecordUpload(Group g, size_t params) {
   pg.up_params += params;
 }
 
+void CommStats::RecordDropped(Group g) {
+  groups_[static_cast<int>(g)].dropped++;
+}
+
+size_t CommStats::Dropped(Group g) const {
+  return groups_[static_cast<int>(g)].dropped;
+}
+
+size_t CommStats::TotalDropped() const {
+  size_t total = 0;
+  for (const auto& pg : groups_) total += pg.dropped;
+  return total;
+}
+
 size_t CommStats::Participations(Group g) const {
   return groups_[static_cast<int>(g)].uploads;
 }

@@ -27,6 +27,12 @@ class CommStats {
   /// Records one client upload of `params` scalars.
   void RecordUpload(Group g, size_t params);
 
+  /// Records one async arrival discarded by the staleness cap
+  /// (`async_max_staleness`): the download was delivered and is counted,
+  /// but the update never merges, so no upload is recorded — the same
+  /// accepted-traffic-only convention over-selection stragglers follow.
+  void RecordDropped(Group g);
+
   /// Number of *merged* participations (uploads accepted by the server).
   /// Under over-selection this is smaller than Downloads(): stragglers
   /// receive their download but their upload is cancelled at round close
@@ -37,6 +43,12 @@ class CommStats {
   /// Number of downloads recorded for the group (>= Participations under
   /// over-selection / deadlines).
   size_t Downloads(Group g) const;
+
+  /// Async arrivals dropped by the staleness cap for the group.
+  size_t Dropped(Group g) const;
+
+  /// Total dropped arrivals across all groups.
+  size_t TotalDropped() const;
 
   /// Mean scalars uploaded per participation for the group (0 if none).
   double AvgUpload(Group g) const;
@@ -66,6 +78,7 @@ class CommStats {
   struct PerGroup {
     size_t uploads = 0;
     size_t downloads = 0;
+    size_t dropped = 0;
     size_t up_params = 0;
     size_t down_params = 0;
   };

@@ -60,6 +60,17 @@ std::vector<UserId> ClientQueue::NextRound() {
   return round;
 }
 
+UserId ClientQueue::PopNext() {
+  HFR_CHECK(!Exhausted());
+  const UserId u = queue_[head_++];
+  // Same compaction policy as NextRound: keep requeue chains O(num_users).
+  if (head_ > queue_.size() / 2 && head_ > clients_per_round_) {
+    queue_.erase(queue_.begin(), queue_.begin() + head_);
+    head_ = 0;
+  }
+  return u;
+}
+
 size_t ClientQueue::rounds_per_epoch() const {
   return (num_users_ + clients_per_round_ - 1) / clients_per_round_;
 }

@@ -60,6 +60,10 @@ class ClientQueue {
   /// Pops up to clients_per_round + over_selection clients in queue order.
   std::vector<UserId> NextRound();
 
+  /// Pops the single next client in queue order — the asynchronous
+  /// dispatcher's unit of selection. Requires !Exhausted().
+  UserId PopNext();
+
   /// Re-enters a client at the queue tail (it will be selected again this
   /// epoch).
   void Requeue(UserId u) { queue_.push_back(u); }

@@ -12,6 +12,7 @@
 
 #include "src/core/checkpoint.h"
 #include "src/core/trainer.h"
+#include "tests/core/equivalence_test_util.h"
 
 namespace hetefedrec {
 namespace {
@@ -28,16 +29,6 @@ ExperimentConfig SmallConfig() {
   cfg.local_validation_fraction = 0.2;  // exercise batched validation too
   cfg.seed = 57;
   return cfg;
-}
-
-void ExpectSameEval(const GroupedEval& a, const GroupedEval& b) {
-  EXPECT_EQ(a.overall.recall, b.overall.recall);
-  EXPECT_EQ(a.overall.ndcg, b.overall.ndcg);
-  EXPECT_EQ(a.overall.users, b.overall.users);
-  for (int g = 0; g < kNumGroups; ++g) {
-    EXPECT_EQ(a.per_group[g].recall, b.per_group[g].recall);
-    EXPECT_EQ(a.per_group[g].ndcg, b.per_group[g].ndcg);
-  }
 }
 
 void ExpectSameCheckpoint(const std::string& path_a,

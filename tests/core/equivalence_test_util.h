@@ -1,0 +1,26 @@
+// Shared assertion for the equivalence suites (sparse/batched/delta/async):
+// two runs' grouped evaluations must agree bit-for-bit, overall and per
+// group. Kept in one header so a new GroupedEval field is added to the
+// pinning exactly once.
+#ifndef HETEFEDREC_TESTS_CORE_EQUIVALENCE_TEST_UTIL_H_
+#define HETEFEDREC_TESTS_CORE_EQUIVALENCE_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "src/eval/evaluator.h"
+
+namespace hetefedrec {
+
+inline void ExpectSameEval(const GroupedEval& a, const GroupedEval& b) {
+  EXPECT_EQ(a.overall.recall, b.overall.recall);
+  EXPECT_EQ(a.overall.ndcg, b.overall.ndcg);
+  EXPECT_EQ(a.overall.users, b.overall.users);
+  for (int g = 0; g < kNumGroups; ++g) {
+    EXPECT_EQ(a.per_group[g].recall, b.per_group[g].recall);
+    EXPECT_EQ(a.per_group[g].ndcg, b.per_group[g].ndcg);
+  }
+}
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_TESTS_CORE_EQUIVALENCE_TEST_UTIL_H_

@@ -12,6 +12,7 @@
 #include "src/core/local_trainer.h"
 #include "src/core/trainer.h"
 #include "src/math/init.h"
+#include "tests/core/equivalence_test_util.h"
 
 namespace hetefedrec {
 namespace {
@@ -182,16 +183,6 @@ ExperimentConfig SmallConfig() {
   cfg.kd_items = 16;
   cfg.seed = 33;
   return cfg;
-}
-
-void ExpectSameEval(const GroupedEval& a, const GroupedEval& b) {
-  EXPECT_EQ(a.overall.recall, b.overall.recall);
-  EXPECT_EQ(a.overall.ndcg, b.overall.ndcg);
-  EXPECT_EQ(a.overall.users, b.overall.users);
-  for (int g = 0; g < kNumGroups; ++g) {
-    EXPECT_EQ(a.per_group[g].recall, b.per_group[g].recall);
-    EXPECT_EQ(a.per_group[g].ndcg, b.per_group[g].ndcg);
-  }
 }
 
 void ExpectSameCheckpoint(const std::string& path_a,

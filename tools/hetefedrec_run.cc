@@ -69,6 +69,30 @@ int Main(int argc, char** argv) {
               "simulated round deadline in seconds (0 = none)");
   cli.AddFlag("wire_format", "fp64",
               "wire scalar width for byte accounting: fp64 | fp32 | fp16");
+  cli.AddFlag("net_bandwidth", "1.25e6",
+              "median client bandwidth, bytes/second");
+  cli.AddFlag("net_bandwidth_sigma", "0",
+              "log-normal sigma of the per-client bandwidth multiplier");
+  cli.AddFlag("net_latency", "0.05", "base round-trip latency, seconds");
+  cli.AddFlag("net_latency_sigma", "0",
+              "log-normal sigma of the per-(client,round) latency");
+  cli.AddFlag("net_compute", "0",
+              "local compute seconds per training sample");
+  cli.AddFlag("async", "false",
+              "asynchronous merge-on-arrival aggregation instead of "
+              "synchronous rounds (docs/SYNC.md)");
+  cli.AddFlag("async_alpha", "0.5",
+              "staleness exponent: updates merge with w(s)=1/(1+s)^alpha");
+  cli.AddFlag("async_max_staleness", "0",
+              "drop arrivals staler than this version gap (0 = no cap)");
+  cli.AddFlag("async_distill_every", "0",
+              "merged updates between RESKD distillations "
+              "(0 = clients_per_round)");
+  cli.AddFlag("async_inflight", "0",
+              "clients concurrently in flight (0 = clients_per_round)");
+  cli.AddFlag("async_dispatch_batch", "1",
+              "completions merged before freed slots re-dispatch as one "
+              "parallel batch");
 
   Status st = cli.Parse(argc, argv);
   if (!st.ok()) {
@@ -114,6 +138,20 @@ int Main(int argc, char** argv) {
     return 1;
   }
   cfg.wire_scalar_bytes = *wire;
+  cfg.net_bandwidth = cli.GetDouble("net_bandwidth");
+  cfg.net_bandwidth_sigma = cli.GetDouble("net_bandwidth_sigma");
+  cfg.net_latency = cli.GetDouble("net_latency");
+  cfg.net_latency_sigma = cli.GetDouble("net_latency_sigma");
+  cfg.net_compute_per_sample = cli.GetDouble("net_compute");
+  cfg.async_mode = cli.GetBool("async");
+  cfg.async_staleness_alpha = cli.GetDouble("async_alpha");
+  cfg.async_max_staleness =
+      static_cast<size_t>(cli.GetInt("async_max_staleness"));
+  cfg.async_distill_every =
+      static_cast<size_t>(cli.GetInt("async_distill_every"));
+  cfg.async_inflight = static_cast<size_t>(cli.GetInt("async_inflight"));
+  cfg.async_dispatch_batch =
+      static_cast<size_t>(cli.GetInt("async_dispatch_batch"));
   if (cli.GetString("agg") == "sum") {
     cfg.aggregation = AggregationMode::kSum;
   } else if (cli.GetString("agg") == "weighted") {
@@ -160,9 +198,9 @@ int Main(int argc, char** argv) {
 
   ExperimentResult r = (*runner)->Run(*method);
   for (const EpochPoint& p : r.history) {
-    std::printf("epoch %3d  ndcg=%.5f recall=%.5f loss=%.4f\n", p.epoch,
-                p.eval.overall.ndcg, p.eval.overall.recall,
-                p.mean_train_loss);
+    std::printf("epoch %3d  ndcg=%.5f recall=%.5f loss=%.4f simsec=%.1f\n",
+                p.epoch, p.eval.overall.ndcg, p.eval.overall.recall,
+                p.mean_train_loss, p.simulated_seconds);
   }
   std::printf(
       "\nfinal: Recall@20=%.5f NDCG@20=%.5f (Us %.5f | Um %.5f | Ul %.5f) "
@@ -187,6 +225,12 @@ int Main(int argc, char** argv) {
               r.comm.AvgDownload(Group::kLarge), r.comm.AvgUpload(Group::kLarge));
   std::printf("collapse: var=%.6f normalized=%.4f\n", r.collapse_variance,
               r.collapse_cv);
+  const size_t dropped = r.comm.TotalDropped();
+  std::printf("simulated time: %.1fs%s", r.simulated_seconds,
+              dropped > 0 ? "" : "\n");
+  if (dropped > 0) {
+    std::printf("  (%zu over-stale arrivals dropped)\n", dropped);
+  }
   std::printf("wall time: %.1fs\n", r.train_seconds);
   return 0;
 }
