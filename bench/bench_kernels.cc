@@ -15,6 +15,7 @@
 #include "src/data/dataset.h"
 #include "src/data/synthetic.h"
 #include "src/eval/metrics.h"
+#include "src/eval/topk.h"
 #include "src/fed/sync/sync_service.h"
 #include "src/fed/sync/versioned_table.h"
 #include "src/math/activations.h"
@@ -114,12 +115,16 @@ BENCHMARK(BM_BatchedForward)
 // style). The scalar-vs-batched ratio is the evaluator scoring speedup
 // recorded in docs/PERFORMANCE.md (acceptance bar: >= 2x).
 void BM_EvalScoring(benchmark::State& state) {
-  const int mode = static_cast<int>(state.range(0));  // 0 scalar | 1 batch
-                                                      // | 2 candidates
+  // Modes 0-2: scoring only (0 scalar | 1 batch | 2 candidates). Modes
+  // 3-4: one user's full evaluation inner loop — scoring *and* top-20
+  // selection with the train-item mask — through the partial_sort
+  // reference (3) vs the fused block-streamed selector (4).
+  const int mode = static_cast<int>(state.range(0));
   const BaseModel model =
       state.range(1) == 0 ? BaseModel::kNcf : BaseModel::kLightGcn;
   constexpr size_t kAnimeItems = 6888;
   constexpr size_t kWidth = 32;
+  constexpr size_t kTopK = 20;
   Matrix table = RandomTable(kAnimeItems, kWidth, 103);
   Matrix user = RandomTable(1, kWidth, 107);
   FeedForwardNet theta(2 * kWidth, {8, 8});
@@ -135,9 +140,14 @@ void BM_EvalScoring(benchmark::State& state) {
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
+  std::vector<bool> masked(kAnimeItems, false);
+  for (ItemId i : interacted) masked[i] = true;
 
   Scorer sc(model, kWidth);
+  TopKSelector selector;
+  constexpr size_t kBlock = 1024;
   std::vector<double> out(kAnimeItems);
+  std::vector<ItemId> topk;
   size_t scored = 0;
   for (auto _ : state) {
     sc.BeginUser(user.Row(0), table, interacted);
@@ -152,13 +162,30 @@ void BM_EvalScoring(benchmark::State& state) {
         sc.ScoreRange(table, theta, 0, kAnimeItems, out.data());
         scored += kAnimeItems;
         break;
-      default:
+      case 2:
         sc.ScoreBatch(table, theta, candidates.data(), candidates.size(),
                       out.data());
         scored += candidates.size();
         break;
+      case 3:
+        sc.ScoreRange(table, theta, 0, kAnimeItems, out.data());
+        topk = TopKItems(out, masked, kTopK);
+        scored += kAnimeItems;
+        break;
+      default:
+        selector.Begin(kTopK, &masked);
+        for (size_t first = 0; first < kAnimeItems; first += kBlock) {
+          const size_t bs = std::min(kBlock, kAnimeItems - first);
+          sc.ScoreRange(table, theta, static_cast<ItemId>(first), bs,
+                        out.data());
+          selector.Push(static_cast<ItemId>(first), out.data(), bs);
+        }
+        selector.Finish(&topk);
+        scored += kAnimeItems;
+        break;
     }
     benchmark::DoNotOptimize(out);
+    benchmark::DoNotOptimize(topk);
   }
   state.SetItemsProcessed(static_cast<int64_t>(scored));
 }
@@ -166,9 +193,13 @@ BENCHMARK(BM_EvalScoring)
     ->Args({0, 0})
     ->Args({1, 0})
     ->Args({2, 0})
+    ->Args({3, 0})
+    ->Args({4, 0})
     ->Args({0, 1})
     ->Args({1, 1})
-    ->Args({2, 1});
+    ->Args({2, 1})
+    ->Args({3, 1})
+    ->Args({4, 1});
 
 void BM_ScorerFullCatalogue(benchmark::State& state) {
   // Cost of ranking all items for one user (the evaluation inner loop).
@@ -554,17 +585,73 @@ BENCHMARK(BM_AsyncVsSyncRound)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+// Top-20 selection over a full-catalogue score array at the ML (3,706
+// items) and Anime (6,888 items) shapes: the partial_sort reference
+// (candidate-vector build + partial_sort, mode 0) vs the streaming
+// bounded-heap selector (mode 1). Every 13th item is masked, mimicking
+// train-item exclusion.
 void BM_TopK(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const size_t items = static_cast<size_t>(state.range(1));
   Rng rng(59);
-  std::vector<double> scores(kItems);
+  std::vector<double> scores(items);
   for (auto& s : scores) s = rng.Uniform();
-  std::vector<bool> mask(kItems, false);
-  for (size_t i = 0; i < kItems; i += 13) mask[i] = true;
+  std::vector<bool> mask(items, false);
+  for (size_t i = 0; i < items; i += 13) mask[i] = true;
+  TopKSelector selector;
+  std::vector<ItemId> topk;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(TopKItems(scores, mask, 20));
+    if (mode == 0) {
+      selector.SelectMaskedReference(scores, mask, 20, &topk);
+    } else {
+      selector.SelectMasked(scores, mask, 20, &topk);
+    }
+    benchmark::DoNotOptimize(topk);
   }
+  state.SetItemsProcessed(state.iterations() * items);
 }
-BENCHMARK(BM_TopK);
+BENCHMARK(BM_TopK)
+    ->Args({0, 3706})
+    ->Args({1, 3706})
+    ->Args({0, 6888})
+    ->Args({1, 6888});
+
+// Top-k over a candidate slice: the partial_sort reference (mode 0) vs
+// the selector (mode 1 — bounded heap at k=20, bucketed cascade once k is
+// a sizable fraction of the pool). Shapes: the default candidate-eval
+// pool (~220 ids, k=20), a wider pool, and a large-k selection.
+void BM_TopKCandidates(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  const size_t k = static_cast<size_t>(state.range(2));
+  Rng rng(61);
+  std::vector<ItemId> ids(n);
+  std::vector<double> scores(n);
+  ItemId next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    next += 1 + static_cast<ItemId>(rng.UniformInt(5));
+    ids[i] = next;
+    scores[i] = rng.Uniform();
+  }
+  TopKSelector selector;
+  std::vector<ItemId> topk;
+  for (auto _ : state) {
+    if (mode == 0) {
+      selector.SelectFromCandidatesReference(ids, scores, k, &topk);
+    } else {
+      selector.SelectFromCandidates(ids, scores, k, &topk);
+    }
+    benchmark::DoNotOptimize(topk);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TopKCandidates)
+    ->Args({0, 220, 20})
+    ->Args({1, 220, 20})
+    ->Args({0, 2048, 20})
+    ->Args({1, 2048, 20})
+    ->Args({0, 2048, 512})
+    ->Args({1, 2048, 512});
 
 }  // namespace
 }  // namespace hetefedrec

@@ -22,6 +22,10 @@ void AddCommonFlags(CommandLine* cli) {
   cli->AddFlag("scalar_scoring", "false",
                "use the per-sample reference scoring path instead of the "
                "batched kernels (bit-identical; for comparison runs)");
+  cli->AddFlag("scalar_topk", "false",
+               "use the per-user partial_sort reference top-K selection "
+               "instead of the fused streaming selector (bit-identical; "
+               "for comparison runs)");
   cli->AddFlag("eval_candidates", "0",
                "candidate-sliced evaluation: test items + N seeded "
                "negatives per user (0 = full catalogue, the paper's "
@@ -102,6 +106,7 @@ StatusOr<ExperimentConfig> ConfigFromFlags(const CommandLine& cli) {
   cfg.num_threads = static_cast<size_t>(cli.GetInt("threads"));
   cfg.use_sparse_updates = !cli.GetBool("dense_updates");
   cfg.use_batched_scoring = !cli.GetBool("scalar_scoring");
+  cfg.use_batched_topk = !cli.GetBool("scalar_topk");
   cfg.eval_candidate_sample =
       static_cast<size_t>(cli.GetInt("eval_candidates"));
   cfg.sync_replica_cap = static_cast<size_t>(cli.GetInt("replica_cap"));

@@ -10,6 +10,7 @@
 #include "src/core/checkpoint.h"
 #include "src/core/local_trainer.h"
 #include "src/data/synthetic.h"
+#include "src/eval/topk.h"
 #include "src/fed/scheduler.h"
 #include "src/fed/sync/async_aggregator.h"
 #include "src/fed/sync/network.h"
@@ -62,6 +63,31 @@ void ScoreIdsForEval(const Scorer& sc, const Matrix& table,
     sc.ScoreRange(table, theta, 0, ids.size(), out);
   } else {
     sc.ScoreBatch(table, theta, ids.data(), ids.size(), out);
+  }
+}
+
+/// Score blocks fed to the fused top-K sink: per-user state (prefix, pu_)
+/// survives across ScoreRange calls, so scoring block [first, first + bs)
+/// yields the exact per-item logits of one full-span pass while `buf` only
+/// ever holds kEvalStreamBlock scores. Requires a prior BeginUser on `sc`.
+constexpr size_t kEvalStreamBlock = 8 * Scorer::kScoreBlock;
+
+void StreamScoresForEval(const Scorer& sc, const Matrix& table,
+                         const FeedForwardNet& theta, bool use_batched,
+                         std::vector<double>* buf, TopKSelector* sink) {
+  const size_t n = table.rows();
+  buf->resize(std::min(kEvalStreamBlock, n));
+  for (size_t first = 0; first < n; first += kEvalStreamBlock) {
+    const size_t bs = std::min(kEvalStreamBlock, n - first);
+    if (use_batched) {
+      sc.ScoreRange(table, theta, static_cast<ItemId>(first), bs,
+                    buf->data());
+    } else {
+      for (size_t i = 0; i < bs; ++i) {
+        (*buf)[i] = sc.Score(table, theta, static_cast<ItemId>(first + i));
+      }
+    }
+    sink->Push(static_cast<ItemId>(first), buf->data(), bs);
   }
 }
 
@@ -209,11 +235,13 @@ class FederatedRun {
 
     evaluator_ = std::make_unique<Evaluator>(
         dataset_, groups_, cfg_.top_k, cfg_.eval_user_sample,
-        cfg_.seed ^ 0xe5a1ULL, cfg_.eval_candidate_sample);
+        cfg_.seed ^ 0xe5a1ULL, cfg_.eval_candidate_sample,
+        cfg_.use_batched_topk);
     // One Scorer per (executing thread, slot), constructed once and reused
     // for every evaluated user (Scorer construction allocates per-width
     // scratch; the evaluator likewise reuses per-thread scores buffers).
     eval_scorers_.resize(pool_->num_slots());
+    eval_stream_bufs_.resize(pool_->num_slots());
     for (size_t t = 0; t < pool_->num_slots(); ++t) {
       eval_scorers_[t].reserve(server_->num_slots());
       for (size_t s = 0; s < server_->num_slots(); ++s) {
@@ -253,7 +281,7 @@ class FederatedRun {
       if ((cfg_.eval_every > 0 && epoch % cfg_.eval_every == 0) || last) {
         EpochPoint point;
         point.epoch = epoch;
-        point.eval = evaluator_->Evaluate(MakeScoreFn(), pool_.get());
+        point.eval = RunEvaluation();
         point.mean_train_loss =
             loss_count_ > 0 ? loss_sum_ / static_cast<double>(loss_count_)
                             : 0.0;
@@ -608,6 +636,29 @@ class FederatedRun {
     };
   }
 
+  Evaluator::StreamScoreFn MakeStreamScoreFn() {
+    return [this](UserId u, size_t thread_slot, TopKSelector* sink) {
+      const ClientState& c = clients_[u];
+      size_t slot = setup_.slot_of_group[static_cast<int>(c.group)];
+      Scorer& sc = eval_scorers_[thread_slot][slot];
+      sc.BeginUser(c.user_embedding.Row(0), server_->table(slot),
+                   dataset_.TrainItems(u));
+      StreamScoresForEval(sc, server_->table(slot), server_->theta(slot),
+                          cfg_.use_batched_scoring,
+                          &eval_stream_bufs_[thread_slot], sink);
+    };
+  }
+
+  /// Full-catalogue evaluation streams score blocks straight into the
+  /// top-K sink (no per-user O(items) buffer); the candidate slice and the
+  /// partial_sort reference keep the id-list callback.
+  GroupedEval RunEvaluation() {
+    if (cfg_.use_batched_topk && cfg_.eval_candidate_sample == 0) {
+      return evaluator_->Evaluate(MakeStreamScoreFn(), pool_.get());
+    }
+    return evaluator_->Evaluate(MakeScoreFn(), pool_.get());
+  }
+
   const ExperimentConfig& cfg_;
   const Dataset& dataset_;
   const GroupAssignment& groups_;
@@ -629,6 +680,7 @@ class FederatedRun {
   bool over_select_ = false;
   std::unique_ptr<Evaluator> evaluator_;
   std::vector<std::vector<Scorer>> eval_scorers_;
+  std::vector<std::vector<double>> eval_stream_bufs_;  // per-thread blocks
 
   // Async schedule state.
   std::unique_ptr<AsyncAggregator> agg_;
@@ -695,25 +747,26 @@ ExperimentResult ExperimentRunner::RunStandalone() const {
     locals.push_back(std::make_unique<LocalTrainer>(dataset_, cfg.base_model));
   }
   Evaluator evaluator(dataset_, groups_, cfg.top_k, cfg.eval_user_sample,
-                      cfg.seed ^ 0xe5a1ULL, cfg.eval_candidate_sample);
+                      cfg.seed ^ 0xe5a1ULL, cfg.eval_candidate_sample,
+                      cfg.use_batched_topk);
 
   // Train-and-score each evaluated user in isolation: no parameters are
   // ever exchanged, which is exactly the baseline's premise. Training
   // budget matches federated clients: global_epochs x local_epochs local
   // passes over the user's own data.
-  auto score_fn = [&](UserId u, size_t thread_slot,
-                      const std::vector<ItemId>& ids, double* out) {
+  auto train_user = [&](UserId u, size_t thread_slot, Matrix* table,
+                        FeedForwardNet* theta, ClientState* client) {
     LocalTrainer& local = *locals[thread_slot];
     Group g = groups_.of(u);
     size_t width = cfg.dims[static_cast<int>(g)];
-    Matrix table(dataset_.num_items(), width);
+    *table = Matrix(dataset_.num_items(), width);
     Rng user_init = init_rng.Fork(u);
-    InitNormal(&table, cfg.embed_init_std, &user_init);
-    FeedForwardNet theta(2 * width, {cfg.ffn_hidden[0], cfg.ffn_hidden[1]});
-    theta.InitXavier(&user_init);
+    InitNormal(table, cfg.embed_init_std, &user_init);
+    *theta = FeedForwardNet(2 * width,
+                            {cfg.ffn_hidden[0], cfg.ffn_hidden[1]});
+    theta->InitXavier(&user_init);
 
-    ClientState client;
-    InitClient(&client, u, g, width, cfg.embed_init_std, root);
+    InitClient(client, u, g, width, cfg.embed_init_std, root);
 
     std::vector<LocalTaskSpec> tasks = {LocalTaskSpec{0, width}};
     LocalTrainerOptions lopt;
@@ -724,23 +777,48 @@ ExperimentResult ExperimentRunner::RunStandalone() const {
     lopt.use_batched = cfg.use_batched_scoring;
     lopt.sparse_comm_accounting = cfg.sparse_comm_accounting;
     LocalUpdateResult update =
-        local.Train(&client, table, {&theta}, tasks, lopt);
+        local.Train(client, *table, {theta}, tasks, lopt);
     if (update.sparse) {
-      update.v_delta_sparse.AddScaledTo(&table, 1.0);
+      update.v_delta_sparse.AddScaledTo(table, 1.0);
     } else {
-      table.AddScaled(update.v_delta, 1.0);
+      table->AddScaled(update.v_delta, 1.0);
     }
-    theta.AddScaled(update.theta_deltas[0], 1.0);
-
-    Scorer sc(cfg.base_model, width);
-    sc.BeginUser(client.user_embedding.Row(0), table,
-                 dataset_.TrainItems(u));
-    ScoreIdsForEval(sc, table, theta, ids, cfg.use_batched_scoring,
-                    cfg.eval_candidate_sample == 0, out);
+    theta->AddScaled(update.theta_deltas[0], 1.0);
   };
 
   ExperimentResult result;
-  result.final_eval = evaluator.Evaluate(score_fn, &pool);
+  if (cfg.use_batched_topk && cfg.eval_candidate_sample == 0) {
+    // Fused path: trained scores stream into the top-K sink per block.
+    std::vector<std::vector<double>> stream_bufs(pool.num_slots());
+    auto stream_fn = [&](UserId u, size_t thread_slot, TopKSelector* sink) {
+      Matrix table;
+      FeedForwardNet theta;
+      ClientState client;
+      train_user(u, thread_slot, &table, &theta, &client);
+      Scorer sc(cfg.base_model, table.cols());
+      sc.BeginUser(client.user_embedding.Row(0), table,
+                   dataset_.TrainItems(u));
+      StreamScoresForEval(sc, table, theta, cfg.use_batched_scoring,
+                          &stream_bufs[thread_slot], sink);
+    };
+    result.final_eval =
+        evaluator.Evaluate(Evaluator::StreamScoreFn(stream_fn), &pool);
+  } else {
+    auto score_fn = [&](UserId u, size_t thread_slot,
+                        const std::vector<ItemId>& ids, double* out) {
+      Matrix table;
+      FeedForwardNet theta;
+      ClientState client;
+      train_user(u, thread_slot, &table, &theta, &client);
+      Scorer sc(cfg.base_model, table.cols());
+      sc.BeginUser(client.user_embedding.Row(0), table,
+                   dataset_.TrainItems(u));
+      ScoreIdsForEval(sc, table, theta, ids, cfg.use_batched_scoring,
+                      cfg.eval_candidate_sample == 0, out);
+    };
+    result.final_eval =
+        evaluator.Evaluate(Evaluator::BatchScoreFn(score_fn), &pool);
+  }
   result.train_seconds = timer.Seconds();
   return result;
 }

@@ -12,11 +12,12 @@ namespace hetefedrec {
 
 Evaluator::Evaluator(const Dataset& ds, const GroupAssignment& assignment,
                      size_t top_k, size_t user_sample, uint64_t seed,
-                     size_t candidate_sample)
+                     size_t candidate_sample, bool use_batched_topk)
     : ds_(ds),
       assignment_(assignment),
       top_k_(top_k),
       candidate_sample_(candidate_sample),
+      use_batched_topk_(use_batched_topk),
       candidate_root_(seed ^ 0xca9d1da7e5ULL) {
   users_.resize(ds.num_users());
   std::iota(users_.begin(), users_.end(), 0);
@@ -105,6 +106,36 @@ GroupedEval Evaluator::Reduce(const PerUserFn& eval_user,
   return out;
 }
 
+void Evaluator::BeginUser(UserId u, SlotScratch* scratch) const {
+  const auto& test_items = ds_.TestItems(u);
+  scratch->relevant.clear();
+  scratch->relevant.insert(test_items.begin(), test_items.end());
+  if (!scratch->masked.empty()) {
+    for (ItemId i : ds_.TrainItems(u)) scratch->masked[i] = true;
+  }
+}
+
+void Evaluator::FinishUser(UserId u, SlotScratch* scratch, double* recall,
+                           double* ndcg) const {
+  *recall = RecallAtK(scratch->topk, scratch->relevant);
+  *ndcg = NdcgAtK(scratch->topk, scratch->relevant, top_k_);
+  if (!scratch->masked.empty()) {
+    // Restore the all-false invariant by clearing only this user's train
+    // bits — not an O(items) refill per user.
+    for (ItemId i : ds_.TrainItems(u)) scratch->masked[i] = false;
+  }
+}
+
+void Evaluator::SelectMasked(SlotScratch* scratch) const {
+  if (use_batched_topk_) {
+    scratch->selector.SelectMasked(scratch->scores, scratch->masked, top_k_,
+                                   &scratch->topk);
+  } else {
+    scratch->selector.SelectMaskedReference(scratch->scores, scratch->masked,
+                                            top_k_, &scratch->topk);
+  }
+}
+
 GroupedEval Evaluator::Evaluate(const ScoreFn& score_fn) const {
   return Evaluate(
       [&score_fn](UserId u, size_t /*thread_slot*/,
@@ -115,26 +146,19 @@ GroupedEval Evaluator::Evaluate(const ScoreFn& score_fn) const {
 GroupedEval Evaluator::Evaluate(const ThreadedScoreFn& score_fn,
                                 ThreadPool* pool) const {
   const size_t n_slots = pool != nullptr ? pool->num_slots() : 1;
-  // Per-thread scratch: the candidate scores and the train-item mask.
-  std::vector<std::vector<double>> scores(n_slots);
-  std::vector<std::vector<bool>> masked(n_slots,
-                                        std::vector<bool>(ds_.num_items()));
+  std::vector<SlotScratch> scratch(n_slots);
+  for (auto& s : scratch) s.masked.resize(ds_.num_items());
 
   auto eval_user = [&](size_t k, size_t slot, double* recall, double* ndcg,
                        uint8_t* counted) {
     const UserId u = users_[k];
-    const auto& test_items = ds_.TestItems(u);
-    if (test_items.empty()) return;
-    score_fn(u, slot, &scores[slot]);
-    HFR_CHECK_EQ(scores[slot].size(), ds_.num_items());
-
-    std::fill(masked[slot].begin(), masked[slot].end(), false);
-    for (ItemId i : ds_.TrainItems(u)) masked[slot][i] = true;
-
-    std::unordered_set<ItemId> relevant(test_items.begin(), test_items.end());
-    std::vector<ItemId> topk = TopKItems(scores[slot], masked[slot], top_k_);
-    *recall = RecallAtK(topk, relevant);
-    *ndcg = NdcgAtK(topk, relevant);
+    if (ds_.TestItems(u).empty()) return;
+    SlotScratch& s = scratch[slot];
+    score_fn(u, slot, &s.scores);
+    HFR_CHECK_EQ(s.scores.size(), ds_.num_items());
+    BeginUser(u, &s);
+    SelectMasked(&s);
+    FinishUser(u, &s, recall, ndcg);
     *counted = 1;
   };
   return Reduce(eval_user, pool);
@@ -143,36 +167,60 @@ GroupedEval Evaluator::Evaluate(const ThreadedScoreFn& score_fn,
 GroupedEval Evaluator::Evaluate(const BatchScoreFn& score_fn,
                                 ThreadPool* pool) const {
   const size_t n_slots = pool != nullptr ? pool->num_slots() : 1;
-  std::vector<std::vector<double>> scores(n_slots);
-  std::vector<std::vector<bool>> masked(n_slots);
+  std::vector<SlotScratch> scratch(n_slots);
   if (candidate_sample_ == 0) {
-    for (auto& m : masked) m.resize(ds_.num_items());
+    for (auto& s : scratch) s.masked.resize(ds_.num_items());
   }
 
   auto eval_user = [&](size_t k, size_t slot, double* recall, double* ndcg,
                        uint8_t* counted) {
     const UserId u = users_[k];
-    const auto& test_items = ds_.TestItems(u);
-    if (test_items.empty()) return;
-    std::unordered_set<ItemId> relevant(test_items.begin(), test_items.end());
-    std::vector<ItemId> topk;
+    if (ds_.TestItems(u).empty()) return;
+    SlotScratch& s = scratch[slot];
+    BeginUser(u, &s);
     if (candidate_sample_ == 0) {
       // Full-catalogue ranking over the contiguous id span.
-      scores[slot].resize(ds_.num_items());
-      score_fn(u, slot, all_items_, scores[slot].data());
-      std::fill(masked[slot].begin(), masked[slot].end(), false);
-      for (ItemId i : ds_.TrainItems(u)) masked[slot][i] = true;
-      topk = TopKItems(scores[slot], masked[slot], top_k_);
+      s.scores.resize(ds_.num_items());
+      score_fn(u, slot, all_items_, s.scores.data());
+      SelectMasked(&s);
     } else {
       // Candidate slice: test items + seeded negatives. Train items are
       // excluded by construction, so no mask is needed.
       std::vector<ItemId> ids = CandidateItems(u);
-      scores[slot].resize(ids.size());
-      score_fn(u, slot, ids, scores[slot].data());
-      topk = TopKFromCandidates(ids, scores[slot], top_k_);
+      s.scores.resize(ids.size());
+      score_fn(u, slot, ids, s.scores.data());
+      if (use_batched_topk_) {
+        s.selector.SelectFromCandidates(ids, s.scores, top_k_, &s.topk);
+      } else {
+        s.selector.SelectFromCandidatesReference(ids, s.scores, top_k_,
+                                                 &s.topk);
+      }
     }
-    *recall = RecallAtK(topk, relevant);
-    *ndcg = NdcgAtK(topk, relevant);
+    FinishUser(u, &s, recall, ndcg);
+    *counted = 1;
+  };
+  return Reduce(eval_user, pool);
+}
+
+GroupedEval Evaluator::Evaluate(const StreamScoreFn& score_fn,
+                                ThreadPool* pool) const {
+  // Fused scoring+selection streams the catalogue; the candidate slice
+  // already avoids the O(items) pass and keeps the id-list callback.
+  HFR_CHECK_EQ(candidate_sample_, 0u);
+  const size_t n_slots = pool != nullptr ? pool->num_slots() : 1;
+  std::vector<SlotScratch> scratch(n_slots);
+  for (auto& s : scratch) s.masked.resize(ds_.num_items());
+
+  auto eval_user = [&](size_t k, size_t slot, double* recall, double* ndcg,
+                       uint8_t* counted) {
+    const UserId u = users_[k];
+    if (ds_.TestItems(u).empty()) return;
+    SlotScratch& s = scratch[slot];
+    BeginUser(u, &s);
+    s.selector.Begin(top_k_, &s.masked);
+    score_fn(u, slot, &s.selector);
+    s.selector.Finish(&s.topk);
+    FinishUser(u, &s, recall, ndcg);
     *counted = 1;
   };
   return Reduce(eval_user, pool);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/eval/topk.h"
 #include "src/util/logging.h"
 
 namespace hetefedrec {
@@ -16,7 +17,8 @@ double RecallAtK(const std::vector<ItemId>& topk,
 }
 
 double NdcgAtK(const std::vector<ItemId>& topk,
-               const std::unordered_set<ItemId>& relevant) {
+               const std::unordered_set<ItemId>& relevant, size_t k) {
+  HFR_CHECK_LE(topk.size(), k);
   if (relevant.empty()) return 0.0;
   double dcg = 0.0;
   for (size_t p = 0; p < topk.size(); ++p) {
@@ -24,8 +26,12 @@ double NdcgAtK(const std::vector<ItemId>& topk,
       dcg += 1.0 / std::log2(static_cast<double>(p) + 2.0);
     }
   }
+  // The ideal ranking places min(k, |relevant|) hits at the head of a
+  // length-k list — truncated at the *requested* k, not at topk.size():
+  // a ranking starved of candidates (catalogue or candidate pool < K)
+  // must not be graded against a correspondingly shrunken ideal.
   double idcg = 0.0;
-  size_t ideal_hits = std::min(topk.size(), relevant.size());
+  size_t ideal_hits = std::min(k, relevant.size());
   for (size_t p = 0; p < ideal_hits; ++p) {
     idcg += 1.0 / std::log2(static_cast<double>(p) + 2.0);
   }
@@ -75,38 +81,20 @@ double AveragePrecisionAtK(const std::vector<ItemId>& topk,
 
 std::vector<ItemId> TopKItems(const std::vector<double>& scores,
                               const std::vector<bool>& masked, size_t k) {
-  HFR_CHECK_EQ(scores.size(), masked.size());
-  std::vector<ItemId> candidates;
-  candidates.reserve(scores.size());
-  for (size_t i = 0; i < scores.size(); ++i) {
-    if (!masked[i]) candidates.push_back(static_cast<ItemId>(i));
-  }
-  k = std::min(k, candidates.size());
-  // Stable ordering for ties: higher score first, then lower item id.
-  auto better = [&scores](ItemId a, ItemId b) {
-    if (scores[a] != scores[b]) return scores[a] > scores[b];
-    return a < b;
-  };
-  std::partial_sort(candidates.begin(), candidates.begin() + k,
-                    candidates.end(), better);
-  candidates.resize(k);
-  return candidates;
+  // Per-thread scratch: repeated calls rebuild neither the candidate
+  // vector nor the order buffer.
+  static thread_local TopKSelector selector;
+  std::vector<ItemId> topk;
+  selector.SelectMaskedReference(scores, masked, k, &topk);
+  return topk;
 }
 
 std::vector<ItemId> TopKFromCandidates(const std::vector<ItemId>& ids,
                                        const std::vector<double>& scores,
                                        size_t k) {
-  HFR_CHECK_EQ(ids.size(), scores.size());
-  std::vector<size_t> order(ids.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  k = std::min(k, order.size());
-  auto better = [&](size_t a, size_t b) {
-    if (scores[a] != scores[b]) return scores[a] > scores[b];
-    return ids[a] < ids[b];
-  };
-  std::partial_sort(order.begin(), order.begin() + k, order.end(), better);
-  std::vector<ItemId> topk(k);
-  for (size_t i = 0; i < k; ++i) topk[i] = ids[order[i]];
+  static thread_local TopKSelector selector;
+  std::vector<ItemId> topk;
+  selector.SelectFromCandidatesReference(ids, scores, k, &topk);
   return topk;
 }
 

@@ -1,0 +1,141 @@
+// Top-K selection over score blocks — the evaluation ranking kernel.
+//
+// Full-catalogue evaluation ranks every unmasked item for every user. The
+// reference implementation (the `*Reference` paths below, and the
+// `TopKItems`/`TopKFromCandidates` wrappers in metrics.h) builds an
+// O(items) candidate-id vector and `partial_sort`s it per user — after the
+// batched scoring kernels (PR 3) that build was the last per-user O(items)
+// term besides scoring itself. `TopKSelector` removes it:
+//
+//   * Streaming bounded min-heap (`Begin`/`Push`/`Finish`): score blocks
+//     are consumed as `Scorer::ScoreBatch`/`ScoreRange` produce them, so
+//     selection fuses into scoring — no candidate vector, no O(items)
+//     sort, and (through `Evaluator`'s stream overload) no materialized
+//     O(items) score array either. Cost per user: O(items + k·log k)
+//     compares, with an O(1) score-vs-current-worst reject for the vast
+//     majority of items once the heap is warm.
+//   * Bucketed threshold cascade (`SelectFromCandidates`, engaged when k
+//     is a sizable fraction of the candidate pool): a two-pass histogram
+//     over the score range finds the bucket containing the k-th score,
+//     and only entries at or above that bucket are sorted. While k << n
+//     the bounded heap is cheaper and is used instead; the cascade also
+//     falls back to the heap when the score range is degenerate (all
+//     equal / non-finite).
+//
+// Both paths are *bit-identical* to the `partial_sort` reference: the
+// ordering (score descending, then item id ascending) is a strict total
+// order over distinct ids, so the top-K list is unique — every correct
+// selection algorithm returns the same ids in the same order
+// (tests/eval/topk_test.cc pins this over randomized heavy-tie inputs).
+// Scores must be NaN-free (NaN breaks any strict weak ordering, including
+// the reference's); ±infinity and extreme magnitudes are handled.
+//
+// A selector owns its scratch, so one instance per evaluation thread makes
+// per-user selection allocation-free. It is not safe for concurrent use.
+#ifndef HETEFEDREC_EVAL_TOPK_H_
+#define HETEFEDREC_EVAL_TOPK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/data/types.h"
+
+namespace hetefedrec {
+
+/// \brief Reusable top-K selection with per-instance scratch.
+class TopKSelector {
+ public:
+  // --- Streaming session: fused selection over score blocks -------------
+
+  /// Starts a top-`k` session. When `mask` is non-null it is indexed by
+  /// absolute item id and masked items are skipped (the evaluator's
+  /// train-item exclusion). The mask must stay valid until Finish().
+  void Begin(size_t k, const std::vector<bool>* mask = nullptr);
+
+  /// Feeds one contiguous score block: `scores[i]` scores item
+  /// `first + i`. Blocks must be fed in disjoint spans (any order), each
+  /// id at most once per session.
+  void Push(ItemId first, const double* scores, size_t n);
+
+  /// Like Push for an explicit id list: `scores[i]` scores `ids[i]`.
+  void PushIds(const ItemId* ids, const double* scores, size_t n);
+
+  /// Writes the ranked list (score descending, id ascending; at most k
+  /// entries) into *out and resets the session.
+  void Finish(std::vector<ItemId>* out);
+
+  // --- One-shot entry points --------------------------------------------
+
+  /// Heap-path equivalent of TopKItems: top-k unmasked indices of
+  /// `scores`. `masked` must have the same length.
+  void SelectMasked(const std::vector<double>& scores,
+                    const std::vector<bool>& masked, size_t k,
+                    std::vector<ItemId>* out);
+
+  /// Batched equivalent of TopKFromCandidates (`scores[i]` scores
+  /// `ids[i]`): the bounded heap while k << n, the bucketed threshold
+  /// cascade once k is a sizable fraction of n (heavy replacement churn).
+  void SelectFromCandidates(const std::vector<ItemId>& ids,
+                            const std::vector<double>& scores, size_t k,
+                            std::vector<ItemId>* out);
+
+  // --- partial_sort reference paths -------------------------------------
+  // Byte-for-byte the pre-selector implementations (modulo writing into
+  // reused scratch instead of freshly allocated vectors); kept live behind
+  // `use_batched_topk = false` as the equivalence oracle.
+
+  void SelectMaskedReference(const std::vector<double>& scores,
+                             const std::vector<bool>& masked, size_t k,
+                             std::vector<ItemId>* out);
+
+  void SelectFromCandidatesReference(const std::vector<ItemId>& ids,
+                                     const std::vector<double>& scores,
+                                     size_t k, std::vector<ItemId>* out);
+
+ private:
+  struct Entry {
+    double score;
+    ItemId id;
+  };
+  /// The ranking order: higher score first, lower id on ties. A strict
+  /// total order (ids are distinct), hence the unique-top-K argument.
+  static bool Better(const Entry& a, const Entry& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  }
+
+  /// Heapifies the warm-up entries once the k-th arrives (worst-at-front).
+  void Heapify();
+  /// The bucketed threshold cascade; returns false (nothing written) when
+  /// the score range is degenerate and the caller must use the heap.
+  bool SelectCascade(const ItemId* ids, const double* scores, size_t n,
+                     size_t k, std::vector<ItemId>* out);
+  /// Replaces the root (the worst retained entry) and restores the heap
+  /// with one sift-down — half the work of a pop_heap/push_heap pair.
+  void ReplaceRoot(double score, ItemId id);
+
+  size_t k_ = 0;
+  const std::vector<bool>* mask_ = nullptr;
+  // Bounded selection buffer. Until k entries arrive it is an unordered
+  // warm-up list; from then on a heap with comparator Better-as-less whose
+  // front is the *worst* retained entry — the replacement threshold,
+  // mirrored into worst_ for a one-compare reject of the common case.
+  std::vector<Entry> heap_;
+  bool heapified_ = false;
+  double worst_ = 0.0;
+  ItemId worst_id_ = 0;
+
+  // Bucketed-cascade scratch.
+  std::vector<uint32_t> bucket_counts_;
+  std::vector<uint8_t> bucket_of_;
+  std::vector<Entry> cascade_pool_;
+
+  // Reference-path scratch.
+  std::vector<ItemId> ref_ids_;
+  std::vector<size_t> ref_order_;
+};
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_EVAL_TOPK_H_

@@ -1,0 +1,106 @@
+// Batched-top-K equivalence: `use_batched_topk` (on by default) switches
+// evaluation to the fused streaming selector / bucketed cascade of
+// src/eval/topk.h, and must be *bit-identical* to the partial_sort
+// reference across the full pipeline for all seven methods and both base
+// models — in full-catalogue mode (the paper's protocol, exercising the
+// fused StreamScoreFn path through trainer and standalone) and in
+// candidate-sliced mode (the cascade path). Top-K selection only reads
+// model parameters, so this pins the evaluation path itself: every
+// per-epoch history point and the final grouped metrics.
+//
+// Registered under ctest as core_topk_equivalence_test — the CI smoke for
+// the use_batched_topk toggle.
+#include <gtest/gtest.h>
+
+#include "src/core/trainer.h"
+#include "tests/core/equivalence_test_util.h"
+
+namespace hetefedrec {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig cfg;
+  cfg.dataset = "ml";
+  cfg.data_scale = 0.02;
+  cfg.global_epochs = 2;
+  cfg.eval_every = 1;  // compare every epoch's evaluation, not just the last
+  cfg.clients_per_round = 32;
+  cfg.eval_user_sample = 60;
+  cfg.ddr_sample_rows = 64;
+  cfg.kd_items = 16;
+  cfg.seed = 91;
+  return cfg;
+}
+
+class TopKEquivalenceEndToEnd : public ::testing::TestWithParam<BaseModel> {};
+
+TEST_P(TopKEquivalenceEndToEnd, AllMethodsMatchPartialSortReference) {
+  for (Method method : kAllMethods) {
+    ExperimentConfig ref_cfg = SmallConfig();
+    ref_cfg.base_model = GetParam();
+    ref_cfg.use_batched_topk = false;
+    ExperimentConfig batched_cfg = SmallConfig();
+    batched_cfg.base_model = GetParam();
+    batched_cfg.use_batched_topk = true;
+
+    auto ref_runner = ExperimentRunner::Create(ref_cfg);
+    auto batched_runner = ExperimentRunner::Create(batched_cfg);
+    ASSERT_TRUE(ref_runner.ok());
+    ASSERT_TRUE(batched_runner.ok());
+    ExperimentResult ref_res = (*ref_runner)->Run(method);
+    ExperimentResult batched_res = (*batched_runner)->Run(method);
+
+    SCOPED_TRACE(MethodName(method));
+    ExpectSameEval(ref_res.final_eval, batched_res.final_eval);
+    ASSERT_EQ(ref_res.history.size(), batched_res.history.size());
+    for (size_t i = 0; i < ref_res.history.size(); ++i) {
+      ExpectSameEval(ref_res.history[i].eval, batched_res.history[i].eval);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, TopKEquivalenceEndToEnd,
+                         ::testing::Values(BaseModel::kNcf,
+                                           BaseModel::kLightGcn));
+
+TEST(TopKEquivalence, CandidateModeSelectorMatchesReference) {
+  // Candidate-sliced evaluation routes through SelectFromCandidates (the
+  // bounded heap at the default top_k=20, the cascade at large k).
+  for (BaseModel model : {BaseModel::kNcf, BaseModel::kLightGcn}) {
+    ExperimentConfig ref_cfg = SmallConfig();
+    ref_cfg.base_model = model;
+    ref_cfg.eval_candidate_sample = 256;
+    ref_cfg.use_batched_topk = false;
+    ExperimentConfig batched_cfg = ref_cfg;
+    batched_cfg.use_batched_topk = true;
+
+    auto ref_runner = ExperimentRunner::Create(ref_cfg);
+    auto batched_runner = ExperimentRunner::Create(batched_cfg);
+    ASSERT_TRUE(ref_runner.ok());
+    ASSERT_TRUE(batched_runner.ok());
+    SCOPED_TRACE(BaseModelName(model));
+    ExpectSameEval((*ref_runner)->Run(Method::kHeteFedRec).final_eval,
+                   (*batched_runner)->Run(Method::kHeteFedRec).final_eval);
+  }
+}
+
+TEST(TopKEquivalence, ScalarScoringCombinesWithBatchedTopK) {
+  // The two toggles are independent: per-sample reference scoring feeding
+  // the streaming selector must still match the all-reference run.
+  ExperimentConfig ref_cfg = SmallConfig();
+  ref_cfg.use_batched_scoring = false;
+  ref_cfg.use_batched_topk = false;
+  ExperimentConfig mixed_cfg = SmallConfig();
+  mixed_cfg.use_batched_scoring = false;
+  mixed_cfg.use_batched_topk = true;
+
+  auto ref_runner = ExperimentRunner::Create(ref_cfg);
+  auto mixed_runner = ExperimentRunner::Create(mixed_cfg);
+  ASSERT_TRUE(ref_runner.ok());
+  ASSERT_TRUE(mixed_runner.ok());
+  ExpectSameEval((*ref_runner)->Run(Method::kHeteFedRec).final_eval,
+                 (*mixed_runner)->Run(Method::kHeteFedRec).final_eval);
+}
+
+}  // namespace
+}  // namespace hetefedrec

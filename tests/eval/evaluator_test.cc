@@ -297,6 +297,144 @@ TEST(EvaluatorCandidateTest, CandidateEvalParallelBitIdenticalAndBounded) {
   EXPECT_LT(max_ids_seen, ds.num_items());
 }
 
+TEST(EvaluatorTopKTest, BatchedSelectorBitIdenticalToReference) {
+  // use_batched_topk on vs off through every overload: the streaming heap
+  // and the partial_sort reference must produce identical metrics.
+  std::vector<Interaction> xs;
+  for (UserId u = 0; u < 48; ++u) {
+    for (ItemId k = 0; k < 8; ++k) {
+      xs.push_back({u, static_cast<ItemId>((u * 13 + k * 5) % 160)});
+    }
+  }
+  Dataset ds = Dataset::FromInteractions(xs, 48, 160).value();
+  GroupAssignment groups = AssignGroups(ds, {5, 3, 2}).value();
+  // Quantized scores: heavy ties make the id tie-break load-bearing.
+  auto item_score = [](UserId u, ItemId j) {
+    return static_cast<double>((u * 31 + j * 17) % 13) / 13.0;
+  };
+  auto batch_fn = [&](UserId u, size_t, const std::vector<ItemId>& ids,
+                      double* out) {
+    for (size_t i = 0; i < ids.size(); ++i) out[i] = item_score(u, ids[i]);
+  };
+
+  ThreadPool pool(3);
+  for (size_t candidates : {size_t{0}, size_t{30}}) {
+    Evaluator batched(ds, groups, 10, 0, 9177, candidates,
+                      /*use_batched_topk=*/true);
+    Evaluator reference(ds, groups, 10, 0, 9177, candidates,
+                        /*use_batched_topk=*/false);
+    GroupedEval a =
+        batched.Evaluate(Evaluator::BatchScoreFn(batch_fn), &pool);
+    GroupedEval b =
+        reference.Evaluate(Evaluator::BatchScoreFn(batch_fn), &pool);
+    EXPECT_EQ(a.overall.recall, b.overall.recall) << candidates;
+    EXPECT_EQ(a.overall.ndcg, b.overall.ndcg) << candidates;
+    EXPECT_EQ(a.overall.users, b.overall.users) << candidates;
+    for (int g = 0; g < kNumGroups; ++g) {
+      EXPECT_EQ(a.per_group[g].recall, b.per_group[g].recall);
+      EXPECT_EQ(a.per_group[g].ndcg, b.per_group[g].ndcg);
+    }
+  }
+}
+
+TEST(EvaluatorTopKTest, StreamOverloadMatchesBatchOverload) {
+  // The fused stream overload (scores pushed block-wise into the top-K
+  // sink, uneven block sizes) must reproduce the array-based overloads.
+  std::vector<Interaction> xs;
+  for (UserId u = 0; u < 32; ++u) {
+    for (ItemId k = 0; k < 7; ++k) {
+      xs.push_back({u, static_cast<ItemId>((u * 17 + k * 11) % 140)});
+    }
+  }
+  Dataset ds = Dataset::FromInteractions(xs, 32, 140).value();
+  GroupAssignment groups = AssignGroups(ds, {5, 3, 2}).value();
+  Evaluator ev(ds, groups, 10);
+
+  auto item_score = [](UserId u, ItemId j) {
+    return std::sin(static_cast<double>(u * 53 + j * 29) * 0.017);
+  };
+  auto batch_fn = [&](UserId u, size_t, const std::vector<ItemId>& ids,
+                      double* out) {
+    for (size_t i = 0; i < ids.size(); ++i) out[i] = item_score(u, ids[i]);
+  };
+  auto stream_fn = [&](UserId u, size_t, TopKSelector* sink) {
+    // Deliberately ragged blocks (1, 2, 4, 8, ... items).
+    std::vector<double> block;
+    size_t first = 0, bs = 1;
+    while (first < ds.num_items()) {
+      const size_t n = std::min(bs, ds.num_items() - first);
+      block.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        block[i] = item_score(u, static_cast<ItemId>(first + i));
+      }
+      sink->Push(static_cast<ItemId>(first), block.data(), n);
+      first += n;
+      bs *= 2;
+    }
+  };
+
+  ThreadPool pool(3);
+  GroupedEval batch = ev.Evaluate(Evaluator::BatchScoreFn(batch_fn), &pool);
+  GroupedEval stream =
+      ev.Evaluate(Evaluator::StreamScoreFn(stream_fn), &pool);
+  GroupedEval stream_serial =
+      ev.Evaluate(Evaluator::StreamScoreFn(stream_fn), nullptr);
+  for (const GroupedEval* other : {&stream, &stream_serial}) {
+    EXPECT_EQ(batch.overall.recall, other->overall.recall);
+    EXPECT_EQ(batch.overall.ndcg, other->overall.ndcg);
+    EXPECT_EQ(batch.overall.users, other->overall.users);
+    for (int g = 0; g < kNumGroups; ++g) {
+      EXPECT_EQ(batch.per_group[g].recall, other->per_group[g].recall);
+      EXPECT_EQ(batch.per_group[g].ndcg, other->per_group[g].ndcg);
+    }
+  }
+}
+
+TEST(EvaluatorTopKTest, StarvedCatalogueNdcgUsesRequestedK) {
+  // Regression for the IDCG truncation fix at the evaluator level: user 0
+  // has 4 train + 2 test items in an 8-item catalogue, so at top_k = 10
+  // only 4 items are rankable. Both test items hit at ranks 1-2, but the
+  // ideal@10 list also holds 2 hits at ranks 1-2 — so NDCG is 1.0 — while
+  // a hit pushed to the list's tail must be graded against rank 2, not
+  // against a shrunken 4-long ideal.
+  std::vector<Interaction> xs;
+  for (ItemId k = 0; k < 6; ++k) xs.push_back({0, k});
+  for (ItemId k = 0; k < 6; ++k) xs.push_back({1, static_cast<ItemId>(7 - k)});
+  Dataset ds = Dataset::FromInteractions(xs, 2, 8).value();
+  GroupAssignment groups = AssignGroups(ds, {1, 1, 1}).value();
+  Evaluator ev(ds, groups, 10);
+
+  auto score_fn = [&](UserId u, std::vector<double>* scores) {
+    scores->assign(ds.num_items(), 0.0);
+    // User 0: test items ranked first; user 1: test items ranked last.
+    double v = u == 0 ? 1.0 : -1.0;
+    for (ItemId i : ds.TestItems(u)) (*scores)[i] = v;
+  };
+  GroupedEval r = ev.Evaluate(score_fn);
+  ASSERT_EQ(r.overall.users, 2u);
+
+  auto hand_ndcg = [&](UserId u, const std::vector<ItemId>& topk) {
+    std::unordered_set<ItemId> rel(ds.TestItems(u).begin(),
+                                   ds.TestItems(u).end());
+    return NdcgAtK(topk, rel, 10);
+  };
+  // Reconstruct each user's 4-item ranked list by brute force.
+  double expect = 0.0;
+  for (UserId u : {UserId{0}, UserId{1}}) {
+    std::vector<double> scores;
+    score_fn(u, &scores);
+    std::vector<bool> mask(ds.num_items(), false);
+    for (ItemId i : ds.TrainItems(u)) mask[i] = true;
+    expect += hand_ndcg(u, TopKItems(scores, mask, 10));
+  }
+  expect /= 2.0;
+  EXPECT_DOUBLE_EQ(r.overall.ndcg, expect);
+  // The anti-oracle user's hits sit at the tail of a 4-item list; under
+  // the old normalization the pair averaged higher.
+  EXPECT_LT(r.overall.ndcg, 1.0);
+  EXPECT_GT(r.overall.ndcg, 0.0);
+}
+
 TEST(EvaluatorTest, UsersWithoutTestItemsSkipped) {
   // One user with a single interaction has no test item.
   std::vector<Interaction> xs = {{0, 0}};

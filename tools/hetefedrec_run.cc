@@ -47,6 +47,10 @@ int Main(int argc, char** argv) {
   cli.AddFlag("scalar_scoring", "false",
               "use the per-sample reference scoring path instead of the "
               "batched kernels (bit-identical; for comparison runs)");
+  cli.AddFlag("scalar_topk", "false",
+              "use the per-user partial_sort reference top-K selection "
+              "instead of the fused streaming selector (bit-identical; "
+              "for comparison runs)");
   cli.AddFlag("eval_candidates", "0",
               "candidate-sliced evaluation: score test items + N seeded "
               "negatives per user instead of the full catalogue (0 = full; "
@@ -125,6 +129,7 @@ int Main(int argc, char** argv) {
   cfg.num_threads = static_cast<size_t>(cli.GetInt("threads"));
   cfg.use_sparse_updates = !cli.GetBool("dense_updates");
   cfg.use_batched_scoring = !cli.GetBool("scalar_scoring");
+  cfg.use_batched_topk = !cli.GetBool("scalar_topk");
   cfg.eval_candidate_sample = static_cast<size_t>(cli.GetInt("eval_candidates"));
   cfg.sync_replica_cap = static_cast<size_t>(cli.GetInt("replica_cap"));
   cfg.sparse_comm_accounting = cli.GetBool("sparse_comm");
