@@ -585,6 +585,53 @@ BENCHMARK(BM_AsyncVsSyncRound)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+// One-epoch HeteFedRec run with fault injection off (arg 0 = 0) vs on
+// (arg 0 = 1, a 10% total fault rate behind admission control). The
+// injection-off case IS the default path — the CI baseline pins its
+// overhead against the robustness layer's plumbing (the injector, gate
+// and admission controller must cost nothing when disabled).
+void BM_FaultyRound(benchmark::State& state) {
+  const bool faulted = state.range(0) != 0;
+  ExperimentConfig cfg;
+  cfg.dataset = "ml";
+  cfg.data_scale = 0.02;
+  cfg.global_epochs = 1;
+  cfg.clients_per_round = 16;
+  cfg.eval_user_sample = 50;
+  cfg.ddr_sample_rows = 64;
+  cfg.kd_items = 16;
+  cfg.seed = 41;
+  cfg.availability = 0.8;
+  cfg.net_bandwidth_sigma = 1.0;
+  cfg.net_latency_sigma = 0.3;
+  if (faulted) {
+    cfg.fault_upload_loss = 0.03;
+    cfg.fault_download_loss = 0.02;
+    cfg.fault_crash = 0.01;
+    cfg.fault_duplicate = 0.01;
+    cfg.fault_corrupt = 0.03;
+    cfg.admission_control = true;
+    cfg.admit_max_row_norm = 1.0;
+    cfg.admit_outlier_z = 6.0;
+  }
+  auto runner = ExperimentRunner::Create(cfg).value();
+
+  double ndcg = 0.0;
+  double injected = 0.0;
+  for (auto _ : state) {
+    ExperimentResult r = runner->Run(Method::kHeteFedRec);
+    ndcg = r.final_eval.overall.ndcg;
+    injected = static_cast<double>(r.comm.faults().TotalInjected());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["ndcg"] = benchmark::Counter(ndcg);
+  state.counters["faults_injected"] = benchmark::Counter(injected);
+}
+BENCHMARK(BM_FaultyRound)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 // Top-20 selection over a full-catalogue score array at the ML (3,706
 // items) and Anime (6,888 items) shapes: the partial_sort reference
 // (candidate-vector build + partial_sort, mode 0) vs the streaming

@@ -67,6 +67,25 @@ void AddCommonFlags(CommandLine* cli) {
                "log-normal sigma of the per-(client,round) latency");
   cli->AddFlag("net_compute", "0",
                "local compute seconds per training sample");
+  cli->AddFlag("fault_upload_loss", "0", "P(trained update lost in flight)");
+  cli->AddFlag("fault_download_loss", "0",
+               "P(model never reaches the selected client)");
+  cli->AddFlag("fault_crash", "0", "P(client crashes mid-local-epoch)");
+  cli->AddFlag("fault_duplicate", "0",
+               "P(update delivered twice; server dedupes)");
+  cli->AddFlag("fault_corrupt", "0",
+               "P(update corrupted in flight: NaN/Inf/large-norm)");
+  cli->AddFlag("admission", "false",
+               "server-side update admission control (docs/ROBUSTNESS.md)");
+  cli->AddFlag("admit_max_row_norm", "0",
+               "clip uploaded item-delta rows to this L2 norm (0 = off)");
+  cli->AddFlag("admit_outlier_z", "0",
+               "reject updates with robust z-score above this (0 = off)");
+  cli->AddFlag("checkpoint_every", "0",
+               "write a crash-consistent run checkpoint every n rounds "
+               "(sync) / epochs (async)");
+  cli->AddFlag("resume", "false",
+               "resume from a run checkpoint written by --checkpoint_every");
 }
 
 StatusOr<ExperimentConfig> ConfigFromFlags(const CommandLine& cli) {
@@ -129,6 +148,16 @@ StatusOr<ExperimentConfig> ConfigFromFlags(const CommandLine& cli) {
   cfg.net_bandwidth_sigma = cli.GetDouble("net_bandwidth_sigma");
   cfg.net_latency_sigma = cli.GetDouble("net_latency_sigma");
   cfg.net_compute_per_sample = cli.GetDouble("net_compute");
+  cfg.fault_upload_loss = cli.GetDouble("fault_upload_loss");
+  cfg.fault_download_loss = cli.GetDouble("fault_download_loss");
+  cfg.fault_crash = cli.GetDouble("fault_crash");
+  cfg.fault_duplicate = cli.GetDouble("fault_duplicate");
+  cfg.fault_corrupt = cli.GetDouble("fault_corrupt");
+  cfg.admission_control = cli.GetBool("admission");
+  cfg.admit_max_row_norm = cli.GetDouble("admit_max_row_norm");
+  cfg.admit_outlier_z = cli.GetDouble("admit_outlier_z");
+  cfg.checkpoint_every = static_cast<size_t>(cli.GetInt("checkpoint_every"));
+  cfg.resume_run = cli.GetBool("resume");
 
   const std::string agg = cli.GetString("agg");
   if (agg == "mean") {

@@ -132,6 +132,27 @@ StatusOr<RecordTag> PeekTag(std::istream* in) {
   return static_cast<RecordTag>(*tag);
 }
 
+Status WriteU64Vector(std::ostream* out, const std::vector<uint64_t>& words) {
+  HFR_RETURN_NOT_OK(WriteU32(out, static_cast<uint32_t>(RecordTag::kRaw64)));
+  HFR_RETURN_NOT_OK(WriteU64(out, words.size()));
+  return WriteRaw(out, words.data(), words.size() * sizeof(uint64_t));
+}
+
+StatusOr<std::vector<uint64_t>> ReadU64Vector(std::istream* in) {
+  HFR_RETURN_NOT_OK(ExpectTag(in, RecordTag::kRaw64));
+  auto count = ReadU64(in);
+  if (!count.ok()) return count.status();
+  // 2 GiB sanity cap, same spirit as the matrix cap: run states pack a few
+  // words per client/row, never billions.
+  if (*count > (1ull << 28)) {
+    return Status::InvalidArgument("checkpoint raw record implausibly large");
+  }
+  std::vector<uint64_t> words(*count);
+  HFR_RETURN_NOT_OK(
+      ReadRaw(in, words.data(), words.size() * sizeof(uint64_t)));
+  return words;
+}
+
 Status WriteFfn(std::ostream* out, const FeedForwardNet& net) {
   HFR_RETURN_NOT_OK(WriteU32(out, static_cast<uint32_t>(RecordTag::kFfn)));
   HFR_RETURN_NOT_OK(WriteU64(out, net.num_layers()));

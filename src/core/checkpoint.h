@@ -29,6 +29,9 @@ enum class RecordTag : uint32_t {
   kMatrix = 1,
   kFfn = 2,
   kMeta = 3,
+  /// Length-prefixed vector of raw uint64 words (format v2, run states).
+  /// Doubles ride along as bit patterns; see core/run_state.cc.
+  kRaw64 = 4,
   kEnd = 0xFFFFFFFF,
 };
 
@@ -56,6 +59,12 @@ Status WriteEnd(std::ostream* out);
 
 /// Peeks the next record tag without consuming it.
 StatusOr<RecordTag> PeekTag(std::istream* in);
+
+/// Writes one raw-word record (tag + count + count uint64 words).
+Status WriteU64Vector(std::ostream* out, const std::vector<uint64_t>& words);
+
+/// Reads a record written by WriteU64Vector.
+StatusOr<std::vector<uint64_t>> ReadU64Vector(std::istream* in);
 
 /// Writes one FeedForwardNet record (layer count + per-layer matrices).
 Status WriteFfn(std::ostream* out, const FeedForwardNet& net);

@@ -147,6 +147,68 @@ Status ExperimentConfig::Validate() const {
     return Status::InvalidArgument(
         "async_* knob is implausibly large (negative CLI value?)");
   }
+  const std::array<double, 5> fault_rates = {
+      fault_upload_loss, fault_download_loss, fault_crash, fault_duplicate,
+      fault_corrupt};
+  double fault_total = 0.0;
+  for (double rate : fault_rates) {
+    if (rate < 0.0 || rate > 1.0) {
+      return Status::InvalidArgument("fault_* rates must be in [0, 1]");
+    }
+    fault_total += rate;
+  }
+  if (fault_total > 1.0) {
+    // The rates partition a single uniform draw; a sum above 1 would
+    // silently truncate the last segments.
+    return Status::InvalidArgument("fault_* rates must sum to <= 1");
+  }
+  if (fault_retry_max < 1) {
+    return Status::InvalidArgument("fault_retry_max must be >= 1");
+  }
+  if (fault_retry_max > (size_t{1} << 32)) {
+    return Status::InvalidArgument(
+        "fault_retry_max is implausibly large (negative CLI value?)");
+  }
+  if (fault_retry_base <= 0.0 || fault_quarantine_base <= 0.0) {
+    return Status::InvalidArgument(
+        "fault retry/quarantine base delays must be positive");
+  }
+  if (fault_retry_cap < fault_retry_base ||
+      fault_quarantine_cap < fault_quarantine_base) {
+    return Status::InvalidArgument(
+        "fault retry/quarantine caps must be >= their base delays");
+  }
+  if (fault_jitter < 0.0 || fault_jitter > 1.0) {
+    return Status::InvalidArgument("fault_jitter must be in [0, 1]");
+  }
+  if (!admission_control && (admit_max_row_norm > 0.0 || admit_outlier_z > 0.0)) {
+    return Status::InvalidArgument(
+        "admit_* thresholds require admission_control");
+  }
+  if (admit_max_row_norm < 0.0 || admit_outlier_z < 0.0) {
+    return Status::InvalidArgument("admit_* thresholds must be >= 0");
+  }
+  if (checkpoint_every > (size_t{1} << 32)) {
+    return Status::InvalidArgument(
+        "checkpoint_every is implausibly large (negative CLI value?)");
+  }
+  if (checkpoint_every > 0 && checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "checkpoint_every requires checkpoint_path");
+  }
+  if (resume_run && checkpoint_path.empty()) {
+    return Status::InvalidArgument("resume_run requires checkpoint_path");
+  }
+  if (resume_run && sync_verify_replicas) {
+    // The verify cache (replica row bytes) is not serialized, so a resumed
+    // audit run would immediately CHECK-fail on the first skipped row.
+    return Status::InvalidArgument(
+        "resume_run is incompatible with sync_verify_replicas");
+  }
+  if (debug_stop_after_rounds > (size_t{1} << 32)) {
+    return Status::InvalidArgument(
+        "debug_stop_after_rounds is implausibly large (negative CLI value?)");
+  }
   return Status::OK();
 }
 

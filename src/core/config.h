@@ -222,6 +222,45 @@ struct ExperimentConfig {
   /// candidate set (same ordering; pinned by tests/eval/evaluator_test.cc).
   size_t eval_candidate_sample = 0;
 
+  // --- fault injection & recovery (docs/ROBUSTNESS.md) ------------------
+  /// Per-participation fault probabilities, mutually exclusive segments of
+  /// one hash draw (their sum must be <= 1). All zero (default) = no
+  /// faults, and every result is bit-identical to a fault-free build.
+  double fault_upload_loss = 0.0;
+  double fault_download_loss = 0.0;
+  double fault_crash = 0.0;
+  double fault_duplicate = 0.0;
+  double fault_corrupt = 0.0;
+  /// Failed transfers retry with capped exponential backoff + jitter on the
+  /// virtual clock: delay = min(cap, base * 2^(fails-1)) * (1 + jitter*U).
+  /// After `fault_retry_max` consecutive failures the client is dropped
+  /// until the next epoch.
+  size_t fault_retry_max = 5;
+  double fault_retry_base = 1.0;   // seconds
+  double fault_retry_cap = 60.0;   // seconds
+  /// Updates rejected by admission control quarantine the client on a
+  /// second (longer) backoff schedule before it may requeue.
+  double fault_quarantine_base = 5.0;   // seconds
+  double fault_quarantine_cap = 300.0;  // seconds
+  double fault_jitter = 0.5;  // backoff jitter fraction in [0, 1]
+  /// Server-side update admission control: finite-value scan, per-row norm
+  /// clipping (`admit_max_row_norm`, 0 = off) and a robust z-score outlier
+  /// gate (`admit_outlier_z`, 0 = off) over recently accepted update norms.
+  bool admission_control = false;
+  double admit_max_row_norm = 0.0;
+  double admit_outlier_z = 0.0;
+  /// Crash-consistent run checkpoints: write the full run state (server
+  /// tables, versions, replicas, queue, RNG streams, clocks, counters) to
+  /// `checkpoint_path + ".run"` every N completed rounds (sync) or at epoch
+  /// boundaries (async), with atomic rename. 0 = off.
+  size_t checkpoint_every = 0;
+  /// Resume a killed run from `checkpoint_path + ".run"`. The restored run
+  /// is bit-identical to one that was never interrupted.
+  bool resume_run = false;
+  /// Test/CI hook: abort the run after this many completed rounds (sync)
+  /// or merges (async), simulating a crash. 0 = off.
+  size_t debug_stop_after_rounds = 0;
+
   uint64_t seed = 7;
 
   /// When non-empty, federated runs write the final server public

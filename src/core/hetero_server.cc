@@ -260,4 +260,13 @@ size_t HeteroServer::SlotParamCount(size_t slot) const {
   return tables_[slot].size() + thetas_[slot].ParamCount();
 }
 
+AdmissionDecision HeteroServer::Admit(const std::vector<LocalTaskSpec>& tasks,
+                                      LocalUpdateResult* update) {
+  HFR_CHECK(admission_ != nullptr);
+  HFR_CHECK(!tasks.empty());
+  // The last task is the client's own width — the slot whose accepted-norm
+  // window this update is comparable with.
+  return admission_->Admit(tasks.back().slot, update);
+}
+
 }  // namespace hetefedrec

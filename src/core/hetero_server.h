@@ -17,6 +17,7 @@
 #include "src/core/config.h"
 #include "src/core/distillation.h"
 #include "src/core/local_trainer.h"
+#include "src/fed/fault/admission.h"
 #include "src/fed/sync/versioned_table.h"
 #include "src/models/ffn.h"
 #include "src/util/rng.h"
@@ -50,6 +51,7 @@ class HeteroServer {
   const Matrix& table(size_t slot) const { return tables_[slot]; }
   Matrix& mutable_table(size_t slot) { return tables_[slot]; }
   const FeedForwardNet& theta(size_t slot) const { return thetas_[slot]; }
+  FeedForwardNet& mutable_theta(size_t slot) { return thetas_[slot]; }
 
   /// Per-(slot, row) version stamps for the delta-sync protocol: a row's
   /// version is the round of the last FinishRound/Distill that changed it.
@@ -101,6 +103,19 @@ class HeteroServer {
   /// Total public parameters of slot (V + Θ) — Table III accounting.
   size_t SlotParamCount(size_t slot) const;
 
+  /// Installs update admission control (docs/ROBUSTNESS.md). The server
+  /// does not own the controller; callers run `Admit` on each upload
+  /// before Accumulate/ApplyUpdate (in deterministic merge order — the
+  /// gate's accepted-norm history is order-sensitive by design).
+  void SetAdmission(AdmissionController* admission) { admission_ = admission; }
+  bool admission_enabled() const { return admission_ != nullptr; }
+
+  /// Runs the admission gates on one upload (`tasks.back().slot` selects
+  /// the norm window; the item delta may be clipped in place). Requires an
+  /// installed controller.
+  AdmissionDecision Admit(const std::vector<LocalTaskSpec>& tasks,
+                          LocalUpdateResult* update);
+
  private:
   std::vector<Matrix> tables_;
   std::vector<FeedForwardNet> thetas_;
@@ -128,6 +143,8 @@ class HeteroServer {
   std::vector<uint32_t> touched_rows_;
   std::vector<uint8_t> touched_mask_;
   bool round_has_dense_ = false;
+
+  AdmissionController* admission_ = nullptr;  // not owned
 
   void MarkTouched(uint32_t row);
 };

@@ -305,6 +305,14 @@ LocalUpdateResult LocalTrainer::TrainImpl(
   }
   result.params_down = global_table.size() + theta_params;
   result.params_up = v_upload_params + theta_params;
+  long long skipped = adam_u.skipped_steps();
+  if constexpr (kSparse) {
+    skipped += adam_v_sparse_.skipped_steps();
+  } else {
+    skipped += adam_v.skipped_steps();
+  }
+  for (const FfnAdam& a : adam_theta) skipped += a.skipped_steps();
+  result.nonfinite_grad_steps = static_cast<size_t>(skipped);
   return result;
 }
 

@@ -68,6 +68,10 @@ struct LocalUpdateResult {
   /// Total forward/backward sample evaluations across local epochs and
   /// dual tasks (drives the simulated network's compute time).
   size_t train_samples = 0;
+  /// Optimizer steps skipped because a gradient went non-finite (summed
+  /// over the item-table, user-embedding, and Θ optimizers). Nonzero only
+  /// when the client trained against poisoned parameters.
+  size_t nonfinite_grad_steps = 0;
 };
 
 /// \brief Options controlling local optimization.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <numeric>
 #include <thread>
@@ -9,8 +11,12 @@
 
 #include "src/core/checkpoint.h"
 #include "src/core/local_trainer.h"
+#include "src/core/run_state.h"
 #include "src/data/synthetic.h"
 #include "src/eval/topk.h"
+#include "src/fed/fault/admission.h"
+#include "src/fed/fault/client_gate.h"
+#include "src/fed/fault/fault_injector.h"
 #include "src/fed/scheduler.h"
 #include "src/fed/sync/async_aggregator.h"
 #include "src/fed/sync/network.h"
@@ -170,6 +176,7 @@ class FederatedRun {
         dataset_(dataset),
         groups_(groups),
         setup_(BuildSetup(cfg, method)),
+        method_(method),
         root_(cfg.seed) {
     if (setup_.widths.size() > 1) {
       HFR_CHECK_LT(cfg_.dims[0], cfg_.dims[1]);
@@ -233,6 +240,44 @@ class FederatedRun {
     // clients_per_round (a deadline alone also activates the ranking).
     over_select_ = cfg_.straggler_slack > 0 || cfg_.round_deadline > 0.0;
 
+    // Robustness layer (docs/ROBUSTNESS.md). All three pieces stay null on
+    // the default configuration, so the fault-free path is bit-identical to
+    // a build without them (Fork is const, so the seeds drawn below never
+    // perturb root_'s other streams).
+    const bool any_fault =
+        cfg_.fault_upload_loss > 0.0 || cfg_.fault_download_loss > 0.0 ||
+        cfg_.fault_crash > 0.0 || cfg_.fault_duplicate > 0.0 ||
+        cfg_.fault_corrupt > 0.0;
+    if (any_fault) {
+      FaultOptions fault_opts;
+      fault_opts.upload_loss = cfg_.fault_upload_loss;
+      fault_opts.download_loss = cfg_.fault_download_loss;
+      fault_opts.crash = cfg_.fault_crash;
+      fault_opts.duplicate = cfg_.fault_duplicate;
+      fault_opts.corrupt = cfg_.fault_corrupt;
+      fault_opts.seed = root_.Fork(6).Next();
+      injector_ = std::make_unique<FaultInjector>(fault_opts);
+    }
+    if (any_fault || cfg_.admission_control) {
+      BackoffOptions gate_opts;
+      gate_opts.retry_base_seconds = cfg_.fault_retry_base;
+      gate_opts.retry_cap_seconds = cfg_.fault_retry_cap;
+      gate_opts.quarantine_base_seconds = cfg_.fault_quarantine_base;
+      gate_opts.quarantine_cap_seconds = cfg_.fault_quarantine_cap;
+      gate_opts.jitter = cfg_.fault_jitter;
+      gate_opts.retry_max = cfg_.fault_retry_max;
+      gate_opts.seed = root_.Fork(7).Next();
+      gate_ = std::make_unique<ClientGate>(dataset_.num_users(), gate_opts);
+    }
+    if (cfg_.admission_control) {
+      AdmissionOptions admit_opts;
+      admit_opts.max_row_norm = cfg_.admit_max_row_norm;
+      admit_opts.outlier_z = cfg_.admit_outlier_z;
+      admission_ = std::make_unique<AdmissionController>(server_->num_slots(),
+                                                         admit_opts);
+      server_->SetAdmission(admission_.get());
+    }
+
     evaluator_ = std::make_unique<Evaluator>(
         dataset_, groups_, cfg_.top_k, cfg_.eval_user_sample,
         cfg_.seed ^ 0xe5a1ULL, cfg_.eval_candidate_sample,
@@ -268,13 +313,24 @@ class FederatedRun {
   }
 
   ExperimentResult Run() {
-    for (int epoch = 1; epoch <= cfg_.global_epochs; ++epoch) {
-      loss_sum_ = 0.0;
-      loss_count_ = 0;
+    if (cfg_.resume_run) LoadRun();
+    for (int epoch = start_epoch_; epoch <= cfg_.global_epochs; ++epoch) {
+      if (!resume_mid_epoch_) {
+        loss_sum_ = 0.0;
+        loss_count_ = 0;
+      }
       if (cfg_.async_mode) {
         AsyncEpoch(epoch);
       } else {
         SyncEpoch(epoch);
+      }
+      if (stopped_) {
+        // The debug kill hook simulates a crash: no evaluation, no final
+        // model checkpoint — the last *run* checkpoint is the survivor a
+        // resumed process picks up.
+        result_.simulated_seconds = sim_clock_;
+        result_.train_seconds = timer_.Seconds();
+        return std::move(result_);
       }
 
       const bool last = (epoch == cfg_.global_epochs);
@@ -289,16 +345,37 @@ class FederatedRun {
         if (cfg_.eval_every > 0) result_.history.push_back(point);
         if (last) result_.final_eval = point.eval;
       }
+      // Async runs checkpoint at epoch boundaries, where the event queue
+      // has fully drained (the sync schedule checkpoints per round inside
+      // SyncEpoch instead).
+      if (cfg_.checkpoint_every > 0 && cfg_.async_mode && !last) {
+        WriteRunCheckpoint(epoch + 1, /*mid_epoch=*/false);
+      }
     }
 
     {
       const Matrix& largest = server_->table(server_->num_slots() - 1);
-      std::vector<double> eig =
-          SymmetricEigenvalues(CovarianceMatrix(largest));
-      result_.collapse_variance = Variance(eig);
-      double mean = Mean(eig);
-      result_.collapse_cv =
-          mean > 0 ? result_.collapse_variance / (mean * mean) : 0.0;
+      // Corrupted updates merged without admission control can poison the
+      // tables with NaN/Inf; the eigen solver CHECKs on a non-finite
+      // covariance, so report NaN collapse stats instead of aborting.
+      bool finite = true;
+      for (double v : largest.data()) {
+        if (!std::isfinite(v)) {
+          finite = false;
+          break;
+        }
+      }
+      if (finite) {
+        std::vector<double> eig =
+            SymmetricEigenvalues(CovarianceMatrix(largest));
+        result_.collapse_variance = Variance(eig);
+        double mean = Mean(eig);
+        result_.collapse_cv =
+            mean > 0 ? result_.collapse_variance / (mean * mean) : 0.0;
+      } else {
+        result_.collapse_variance = std::numeric_limits<double>::quiet_NaN();
+        result_.collapse_cv = result_.collapse_variance;
+      }
     }
     if (!cfg_.checkpoint_path.empty()) {
       Status st = SaveServerCheckpoint(cfg_.checkpoint_path, *server_,
@@ -375,6 +452,91 @@ class FederatedRun {
         weight);
   }
 
+  /// Local training with the crash fault applied: the device ran (its RNG
+  /// stream advances, so a resumed run replays the identical draw) but the
+  /// local work is lost — the private embedding reverts, and the update is
+  /// discarded at resolve time. Client-local, so parallel-safe.
+  void TrainOneFaulted(UserId u, size_t slot_idx, FaultKind fk,
+                       LocalUpdateResult* out) {
+    if (fk != FaultKind::kCrash) {
+      TrainOne(u, slot_idx, out);
+      return;
+    }
+    Matrix saved = clients_[u].user_embedding;
+    TrainOne(u, slot_idx, out);
+    clients_[u].user_embedding = std::move(saved);
+  }
+
+  /// Schedules a failed transfer's retry: capped exponential backoff on the
+  /// virtual clock, giving the client up (until the next epoch refill) once
+  /// retry_max consecutive failures accumulate.
+  void FailAndRequeue(UserId u, double now) {
+    FaultStats* f = result_.comm.mutable_faults();
+    if (gate_ && !gate_->RetryAfterFailure(u, now)) {
+      f->gave_up++;
+      return;
+    }
+    f->retries++;
+    queue_->Requeue(u);
+  }
+
+  /// Admission gate in front of MergeOne: rejected updates quarantine the
+  /// client; accepted ones clear its failure streak. Returns true iff the
+  /// update merged.
+  bool TryMerge(UserId u, LocalUpdateResult* update, double now) {
+    if (server_->admission_enabled()) {
+      const AdmissionDecision decision = server_->Admit(
+          setup_.tasks_of_group[static_cast<int>(clients_[u].group)], update);
+      FaultStats* f = result_.comm.mutable_faults();
+      f->rows_clipped += decision.rows_clipped;
+      if (decision.verdict != AdmissionVerdict::kAccept) {
+        if (decision.verdict == AdmissionVerdict::kRejectNonFinite) {
+          f->rejected_nonfinite++;
+        } else {
+          f->rejected_outlier++;
+        }
+        f->quarantines++;
+        if (gate_) gate_->Quarantine(u, now);
+        queue_->Requeue(u);
+        return false;
+      }
+    }
+    MergeOne(u, *update);
+    if (gate_) gate_->OnSuccess(u);
+    return true;
+  }
+
+  /// Resolves one trained client's upload against its drawn fault
+  /// (synchronous schedule). Returns true when the update merged — only
+  /// merged clients extend the round barrier.
+  bool ResolveUpload(UserId u, FaultKind fk, uint64_t key,
+                     LocalUpdateResult* update) {
+    FaultStats* f = result_.comm.mutable_faults();
+    f->nonfinite_grad_steps += update->nonfinite_grad_steps;
+    switch (fk) {
+      case FaultKind::kCrash:
+        f->crashed++;
+        FailAndRequeue(u, sim_clock_);
+        return false;
+      case FaultKind::kUploadLoss:
+        f->upload_lost++;
+        FailAndRequeue(u, sim_clock_);
+        return false;
+      case FaultKind::kDuplicate:
+        // Delivered twice; the server dedups by (client, round id), so the
+        // redundant copy shows up only in the fault counters.
+        f->duplicates++;
+        break;
+      case FaultKind::kCorrupt:
+        f->corrupted++;
+        injector_->Corrupt(u, key, update);
+        break;
+      default:
+        break;
+    }
+    return TryMerge(u, update, sim_clock_);
+  }
+
   /// Simulated wall-clock seconds of one full participation: what the wire
   /// actually carries down (`down_scalars`, from AccountDownload) and up
   /// (packed touched rows on the sparse path, the dense delta otherwise),
@@ -395,16 +557,24 @@ class FederatedRun {
                                up.train_samples);
   }
 
-  /// The synchronous round protocol (the paper's), unchanged semantics:
-  /// barrier rounds over the shuffled queue, optional over-selection.
+  /// The synchronous round protocol (the paper's), unchanged semantics on
+  /// the default path: barrier rounds over the shuffled queue, optional
+  /// over-selection, optional fault injection / admission control.
   void SyncEpoch(int epoch) {
-    queue_->BeginEpoch(&sched_rng_);
-    // With availability < 1 offline clients requeue, so an epoch can take
-    // more than the nominal number of rounds; the budget bounds the tail
-    // (P(still queued) decays geometrically) so a tiny p cannot hang a run.
-    size_t round_budget = 10 * queue_->rounds_per_epoch() + 10;
-    while (!queue_->Exhausted() && round_budget > 0) {
-      --round_budget;
+    if (resume_mid_epoch_) {
+      // Queue contents, loss accumulators and the round budget were
+      // restored from the run checkpoint; re-shuffling would diverge.
+      resume_mid_epoch_ = false;
+    } else {
+      queue_->BeginEpoch(&sched_rng_);
+      // With availability < 1 offline clients requeue, so an epoch can take
+      // more than the nominal number of rounds; the budget bounds the tail
+      // (P(still queued) decays geometrically) so a tiny p cannot hang a
+      // run.
+      round_budget_ = 10 * queue_->rounds_per_epoch() + 10;
+    }
+    while (!queue_->Exhausted() && round_budget_ > 0) {
+      --round_budget_;
       const std::vector<UserId> selected = queue_->NextRound();
       server_->BeginRound();
       const uint64_t round_id = server_->versions().round();
@@ -415,14 +585,31 @@ class FederatedRun {
       // severity of the paper's reported drop (Table II). Offline clients
       // re-enter the queue and are tried again in a later round.
       std::vector<UserId> work;
+      std::vector<FaultKind> fault;  // aligned with work (kNone when off)
       work.reserve(selected.size());
+      fault.reserve(selected.size());
       for (UserId u : selected) {
         if (setup_.excluded[static_cast<int>(clients_[u].group)]) continue;
+        if (gate_ && !gate_->Ready(u, sim_clock_)) {
+          // Backing off after a failure or quarantined: not selectable yet.
+          queue_->Requeue(u);
+          continue;
+        }
         if (!net_->Online(u, round_id)) {
           queue_->Requeue(u);
           continue;
         }
+        const FaultKind fk =
+            injector_ ? injector_->Draw(u, round_id) : FaultKind::kNone;
+        if (fk == FaultKind::kDownloadLoss) {
+          // The model never reaches the client: no download accounting, no
+          // training — the client retries after backoff.
+          result_.comm.mutable_faults()->download_lost++;
+          FailAndRequeue(u, sim_clock_);
+          continue;
+        }
         work.push_back(u);
+        fault.push_back(fk);
       }
 
       // The round's barrier in simulated time: the server applies the
@@ -439,43 +626,60 @@ class FederatedRun {
         // (a full batch of dense reference deltas would be large).
         LocalUpdateResult update;
         for (size_t k = 0; k < work.size(); ++k) {
-          TrainOne(work[k], 0, &update);
+          TrainOneFaulted(work[k], 0, fault[k], &update);
           const size_t shipped = AccountDownload(work[k], update);
-          MergeOne(work[k], update);
-          round_seconds = std::max(
-              round_seconds,
-              ClientFinishSeconds(work[k], round_id, shipped, update));
+          if (ResolveUpload(work[k], fault[k], round_id, &update)) {
+            round_seconds = std::max(
+                round_seconds,
+                ClientFinishSeconds(work[k], round_id, shipped, update));
+          }
         }
       } else {
         std::vector<LocalUpdateResult> updates(work.size());
         if (pool_->num_workers() == 0) {
           for (size_t k = 0; k < work.size(); ++k) {
-            TrainOne(work[k], 0, &updates[k]);
+            TrainOneFaulted(work[k], 0, fault[k], &updates[k]);
           }
         } else {
           pool_->ParallelFor(work.size(), [&](size_t k, size_t slot_idx) {
-            TrainOne(work[k], slot_idx, &updates[k]);
+            TrainOneFaulted(work[k], slot_idx, fault[k], &updates[k]);
           });
         }
         if (!over_select_) {
           for (size_t k = 0; k < work.size(); ++k) {
             const size_t shipped = AccountDownload(work[k], updates[k]);
-            MergeOne(work[k], updates[k]);
-            round_seconds = std::max(
-                round_seconds,
-                ClientFinishSeconds(work[k], round_id, shipped, updates[k]));
+            if (ResolveUpload(work[k], fault[k], round_id, &updates[k])) {
+              round_seconds = std::max(
+                  round_seconds, ClientFinishSeconds(work[k], round_id,
+                                                     shipped, updates[k]));
+            }
           }
         } else {
           // Over-selection: every selected client downloads and trains
           // (its replica, embedding and RNG advance), but only the first
           // clients_per_round simulated completions merge — in batch
           // order, so results stay thread-count independent. Stragglers
-          // and deadline misses are discarded and re-queued.
+          // and deadline misses are discarded and re-queued; crashed and
+          // upload-lost clients never complete, so they leave the ranking
+          // entirely.
           std::vector<double> finish(work.size());
+          std::vector<uint8_t> eligible(work.size(), 1);
           for (size_t k = 0; k < work.size(); ++k) {
             const size_t down_scalars = AccountDownload(work[k], updates[k]);
             finish[k] = ClientFinishSeconds(work[k], round_id, down_scalars,
                                             updates[k]);
+            if (fault[k] == FaultKind::kCrash ||
+                fault[k] == FaultKind::kUploadLoss) {
+              FaultStats* f = result_.comm.mutable_faults();
+              f->nonfinite_grad_steps += updates[k].nonfinite_grad_steps;
+              if (fault[k] == FaultKind::kCrash) {
+                f->crashed++;
+              } else {
+                f->upload_lost++;
+              }
+              FailAndRequeue(work[k], sim_clock_);
+              eligible[k] = 0;
+            }
           }
           std::vector<size_t> order(work.size());
           std::iota(order.begin(), order.end(), 0);
@@ -486,6 +690,7 @@ class FederatedRun {
           size_t taken = 0;
           bool deadline_cut = false;
           for (size_t k : order) {
+            if (!eligible[k]) continue;
             if (taken >= cfg_.clients_per_round) break;
             if (cfg_.round_deadline > 0.0 &&
                 finish[k] > cfg_.round_deadline) {
@@ -496,9 +701,11 @@ class FederatedRun {
             taken++;
           }
           for (size_t k = 0; k < work.size(); ++k) {
+            if (!eligible[k]) continue;
             if (merged[k]) {
-              MergeOne(work[k], updates[k]);
-              round_seconds = std::max(round_seconds, finish[k]);
+              if (ResolveUpload(work[k], fault[k], round_id, &updates[k])) {
+                round_seconds = std::max(round_seconds, finish[k]);
+              }
             } else {
               queue_->Requeue(work[k]);
             }
@@ -513,6 +720,18 @@ class FederatedRun {
       server_->FinishRound();
       if (setup_.reskd) server_->Distill(kd_opts_, &kd_rng_);
       sim_clock_ += round_seconds;
+      ++rounds_done_;
+      if (cfg_.debug_stop_after_rounds > 0 &&
+          rounds_done_ >= cfg_.debug_stop_after_rounds) {
+        // Simulated crash: the round that just completed is never
+        // checkpointed, exactly like a kill between rounds.
+        stopped_ = true;
+        return;
+      }
+      if (cfg_.checkpoint_every > 0 &&
+          rounds_done_ % cfg_.checkpoint_every == 0) {
+        WriteRunCheckpoint(epoch, /*mid_epoch=*/true);
+      }
     }
     if (!queue_->Exhausted()) {
       HFR_LOG(Warning) << "epoch " << epoch
@@ -534,18 +753,35 @@ class FederatedRun {
     const size_t free_slots = async_inflight_ - agg_->in_flight();
     dispatch_users_.clear();
     dispatch_seqs_.clear();
+    dispatch_faults_.clear();
+    const double now = agg_->clock_seconds();
     while (dispatch_users_.size() < free_slots && !queue_->Exhausted() &&
            *budget > 0) {
       --*budget;
       const UserId u = queue_->PopNext();
       if (setup_.excluded[static_cast<int>(clients_[u].group)]) continue;
+      if (gate_ && !gate_->Ready(u, now)) {
+        // Backing off after a failure or quarantined: not selectable yet.
+        queue_->Requeue(u);
+        continue;
+      }
       const uint64_t seq = dispatch_seq_++;
       if (!net_->Online(u, seq)) {
         queue_->Requeue(u);
         continue;
       }
+      const FaultKind fk =
+          injector_ ? injector_->Draw(u, seq) : FaultKind::kNone;
+      if (fk == FaultKind::kDownloadLoss) {
+        // The model never reaches the client: no download accounting, no
+        // training — the client retries after backoff.
+        result_.comm.mutable_faults()->download_lost++;
+        FailAndRequeue(u, now);
+        continue;
+      }
       dispatch_users_.push_back(u);
       dispatch_seqs_.push_back(seq);
+      dispatch_faults_.push_back(fk);
     }
     if (dispatch_users_.empty()) return;
 
@@ -556,19 +792,40 @@ class FederatedRun {
     const uint64_t version = server_->versions().round();
     if (pool_->num_workers() == 0) {
       for (size_t k = 0; k < dispatch_users_.size(); ++k) {
-        TrainOne(dispatch_users_[k], 0, &dispatch_updates_[k]);
+        TrainOneFaulted(dispatch_users_[k], 0, dispatch_faults_[k],
+                        &dispatch_updates_[k]);
       }
     } else {
       pool_->ParallelFor(dispatch_users_.size(),
                          [&](size_t k, size_t slot_idx) {
-                           TrainOne(dispatch_users_[k], slot_idx,
-                                    &dispatch_updates_[k]);
+                           TrainOneFaulted(dispatch_users_[k], slot_idx,
+                                           dispatch_faults_[k],
+                                           &dispatch_updates_[k]);
                          });
     }
     // Replica commits and the completion events in dispatch order.
     for (size_t k = 0; k < dispatch_users_.size(); ++k) {
       const UserId u = dispatch_users_[k];
+      const FaultKind fk = dispatch_faults_[k];
       const size_t shipped = AccountDownload(u, dispatch_updates_[k]);
+      FaultStats* f = result_.comm.mutable_faults();
+      f->nonfinite_grad_steps += dispatch_updates_[k].nonfinite_grad_steps;
+      if (fk == FaultKind::kCrash || fk == FaultKind::kUploadLoss) {
+        // The download happened (the replica committed) but no completion
+        // event will ever arrive; the client retries after backoff.
+        if (fk == FaultKind::kCrash) {
+          f->crashed++;
+        } else {
+          f->upload_lost++;
+        }
+        FailAndRequeue(u, now);
+        continue;
+      }
+      if (fk == FaultKind::kDuplicate) f->duplicates++;
+      if (fk == FaultKind::kCorrupt) {
+        f->corrupted++;
+        injector_->Corrupt(u, dispatch_seqs_[k], &dispatch_updates_[k]);
+      }
       const double finish =
           agg_->clock_seconds() +
           ClientFinishSeconds(u, dispatch_seqs_[k], shipped,
@@ -598,8 +855,31 @@ class FederatedRun {
       const Group g = clients_[out.user].group;
       if (out.merged) {
         result_.comm.RecordUpload(g, out.params_up);
+        result_.comm.mutable_faults()->rows_clipped += out.rows_clipped;
         loss_sum_ += out.train_loss;
         loss_count_++;
+        if (gate_) gate_->OnSuccess(out.user);
+        ++rounds_done_;
+        if (cfg_.debug_stop_after_rounds > 0 &&
+            rounds_done_ >= cfg_.debug_stop_after_rounds) {
+          // Simulated crash mid-epoch: in-flight events are simply lost.
+          sim_clock_ = agg_->clock_seconds();
+          stopped_ = true;
+          return;
+        }
+      } else if (out.rejected) {
+        // Admission control rejected the update: quarantine the client so
+        // it re-enters (much later) with a fresh download.
+        FaultStats* f = result_.comm.mutable_faults();
+        f->rows_clipped += out.rows_clipped;
+        if (out.rejected_nonfinite) {
+          f->rejected_nonfinite++;
+        } else {
+          f->rejected_outlier++;
+        }
+        f->quarantines++;
+        if (gate_) gate_->Quarantine(out.user, agg_->clock_seconds());
+        queue_->Requeue(out.user);
       } else {
         // Dropped by the staleness cap: the work is discarded and the
         // client re-queued for a fresh download, like a sync straggler.
@@ -659,10 +939,160 @@ class FederatedRun {
     return evaluator_->Evaluate(MakeScoreFn(), pool_.get());
   }
 
+  /// Writes the full run state to checkpoint_path + ".run" with an atomic
+  /// rename (docs/ROBUSTNESS.md "Checkpoint format v2").
+  void WriteRunCheckpoint(int next_epoch, bool mid_epoch) {
+    RunState st;
+    st.fingerprint = ConfigFingerprint(cfg_, MethodName(method_));
+    st.method = MethodName(method_);
+    st.base_model = BaseModelName(cfg_.base_model);
+    st.next_epoch = static_cast<uint64_t>(next_epoch);
+    st.mid_epoch = mid_epoch ? 1 : 0;
+    st.round_budget = round_budget_;
+    st.rounds_done = rounds_done_;
+    st.dispatch_seq = dispatch_seq_;
+    st.loss_sum = loss_sum_;
+    st.loss_count = loss_count_;
+    st.sim_clock = sim_clock_;
+    st.sched_rng = sched_rng_.SaveState();
+    st.kd_rng = kd_rng_.SaveState();
+    st.client_rngs.reserve(clients_.size());
+    st.client_embeddings.reserve(clients_.size());
+    for (const ClientState& c : clients_) {
+      st.client_rngs.push_back(c.rng.SaveState());
+      st.client_embeddings.push_back(c.user_embedding);
+    }
+    const size_t num_slots = server_->num_slots();
+    st.tables.reserve(num_slots);
+    st.thetas.reserve(num_slots);
+    st.version_floors.reserve(num_slots);
+    st.versions.reserve(num_slots);
+    for (size_t s = 0; s < num_slots; ++s) {
+      st.tables.push_back(server_->table(s));
+      st.thetas.push_back(server_->theta(s));
+      st.version_floors.push_back(server_->versions().floor_of(s));
+      st.versions.push_back(server_->versions().slot_versions(s));
+    }
+    st.version_round = server_->versions().round();
+    for (UserId u : queue_->PendingSnapshot()) {
+      st.queue_pending.push_back(static_cast<uint64_t>(u));
+    }
+    if (agg_) {
+      st.async_clock = agg_->clock_seconds();
+      st.async_next_seq = agg_->next_seq();
+      st.async_merged = agg_->merged_updates();
+      st.async_dropped = agg_->dropped_updates();
+    }
+    if (gate_) st.gate_state = gate_->Export();
+    if (admission_) st.admission_history = admission_->ExportHistory();
+    st.comm_counters = result_.comm.ExportCounters();
+    st.history = result_.history;
+    if (sync_) {
+      st.has_replicas = 1;
+      st.replicas.resize(clients_.size());
+      std::vector<uint32_t> rows;
+      std::vector<uint64_t> row_versions;
+      for (size_t u = 0; u < clients_.size(); ++u) {
+        const ClientReplica& rep = sync_->replica(static_cast<UserId>(u));
+        ReplicaSnapshot& snap = st.replicas[u];
+        snap.slot_plus_one =
+            rep.slot() == ClientReplica::kNoSlot ? 0 : rep.slot() + 1;
+        rep.ExportRows(&rows, &row_versions);
+        snap.rows.assign(rows.begin(), rows.end());
+        snap.versions = row_versions;
+      }
+    }
+    const Status saved = SaveRunState(cfg_.checkpoint_path + ".run", st);
+    if (!saved.ok()) {
+      HFR_LOG(Warning) << "run checkpoint save failed: " << saved.ToString();
+    }
+  }
+
+  /// Restores the state written by WriteRunCheckpoint. Fatal on a missing
+  /// file or an experiment mismatch — resuming a different run would
+  /// silently produce garbage.
+  void LoadRun() {
+    const std::string path = cfg_.checkpoint_path + ".run";
+    StatusOr<RunState> loaded = LoadRunState(path);
+    HFR_CHECK(loaded.ok()) << "resume from " << path
+                           << " failed: " << loaded.status().ToString();
+    RunState st = std::move(loaded).value();
+    HFR_CHECK_EQ(st.fingerprint, ConfigFingerprint(cfg_, MethodName(method_)))
+        << " — the checkpoint was written under a different experiment "
+           "configuration";
+    HFR_CHECK(st.method == MethodName(method_));
+    HFR_CHECK(st.base_model == BaseModelName(cfg_.base_model));
+    HFR_CHECK_EQ(st.tables.size(), server_->num_slots());
+    HFR_CHECK_EQ(st.client_rngs.size(), clients_.size());
+    HFR_CHECK_EQ(st.client_embeddings.size(), clients_.size());
+
+    start_epoch_ = static_cast<int>(st.next_epoch);
+    resume_mid_epoch_ = st.mid_epoch != 0;
+    round_budget_ = st.round_budget;
+    rounds_done_ = st.rounds_done;
+    dispatch_seq_ = st.dispatch_seq;
+    loss_sum_ = st.loss_sum;
+    loss_count_ = static_cast<size_t>(st.loss_count);
+    sim_clock_ = st.sim_clock;
+    sched_rng_.RestoreState(st.sched_rng);
+    kd_rng_.RestoreState(st.kd_rng);
+    for (size_t u = 0; u < clients_.size(); ++u) {
+      clients_[u].rng.RestoreState(st.client_rngs[u]);
+      HFR_CHECK_EQ(st.client_embeddings[u].cols(),
+                   clients_[u].user_embedding.cols());
+      clients_[u].user_embedding = std::move(st.client_embeddings[u]);
+    }
+    for (size_t s = 0; s < server_->num_slots(); ++s) {
+      HFR_CHECK_EQ(st.tables[s].rows(), server_->table(s).rows());
+      HFR_CHECK_EQ(st.tables[s].cols(), server_->table(s).cols());
+      server_->mutable_table(s) = std::move(st.tables[s]);
+      HFR_CHECK_EQ(st.thetas[s].ParamCount(),
+                   server_->theta(s).ParamCount());
+      server_->mutable_theta(s) = std::move(st.thetas[s]);
+    }
+    server_->mutable_versions().Restore(st.version_round, st.version_floors,
+                                        st.versions);
+    std::vector<UserId> pending;
+    pending.reserve(st.queue_pending.size());
+    for (uint64_t u : st.queue_pending) {
+      pending.push_back(static_cast<UserId>(u));
+    }
+    queue_->RestorePending(pending);
+    if (agg_) {
+      agg_->RestoreState(st.async_clock, st.async_next_seq,
+                         static_cast<size_t>(st.async_merged),
+                         static_cast<size_t>(st.async_dropped));
+    }
+    HFR_CHECK_EQ(gate_ != nullptr, !st.gate_state.empty());
+    if (gate_) gate_->Restore(st.gate_state);
+    HFR_CHECK_EQ(admission_ != nullptr, !st.admission_history.empty());
+    if (admission_) admission_->RestoreHistory(st.admission_history);
+    result_.comm.RestoreCounters(st.comm_counters);
+    result_.history = std::move(st.history);
+    HFR_CHECK_EQ(st.has_replicas != 0, delta_sync_);
+    if (st.has_replicas != 0) {
+      HFR_CHECK_EQ(st.replicas.size(), clients_.size());
+      for (size_t u = 0; u < clients_.size(); ++u) {
+        const ReplicaSnapshot& snap = st.replicas[u];
+        ClientReplica* rep = sync_->mutable_replica(static_cast<UserId>(u));
+        if (snap.slot_plus_one > 0) {
+          rep->set_slot(static_cast<size_t>(snap.slot_plus_one - 1));
+        }
+        HFR_CHECK_EQ(snap.rows.size(), snap.versions.size());
+        // Coldest first: replaying Hold in export order rebuilds the
+        // identical LRU recency list.
+        for (size_t k = 0; k < snap.rows.size(); ++k) {
+          rep->Hold(static_cast<uint32_t>(snap.rows[k]), snap.versions[k]);
+        }
+      }
+    }
+  }
+
   const ExperimentConfig& cfg_;
   const Dataset& dataset_;
   const GroupAssignment& groups_;
   MethodSetup setup_;
+  Method method_;
   Timer timer_;  // wall clock, started at construction like the old loop
   Rng root_;
 
@@ -682,12 +1112,25 @@ class FederatedRun {
   std::vector<std::vector<Scorer>> eval_scorers_;
   std::vector<std::vector<double>> eval_stream_bufs_;  // per-thread blocks
 
+  // Robustness layer (docs/ROBUSTNESS.md); all null on default configs.
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<ClientGate> gate_;
+  std::unique_ptr<AdmissionController> admission_;
+
+  // Run-checkpoint / kill-hook state (docs/ROBUSTNESS.md).
+  int start_epoch_ = 1;           // first epoch to run (resume skips ahead)
+  bool resume_mid_epoch_ = false; // continue a checkpointed epoch's queue
+  bool stopped_ = false;          // the debug kill hook fired
+  uint64_t rounds_done_ = 0;      // completed rounds (sync) / merges (async)
+  uint64_t round_budget_ = 0;     // remaining sync-epoch round budget
+
   // Async schedule state.
   std::unique_ptr<AsyncAggregator> agg_;
   size_t async_inflight_ = 0;
   uint64_t dispatch_seq_ = 0;  // monotone across epochs; salts net draws
   std::vector<UserId> dispatch_users_;
   std::vector<uint64_t> dispatch_seqs_;
+  std::vector<FaultKind> dispatch_faults_;
   std::vector<LocalUpdateResult> dispatch_updates_;
 
   ExperimentResult result_;

@@ -1,5 +1,7 @@
 #include "src/fed/comm.h"
 
+#include "src/util/logging.h"
+
 namespace hetefedrec {
 
 void CommStats::RecordDownload(Group g, size_t params) {
@@ -75,9 +77,59 @@ size_t CommStats::TotalBytes() const {
   return TotalTransmitted() * wire_scalar_bytes_;
 }
 
+std::vector<uint64_t> CommStats::ExportCounters() const {
+  std::vector<uint64_t> packed;
+  packed.reserve(kNumGroups * 5 + 12);
+  for (const auto& pg : groups_) {
+    packed.push_back(pg.uploads);
+    packed.push_back(pg.downloads);
+    packed.push_back(pg.dropped);
+    packed.push_back(pg.up_params);
+    packed.push_back(pg.down_params);
+  }
+  packed.push_back(faults_.download_lost);
+  packed.push_back(faults_.upload_lost);
+  packed.push_back(faults_.crashed);
+  packed.push_back(faults_.duplicates);
+  packed.push_back(faults_.corrupted);
+  packed.push_back(faults_.rejected_nonfinite);
+  packed.push_back(faults_.rejected_outlier);
+  packed.push_back(faults_.rows_clipped);
+  packed.push_back(faults_.quarantines);
+  packed.push_back(faults_.retries);
+  packed.push_back(faults_.gave_up);
+  packed.push_back(faults_.nonfinite_grad_steps);
+  return packed;
+}
+
+void CommStats::RestoreCounters(const std::vector<uint64_t>& packed) {
+  HFR_CHECK_EQ(packed.size(), kNumGroups * 5 + 12);
+  size_t i = 0;
+  for (auto& pg : groups_) {
+    pg.uploads = packed[i++];
+    pg.downloads = packed[i++];
+    pg.dropped = packed[i++];
+    pg.up_params = packed[i++];
+    pg.down_params = packed[i++];
+  }
+  faults_.download_lost = packed[i++];
+  faults_.upload_lost = packed[i++];
+  faults_.crashed = packed[i++];
+  faults_.duplicates = packed[i++];
+  faults_.corrupted = packed[i++];
+  faults_.rejected_nonfinite = packed[i++];
+  faults_.rejected_outlier = packed[i++];
+  faults_.rows_clipped = packed[i++];
+  faults_.quarantines = packed[i++];
+  faults_.retries = packed[i++];
+  faults_.gave_up = packed[i++];
+  faults_.nonfinite_grad_steps = packed[i++];
+}
+
 void CommStats::Reset() {
   // The wire format is configuration, not accumulated state.
   groups_ = {};
+  faults_ = {};
 }
 
 }  // namespace hetefedrec

@@ -13,10 +13,39 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "src/fed/group.h"
 
 namespace hetefedrec {
+
+/// \brief Fault-injection and admission-control counters (one per run).
+///
+/// Everything the robustness layer drops, rejects, or repairs is counted
+/// here so tests and the CLI can assert on the fault mix. All zero when
+/// fault injection and admission control are off.
+struct FaultStats {
+  size_t download_lost = 0;   ///< model never reached the client
+  size_t upload_lost = 0;     ///< update trained but lost in flight
+  size_t crashed = 0;         ///< client died mid-local-epoch
+  size_t duplicates = 0;      ///< redundant deliveries deduped by the server
+  size_t corrupted = 0;       ///< updates corrupted in flight
+  size_t rejected_nonfinite = 0;  ///< admission: NaN/Inf scan rejections
+  size_t rejected_outlier = 0;    ///< admission: robust z-score rejections
+  size_t rows_clipped = 0;        ///< admission: rows norm-clipped on accept
+  size_t quarantines = 0;         ///< clients quarantined after rejection
+  size_t retries = 0;             ///< transfer-failure retries scheduled
+  size_t gave_up = 0;             ///< clients dropped after retry_max fails
+  size_t nonfinite_grad_steps = 0;  ///< local Adam steps skipped (NaN grad)
+
+  size_t TotalInjected() const {
+    return download_lost + upload_lost + crashed + duplicates + corrupted;
+  }
+  size_t TotalRejected() const {
+    return rejected_nonfinite + rejected_outlier;
+  }
+};
 
 /// \brief Accumulates per-group transmission counts.
 class CommStats {
@@ -72,6 +101,18 @@ class CommStats {
   double AvgDownloadBytes(Group g) const;
   size_t TotalBytes() const;
 
+  /// Robustness counters (fault injection / admission control).
+  const FaultStats& faults() const { return faults_; }
+  FaultStats* mutable_faults() { return &faults_; }
+
+  /// Flattens every counter (per-group + faults) into a fixed-layout u64
+  /// vector for run checkpoints. `wire_scalar_bytes` is configuration, not
+  /// a counter, so it is excluded (Reset preserves it for the same reason).
+  std::vector<uint64_t> ExportCounters() const;
+
+  /// Restores counters exported by `ExportCounters`.
+  void RestoreCounters(const std::vector<uint64_t>& packed);
+
   void Reset();
 
  private:
@@ -83,6 +124,7 @@ class CommStats {
     size_t down_params = 0;
   };
   std::array<PerGroup, kNumGroups> groups_;
+  FaultStats faults_;
   size_t wire_scalar_bytes_ = 8;
 };
 

@@ -1,0 +1,61 @@
+// Server-side update admission control.
+//
+// Three gates run in order before an update is merged (docs/ROBUSTNESS.md):
+//   1. finite scan — any NaN/Inf anywhere in the update rejects it outright;
+//   2. per-row norm clipping — item-table delta rows with L2 norm above
+//      `max_row_norm` are scaled down to the cap (accepted but bounded);
+//   3. robust z-score gate — the update's total item-delta norm is compared
+//      against a bounded window of recently *accepted* norms for the same
+//      slot via the median/MAD z-score z = 0.6745 (n - med) / MAD; updates
+//      with n > med and z > `outlier_z` are rejected.
+//
+// History is only updated on accept, in merge order, so the gate is
+// deterministic for a fixed schedule and serializable for run checkpoints.
+#ifndef HETEFEDREC_FED_FAULT_ADMISSION_H_
+#define HETEFEDREC_FED_FAULT_ADMISSION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/local_trainer.h"
+
+namespace hetefedrec {
+
+struct AdmissionOptions {
+  double max_row_norm = 0.0;  ///< 0 disables clipping
+  double outlier_z = 0.0;     ///< 0 disables the z-score gate
+  size_t outlier_window = 128;
+  size_t outlier_min_history = 16;  ///< accepted norms before gating starts
+};
+
+enum class AdmissionVerdict { kAccept, kRejectNonFinite, kRejectOutlier };
+
+struct AdmissionDecision {
+  AdmissionVerdict verdict = AdmissionVerdict::kAccept;
+  size_t rows_clipped = 0;
+  double update_norm = 0.0;  ///< item-delta L2 norm after clipping
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(size_t num_slots, const AdmissionOptions& options);
+
+  /// Runs the three gates on `update` (the item-table delta may be clipped
+  /// in place). `slot` selects the norm-history window — updates of
+  /// different widths have incomparable norms.
+  AdmissionDecision Admit(size_t slot, LocalUpdateResult* update);
+
+  const AdmissionOptions& options() const { return options_; }
+
+  /// Per-slot accepted-norm windows, oldest first (run checkpoints).
+  std::vector<std::vector<double>> ExportHistory() const;
+  void RestoreHistory(const std::vector<std::vector<double>>& history);
+
+ private:
+  AdmissionOptions options_;
+  std::vector<std::vector<double>> history_;  // ring per slot, oldest first
+};
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_FED_FAULT_ADMISSION_H_

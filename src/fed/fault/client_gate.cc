@@ -1,0 +1,105 @@
+#include "src/fed/fault/client_gate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace hetefedrec {
+
+namespace {
+constexpr uint64_t kJitterStream = 0xbacc0ffULL;
+
+uint64_t DoubleBits(double x) {
+  uint64_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double x;
+  std::memcpy(&x, &bits, sizeof(x));
+  return x;
+}
+}  // namespace
+
+ClientGate::ClientGate(size_t num_users, const BackoffOptions& options)
+    : options_(options),
+      base_(options.seed),
+      fails_(num_users, 0),
+      draws_(num_users, 0),
+      ready_(num_users, 0.0) {
+  HFR_CHECK_GT(options_.retry_base_seconds, 0.0);
+  HFR_CHECK_GE(options_.retry_cap_seconds, options_.retry_base_seconds);
+  HFR_CHECK_GT(options_.quarantine_base_seconds, 0.0);
+  HFR_CHECK_GE(options_.quarantine_cap_seconds,
+               options_.quarantine_base_seconds);
+  HFR_CHECK_GE(options_.multiplier, 1.0);
+  HFR_CHECK_GE(options_.jitter, 0.0);
+  HFR_CHECK_LE(options_.jitter, 1.0);
+  HFR_CHECK_GE(options_.retry_max, 1u);
+}
+
+bool ClientGate::Ready(UserId u, double now) const {
+  return now >= ready_[static_cast<size_t>(u)];
+}
+
+double ClientGate::Delay(UserId u, double base, double cap) {
+  const size_t i = static_cast<size_t>(u);
+  const double exp_delay =
+      base * std::pow(options_.multiplier,
+                      static_cast<double>(fails_[i] - 1));
+  const double capped = std::min(cap, exp_delay);
+  // Each failure consumes a fresh jitter key so repeats don't synchronize.
+  Rng draw = base_.Fork(kJitterStream)
+                 .Fork(static_cast<uint64_t>(u))
+                 .Fork(draws_[i]++);
+  return capped * (1.0 + options_.jitter * draw.Uniform());
+}
+
+bool ClientGate::RetryAfterFailure(UserId u, double now) {
+  const size_t i = static_cast<size_t>(u);
+  ++fails_[i];
+  if (fails_[i] >= options_.retry_max) {
+    // Give up for this epoch; the streak resets so the next epoch's refill
+    // starts the client from the base delay again.
+    fails_[i] = 0;
+    ready_[i] = now;
+    return false;
+  }
+  ready_[i] = now + Delay(u, options_.retry_base_seconds,
+                          options_.retry_cap_seconds);
+  return true;
+}
+
+void ClientGate::Quarantine(UserId u, double now) {
+  const size_t i = static_cast<size_t>(u);
+  ++fails_[i];
+  ready_[i] = now + Delay(u, options_.quarantine_base_seconds,
+                          options_.quarantine_cap_seconds);
+}
+
+void ClientGate::OnSuccess(UserId u) { fails_[static_cast<size_t>(u)] = 0; }
+
+std::vector<uint64_t> ClientGate::Export() const {
+  std::vector<uint64_t> packed;
+  packed.reserve(fails_.size() * 3);
+  for (size_t i = 0; i < fails_.size(); ++i) {
+    packed.push_back(fails_[i]);
+    packed.push_back(draws_[i]);
+    packed.push_back(DoubleBits(ready_[i]));
+  }
+  return packed;
+}
+
+void ClientGate::Restore(const std::vector<uint64_t>& packed) {
+  HFR_CHECK_EQ(packed.size(), fails_.size() * 3);
+  for (size_t i = 0; i < fails_.size(); ++i) {
+    fails_[i] = static_cast<uint32_t>(packed[3 * i]);
+    draws_[i] = packed[3 * i + 1];
+    ready_[i] = BitsToDouble(packed[3 * i + 2]);
+  }
+}
+
+}  // namespace hetefedrec

@@ -1,0 +1,77 @@
+// Seed-deterministic mid-round fault injection.
+//
+// `FaultInjector` mirrors `SimulatedNetwork`'s hash-draw discipline: every
+// fault is a pure function of `(seed, client, key)`, where `key` is the
+// round id under the synchronous schedule and the dispatch sequence number
+// under the asynchronous one. Nothing here holds mutable state, so draws
+// are identical regardless of thread count or evaluation order, and a run
+// that resumes from a checkpoint replays exactly the same faults.
+//
+// See docs/ROBUSTNESS.md for the fault model and how each kind is resolved
+// by the trainer.
+#ifndef HETEFEDREC_FED_FAULT_FAULT_INJECTOR_H_
+#define HETEFEDREC_FED_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+#include "src/core/local_trainer.h"
+#include "src/data/types.h"
+#include "src/util/rng.h"
+
+namespace hetefedrec {
+
+/// Per-participation fault probabilities. All zero by default (no faults);
+/// the rates are mutually exclusive segments of a single uniform draw, so
+/// their sum must be <= 1 (validated by ExperimentConfig).
+struct FaultOptions {
+  double upload_loss = 0.0;    ///< update trained but never reaches server
+  double download_loss = 0.0;  ///< client never receives the round's model
+  double crash = 0.0;          ///< client dies mid-local-epoch, loses work
+  double duplicate = 0.0;      ///< upload delivered twice (server dedups)
+  double corrupt = 0.0;        ///< update values corrupted in flight
+  uint64_t seed = 1;
+};
+
+enum class FaultKind {
+  kNone,
+  kDownloadLoss,
+  kCrash,
+  kUploadLoss,
+  kDuplicate,
+  kCorrupt,
+};
+
+/// Which corruption the injector applied (NaN / Inf / large-norm scaling).
+enum class CorruptMode { kNaN, kInf, kLargeNorm };
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultOptions& options);
+
+  /// True when at least one fault rate is nonzero. The trainer skips all
+  /// fault plumbing (and stays bit-identical to a fault-free build) when
+  /// this is false.
+  bool any() const { return any_; }
+
+  /// The fault (if any) for client `u`'s participation keyed by `key`
+  /// (round id for sync, dispatch sequence for async). One uniform draw,
+  /// partitioned into rate segments in declaration order:
+  /// [download_loss | crash | upload_loss | duplicate | corrupt | none].
+  FaultKind Draw(UserId u, uint64_t key) const;
+
+  /// Corrupts `update` in place, deterministically for `(u, key)`:
+  /// NaN-poisoning, Inf-poisoning, or a large-norm (x1e3) scaling of the
+  /// item-table delta. Returns the mode applied.
+  CorruptMode Corrupt(UserId u, uint64_t key, LocalUpdateResult* update) const;
+
+  const FaultOptions& options() const { return options_; }
+
+ private:
+  FaultOptions options_;
+  Rng base_;
+  bool any_ = false;
+};
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_FED_FAULT_FAULT_INJECTOR_H_

@@ -71,6 +71,18 @@ class ClientQueue {
   /// Nominal rounds per epoch with everyone online (the paper's count).
   size_t rounds_per_epoch() const;
 
+  /// Pending clients in queue order (head..tail), for run checkpoints.
+  std::vector<UserId> PendingSnapshot() const {
+    return std::vector<UserId>(queue_.begin() + head_, queue_.end());
+  }
+
+  /// Replaces the queue with a snapshot taken by PendingSnapshot (the
+  /// compaction offset resets; only the pending order matters).
+  void RestorePending(const std::vector<UserId>& pending) {
+    queue_ = pending;
+    head_ = 0;
+  }
+
  private:
   size_t num_users_;
   size_t clients_per_round_;

@@ -69,6 +69,17 @@ AsyncAggregator::Outcome AsyncAggregator::MergeNext(
     return out;  // merged = false, weight = 0
   }
 
+  if (server_->admission_enabled()) {
+    const AdmissionDecision decision = server_->Admit(*e.tasks, &e.update);
+    out.rows_clipped = decision.rows_clipped;
+    if (decision.verdict != AdmissionVerdict::kAccept) {
+      out.rejected = true;
+      out.rejected_nonfinite =
+          decision.verdict == AdmissionVerdict::kRejectNonFinite;
+      return out;  // merged = false; the caller quarantines the client
+    }
+  }
+
   out.weight = StalenessWeight(staleness);
   server_->ApplyUpdate(*e.tasks, e.update, out.weight);
   out.merged = true;
@@ -80,6 +91,15 @@ AsyncAggregator::Outcome AsyncAggregator::MergeNext(
     out.distilled = true;
   }
   return out;
+}
+
+void AsyncAggregator::RestoreState(double clock_seconds, uint64_t next_seq,
+                                   size_t merged, size_t dropped) {
+  HFR_CHECK(events_.empty());
+  clock_ = clock_seconds;
+  next_seq_ = next_seq;
+  merged_ = merged;
+  dropped_ = dropped;
 }
 
 }  // namespace hetefedrec

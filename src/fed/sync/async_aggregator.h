@@ -66,8 +66,14 @@ class AsyncAggregator {
     uint64_t staleness = 0;
     /// Weight the update merged with (0 when dropped).
     double weight = 0.0;
-    bool merged = false;     // false = dropped by the staleness cap
+    bool merged = false;     // false = dropped or rejected
     bool distilled = false;  // a distillation fired after this merge
+    /// The server's admission control rejected the update (merged = false;
+    /// distinct from a staleness drop — the caller quarantines the client).
+    bool rejected = false;
+    bool rejected_nonfinite = false;  // which gate fired (else outlier)
+    /// Rows norm-clipped by admission control on an accepted merge.
+    size_t rows_clipped = 0;
     /// Echoed from the update so the caller can account without keeping it.
     double train_loss = 0.0;
     size_t params_up = 0;
@@ -90,6 +96,13 @@ class AsyncAggregator {
 
   size_t merged_updates() const { return merged_; }
   size_t dropped_updates() const { return dropped_; }
+  uint64_t next_seq() const { return next_seq_; }
+
+  /// Restores the scalar event-queue state from a run checkpoint. Only
+  /// legal while no completions are in flight — run checkpoints are taken
+  /// at epoch boundaries, where the queue has fully drained.
+  void RestoreState(double clock_seconds, uint64_t next_seq, size_t merged,
+                    size_t dropped);
 
   /// Enqueues one trained client: it downloaded the model at
   /// `download_version` (the VersionedTable round at dispatch) and its

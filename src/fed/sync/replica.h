@@ -71,6 +71,21 @@ class ClientReplica {
   /// Drops everything — the client behaves as a first-time participant.
   void Invalidate();
 
+  /// Held rows and versions in LRU order, *coldest first*, so replaying
+  /// them through `Hold` in order rebuilds the identical recency list
+  /// (run checkpoints). Verification-mode value caches are not exported.
+  void ExportRows(std::vector<uint32_t>* rows,
+                  std::vector<uint64_t>* versions) const {
+    rows->clear();
+    versions->clear();
+    rows->reserve(lru_.size());
+    versions->reserve(lru_.size());
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      rows->push_back(*it);
+      versions->push_back(held_.at(*it).version);
+    }
+  }
+
  private:
   struct Entry {
     uint64_t version = 0;

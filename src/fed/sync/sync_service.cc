@@ -73,4 +73,9 @@ const ClientReplica& SyncService::replica(UserId u) const {
   return replicas_[static_cast<size_t>(u)];
 }
 
+ClientReplica* SyncService::mutable_replica(UserId u) {
+  HFR_CHECK_LT(static_cast<size_t>(u), replicas_.size());
+  return &replicas_[static_cast<size_t>(u)];
+}
+
 }  // namespace hetefedrec

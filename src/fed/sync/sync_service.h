@@ -79,6 +79,11 @@ class SyncService {
 
   const ClientReplica& replica(UserId u) const;
 
+  /// Mutable replica access for run-checkpoint restore.
+  ClientReplica* mutable_replica(UserId u);
+
+  size_t num_users() const { return replicas_.size(); }
+
   const Options& options() const { return options_; }
 
  private:

@@ -63,6 +63,30 @@ class VersionedTable {
     return v > floor_[slot] ? v : floor_[slot];
   }
 
+  /// Raw state views for run checkpoints (the raw stamps, not floored).
+  uint64_t floor_of(size_t slot) const {
+    HFR_CHECK_LT(slot, floor_.size());
+    return floor_[slot];
+  }
+  const std::vector<uint64_t>& slot_versions(size_t slot) const {
+    HFR_CHECK_LT(slot, versions_.size());
+    return versions_[slot];
+  }
+
+  /// Restores a snapshot captured via round()/floor_of()/slot_versions().
+  /// Shapes must match the constructed table.
+  void Restore(uint64_t round, const std::vector<uint64_t>& floors,
+               const std::vector<std::vector<uint64_t>>& versions) {
+    HFR_CHECK_EQ(floors.size(), floor_.size());
+    HFR_CHECK_EQ(versions.size(), versions_.size());
+    for (size_t s = 0; s < versions.size(); ++s) {
+      HFR_CHECK_EQ(versions[s].size(), versions_[s].size());
+    }
+    round_ = round;
+    floor_ = floors;
+    versions_ = versions;
+  }
+
  private:
   size_t num_rows_ = 0;
   uint64_t round_ = 0;

@@ -4,8 +4,23 @@
 
 namespace hetefedrec {
 
+namespace {
+
+bool AllFinite(const double* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(x[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 void Adam::Step(Matrix* param, const Matrix& grad) {
   HFR_CHECK(param->SameShape(grad));
+  if (!AllFinite(grad.data().data(), grad.size())) {
+    ++skipped_;
+    return;
+  }
   if (m_.empty()) {
     m_ = Matrix(param->rows(), param->cols());
     v_ = Matrix(param->rows(), param->cols());
@@ -34,11 +49,13 @@ void Adam::Reset() {
   m_ = Matrix();
   v_ = Matrix();
   t_ = 0;
+  skipped_ = 0;
 }
 
 void SparseRowAdam::Reset(size_t num_rows, size_t width) {
   moments_.Reset(num_rows, 2 * width);
   t_ = 0;
+  skipped_ = 0;
 }
 
 void SparseRowAdam::Step(RowOverlayTable* table, const SparseRowStore& grad) {
@@ -47,6 +64,12 @@ void SparseRowAdam::Step(RowOverlayTable* table, const SparseRowStore& grad) {
   HFR_CHECK_EQ(grad.rows(), table->rows());
   HFR_CHECK_EQ(moments_.rows(), table->rows());
   HFR_CHECK_EQ(moments_.cols(), 2 * w);
+  for (uint32_t r : grad.touched()) {
+    if (!AllFinite(grad.RowOrNull(r), w)) {
+      ++skipped_;
+      return;
+    }
+  }
   ++t_;
   const double b1 = options_.beta1;
   const double b2 = options_.beta2;

@@ -29,6 +29,10 @@ class Adam {
 
   /// Applies one Adam update: param -= lr * mhat / (sqrt(vhat) + eps).
   /// Shapes of `param` and `grad` must match across all calls.
+  ///
+  /// A gradient containing any non-finite value (NaN/Inf) would poison the
+  /// moment estimates forever; such steps are skipped entirely — no moment
+  /// decay, no step-count increment — and counted in `skipped_steps()`.
   void Step(Matrix* param, const Matrix& grad);
 
   /// Resets moments and the step counter (used when a client receives fresh
@@ -38,11 +42,16 @@ class Adam {
   const AdamOptions& options() const { return options_; }
   long long step_count() const { return t_; }
 
+  /// Steps dropped because the gradient contained a non-finite value.
+  /// Cleared by `Reset` along with the moments.
+  long long skipped_steps() const { return skipped_; }
+
  private:
   AdamOptions options_;
   Matrix m_;
   Matrix v_;
   long long t_ = 0;
+  long long skipped_ = 0;
 };
 
 /// \brief Row-sparse Adam over a copy-on-write table view.
@@ -69,14 +78,23 @@ class SparseRowAdam {
 
   /// One global Adam step: every row in `grad` joins the touched set, then
   /// every touched row is stepped (absent rows with exact-zero gradient).
+  ///
+  /// Like dense `Adam::Step`, a gradient with any non-finite value skips the
+  /// whole step (no enrollment, no decay, no step-count increment) and bumps
+  /// `skipped_steps()`.
   void Step(RowOverlayTable* table, const SparseRowStore& grad);
 
   long long step_count() const { return t_; }
+
+  /// Steps dropped because the gradient contained a non-finite value.
+  /// Cleared by `Reset` along with the moments.
+  long long skipped_steps() const { return skipped_; }
 
  private:
   AdamOptions options_;
   SparseRowStore moments_;  // per touched row: [m(0..w), v(0..w)]
   long long t_ = 0;
+  long long skipped_ = 0;
 };
 
 }  // namespace hetefedrec

@@ -287,4 +287,11 @@ void FfnAdam::Reset() {
   bias_state_.clear();
 }
 
+long long FfnAdam::skipped_steps() const {
+  long long total = 0;
+  for (const Adam& a : weight_state_) total += a.skipped_steps();
+  for (const Adam& a : bias_state_) total += a.skipped_steps();
+  return total;
+}
+
 }  // namespace hetefedrec

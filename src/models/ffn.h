@@ -133,6 +133,9 @@ class FfnAdam {
   /// Drops all moment state.
   void Reset();
 
+  /// Sum of per-layer skipped steps (non-finite gradients, see Adam).
+  long long skipped_steps() const;
+
  private:
   AdamOptions options_;
   std::vector<Adam> weight_state_;

@@ -57,6 +57,10 @@ int CommandLine::GetInt(const std::string& name) const {
   return std::atoi(GetString(name).c_str());
 }
 
+uint64_t CommandLine::GetUint64(const std::string& name) const {
+  return std::strtoull(GetString(name).c_str(), nullptr, 10);
+}
+
 double CommandLine::GetDouble(const std::string& name) const {
   return std::atof(GetString(name).c_str());
 }

@@ -5,6 +5,7 @@
 #ifndef HETEFEDREC_UTIL_CLI_H_
 #define HETEFEDREC_UTIL_CLI_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -26,6 +27,7 @@ class CommandLine {
   /// Accessors; the flag must have been registered.
   std::string GetString(const std::string& name) const;
   int GetInt(const std::string& name) const;
+  uint64_t GetUint64(const std::string& name) const;
   double GetDouble(const std::string& name) const;
   bool GetBool(const std::string& name) const;
 

@@ -97,6 +97,22 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
   return weights.size() - 1;
 }
 
+RngState Rng::SaveState() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.origin_seed = origin_seed_;
+  state.cached_normal = cached_normal_;
+  state.has_cached_normal = has_cached_normal_;
+  return state;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  origin_seed_ = state.origin_seed;
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 Rng Rng::Fork(uint64_t stream_id) const {
   // Mix the origin seed with the stream id through splitmix64 twice so that
   // consecutive stream ids land far apart in seed space.

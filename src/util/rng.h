@@ -15,6 +15,19 @@
 
 namespace hetefedrec {
 
+/// \brief Raw serializable generator state (run checkpoints).
+///
+/// Captures everything that influences future draws: the four xoshiro
+/// words, the origin seed that `Fork` mixes into stream derivation, and the
+/// cached Box–Muller deviate. Restoring a saved state reproduces the exact
+/// draw sequence from the capture point.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  uint64_t origin_seed = 0;
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+};
+
 /// \brief xoshiro256** generator with splitmix64 seeding.
 ///
 /// Small, fast, and high quality; avoids the heavyweight state of
@@ -65,6 +78,12 @@ class Rng {
   /// Derives an independent generator for stream `stream_id`.
   /// Distinct ids give (statistically) non-overlapping streams.
   Rng Fork(uint64_t stream_id) const;
+
+  /// Snapshots the full generator state for run checkpoints.
+  RngState SaveState() const;
+
+  /// Restores a state captured by `SaveState`.
+  void RestoreState(const RngState& state);
 
  private:
   uint64_t s_[4];

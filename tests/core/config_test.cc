@@ -46,6 +46,80 @@ TEST(ConfigTest, RangeChecks) {
   EXPECT_TRUE(cfg.Validate().ok());
 }
 
+TEST(ConfigTest, FaultRateChecks) {
+  ExperimentConfig cfg;
+  cfg.fault_upload_loss = -0.1;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.fault_corrupt = 1.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  // Individually valid rates whose sum exceeds 1 must be rejected: they
+  // partition a single uniform draw.
+  cfg.fault_upload_loss = 0.4;
+  cfg.fault_download_loss = 0.4;
+  cfg.fault_crash = 0.4;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.fault_upload_loss = 0.05;
+  cfg.fault_corrupt = 0.01;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, BackoffChecks) {
+  ExperimentConfig cfg;
+  cfg.fault_retry_max = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.fault_retry_base = 0.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.fault_retry_cap = 0.5;  // below the 1.0 base
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.fault_quarantine_cap = 1.0;  // below the 5.0 base
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.fault_jitter = 1.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.fault_jitter = -0.1;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, AdmissionChecks) {
+  ExperimentConfig cfg;
+  // admit_* thresholds are dead knobs without the controller — reject so a
+  // typo'd run doesn't silently skip the gates it asked for.
+  cfg.admit_max_row_norm = 1.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.admit_outlier_z = 3.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.admission_control = true;
+  cfg.admit_max_row_norm = 1.0;
+  cfg.admit_outlier_z = 3.5;
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.admit_outlier_z = -1.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, CheckpointAndResumeChecks) {
+  ExperimentConfig cfg;
+  cfg.checkpoint_every = 5;
+  EXPECT_FALSE(cfg.Validate().ok());  // needs checkpoint_path
+  cfg.checkpoint_path = "/tmp/run.ckpt";
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg = {};
+  cfg.resume_run = true;
+  EXPECT_FALSE(cfg.Validate().ok());  // needs checkpoint_path
+  cfg.checkpoint_path = "/tmp/run.ckpt";
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.sync_verify_replicas = true;
+  EXPECT_FALSE(cfg.Validate().ok());  // verify cache is not serialized
+}
+
 TEST(ConfigTest, MethodNamesMatchTableTwo) {
   EXPECT_EQ(MethodName(Method::kAllSmall), "All Small");
   EXPECT_EQ(MethodName(Method::kAllLargeExclusive), "All Large/Exclusive");

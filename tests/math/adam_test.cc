@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace hetefedrec {
 namespace {
@@ -86,6 +87,86 @@ TEST(AdamTest, StepCountsAccumulate) {
   g(0, 0) = 0.5;
   for (int i = 0; i < 5; ++i) adam.Step(&p, g);
   EXPECT_EQ(adam.step_count(), 5);
+}
+
+TEST(AdamTest, NonFiniteGradientSkipsTheStep) {
+  AdamOptions opt;
+  opt.lr = 0.1;
+  Adam adam(opt);
+  Matrix p(1, 2), g(1, 2);
+  g(0, 0) = 1.0;
+  g(0, 1) = 1.0;
+  adam.Step(&p, g);
+  const double p0 = p(0, 0), p1 = p(0, 1);
+
+  // A NaN anywhere in the gradient must leave params, moments, and the step
+  // count untouched — otherwise the moments are poisoned forever.
+  Matrix bad = g;
+  bad(0, 1) = std::nan("");
+  adam.Step(&p, bad);
+  EXPECT_DOUBLE_EQ(p(0, 0), p0);
+  EXPECT_DOUBLE_EQ(p(0, 1), p1);
+  EXPECT_EQ(adam.step_count(), 1);
+  EXPECT_EQ(adam.skipped_steps(), 1);
+
+  bad(0, 1) = std::numeric_limits<double>::infinity();
+  adam.Step(&p, bad);
+  EXPECT_EQ(adam.skipped_steps(), 2);
+
+  // The skipped step left no trace: the next clean step matches a fresh
+  // optimizer that saw only the two clean gradients.
+  adam.Step(&p, g);
+  Adam fresh(opt);
+  Matrix q(1, 2);
+  fresh.Step(&q, g);
+  fresh.Step(&q, g);
+  EXPECT_DOUBLE_EQ(p(0, 0), q(0, 0));
+  EXPECT_DOUBLE_EQ(p(0, 1), q(0, 1));
+  EXPECT_EQ(adam.step_count(), 2);
+}
+
+TEST(AdamTest, ResetClearsSkippedCounter) {
+  Adam adam;
+  Matrix p(1, 1), g(1, 1);
+  g(0, 0) = std::nan("");
+  adam.Step(&p, g);
+  EXPECT_EQ(adam.skipped_steps(), 1);
+  adam.Reset();
+  EXPECT_EQ(adam.skipped_steps(), 0);
+}
+
+TEST(SparseRowAdamTest, NonFiniteGradientSkipsTheStep) {
+  AdamOptions opt;
+  opt.lr = 0.1;
+  Matrix base(4, 2);
+  base.Fill(1.0);
+
+  RowOverlayTable table;
+  table.Reset(&base);
+  SparseRowAdam adam(opt);
+  adam.Reset(4, 2);
+
+  SparseRowStore grad;
+  grad.Reset(4, 2);
+  double* row = grad.EnsureRow(1);
+  row[0] = 0.5;
+  row[1] = std::nan("");
+  adam.Step(&table, grad);
+  EXPECT_EQ(adam.step_count(), 0);
+  EXPECT_EQ(adam.skipped_steps(), 1);
+  // No row was enrolled or modified.
+  EXPECT_TRUE(table.touched().empty());
+  EXPECT_DOUBLE_EQ(table.Row(1)[0], 1.0);
+
+  // A clean step afterwards behaves exactly like the first step of a fresh
+  // optimizer.
+  row[1] = 0.5;
+  adam.Step(&table, grad);
+  EXPECT_EQ(adam.step_count(), 1);
+  EXPECT_NEAR(table.Row(1)[0], 1.0 - opt.lr, 1e-6);
+
+  adam.Reset(4, 2);
+  EXPECT_EQ(adam.skipped_steps(), 0);
 }
 
 }  // namespace

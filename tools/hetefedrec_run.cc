@@ -97,6 +97,41 @@ int Main(int argc, char** argv) {
   cli.AddFlag("async_dispatch_batch", "1",
               "completions merged before freed slots re-dispatch as one "
               "parallel batch");
+  cli.AddFlag("fault_upload_loss", "0", "P(trained update lost in flight)");
+  cli.AddFlag("fault_download_loss", "0",
+              "P(model never reaches the selected client)");
+  cli.AddFlag("fault_crash", "0", "P(client crashes mid-local-epoch)");
+  cli.AddFlag("fault_duplicate", "0",
+              "P(update delivered twice; server dedupes)");
+  cli.AddFlag("fault_corrupt", "0",
+              "P(update corrupted in flight: NaN/Inf/large-norm)");
+  cli.AddFlag("fault_retry_max", "5",
+              "consecutive transfer failures before a client gives up "
+              "for the epoch");
+  cli.AddFlag("fault_retry_base", "1",
+              "base retry backoff, simulated seconds");
+  cli.AddFlag("fault_retry_cap", "60", "retry backoff cap, simulated seconds");
+  cli.AddFlag("fault_quarantine_base", "5",
+              "base quarantine after an admission rejection, simulated "
+              "seconds");
+  cli.AddFlag("fault_quarantine_cap", "300",
+              "quarantine cap, simulated seconds");
+  cli.AddFlag("fault_jitter", "0.5", "backoff jitter fraction in [0,1]");
+  cli.AddFlag("admission", "false",
+              "server-side update admission control (finite scan + "
+              "clip + outlier gate; docs/ROBUSTNESS.md)");
+  cli.AddFlag("admit_max_row_norm", "0",
+              "clip uploaded item-delta rows to this L2 norm (0 = off)");
+  cli.AddFlag("admit_outlier_z", "0",
+              "reject updates with robust z-score above this over the "
+              "slot's accepted-norm window (0 = off)");
+  cli.AddFlag("checkpoint_every", "0",
+              "write a crash-consistent run checkpoint every n rounds "
+              "(sync) / epochs (async); requires --checkpoint");
+  cli.AddFlag("resume", "false",
+              "resume from <checkpoint>.run written by --checkpoint_every");
+  cli.AddFlag("stop_after_rounds", "0",
+              "kill the run after n merged rounds (kill-point testing)");
 
   Status st = cli.Parse(argc, argv);
   if (!st.ok()) {
@@ -157,6 +192,24 @@ int Main(int argc, char** argv) {
   cfg.async_inflight = static_cast<size_t>(cli.GetInt("async_inflight"));
   cfg.async_dispatch_batch =
       static_cast<size_t>(cli.GetInt("async_dispatch_batch"));
+  cfg.fault_upload_loss = cli.GetDouble("fault_upload_loss");
+  cfg.fault_download_loss = cli.GetDouble("fault_download_loss");
+  cfg.fault_crash = cli.GetDouble("fault_crash");
+  cfg.fault_duplicate = cli.GetDouble("fault_duplicate");
+  cfg.fault_corrupt = cli.GetDouble("fault_corrupt");
+  cfg.fault_retry_max = static_cast<size_t>(cli.GetInt("fault_retry_max"));
+  cfg.fault_retry_base = cli.GetDouble("fault_retry_base");
+  cfg.fault_retry_cap = cli.GetDouble("fault_retry_cap");
+  cfg.fault_quarantine_base = cli.GetDouble("fault_quarantine_base");
+  cfg.fault_quarantine_cap = cli.GetDouble("fault_quarantine_cap");
+  cfg.fault_jitter = cli.GetDouble("fault_jitter");
+  cfg.admission_control = cli.GetBool("admission");
+  cfg.admit_max_row_norm = cli.GetDouble("admit_max_row_norm");
+  cfg.admit_outlier_z = cli.GetDouble("admit_outlier_z");
+  cfg.checkpoint_every = static_cast<size_t>(cli.GetInt("checkpoint_every"));
+  cfg.resume_run = cli.GetBool("resume");
+  cfg.debug_stop_after_rounds =
+      static_cast<size_t>(cli.GetUint64("stop_after_rounds"));
   if (cli.GetString("agg") == "sum") {
     cfg.aggregation = AggregationMode::kSum;
   } else if (cli.GetString("agg") == "weighted") {
@@ -230,6 +283,19 @@ int Main(int argc, char** argv) {
               r.comm.AvgDownload(Group::kLarge), r.comm.AvgUpload(Group::kLarge));
   std::printf("collapse: var=%.6f normalized=%.4f\n", r.collapse_variance,
               r.collapse_cv);
+  const FaultStats& fs = r.comm.faults();
+  if (fs.TotalInjected() + fs.TotalRejected() + fs.rows_clipped +
+          fs.quarantines + fs.retries + fs.gave_up + fs.nonfinite_grad_steps >
+      0) {
+    std::printf(
+        "faults: down_lost=%zu up_lost=%zu crashed=%zu dup=%zu corrupt=%zu "
+        "rej_nonfinite=%zu rej_outlier=%zu clipped=%zu quarantined=%zu "
+        "retries=%zu gave_up=%zu nan_steps=%zu\n",
+        fs.download_lost, fs.upload_lost, fs.crashed, fs.duplicates,
+        fs.corrupted, fs.rejected_nonfinite, fs.rejected_outlier,
+        fs.rows_clipped, fs.quarantines, fs.retries, fs.gave_up,
+        fs.nonfinite_grad_steps);
+  }
   const size_t dropped = r.comm.TotalDropped();
   std::printf("simulated time: %.1fs%s", r.simulated_seconds,
               dropped > 0 ? "" : "\n");
