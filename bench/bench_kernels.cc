@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "src/math/init.h"
 #include "src/math/stats.h"
 #include "src/models/scorer.h"
+#include "src/util/logging.h"
 
 namespace hetefedrec {
 namespace {
@@ -628,6 +630,54 @@ void BM_FaultyRound(benchmark::State& state) {
   state.counters["faults_injected"] = benchmark::Counter(injected);
 }
 BENCHMARK(BM_FaultyRound)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// One-epoch HeteFedRec run with telemetry off (arg 0 = 0 — the default
+// path every other benchmark and test exercises) vs fully on (arg 0 = 1:
+// metrics JSONL + Chrome trace to temp files + phase profiling). The
+// telemetry-off case pins the requirement that the compiled-in hooks cost
+// nothing when no flag is set; the on case bounds the observation cost.
+void BM_TelemetryOverhead(benchmark::State& state) {
+  const bool on = state.range(0) != 0;
+  ExperimentConfig cfg;
+  cfg.dataset = "ml";
+  cfg.data_scale = 0.02;
+  cfg.global_epochs = 1;
+  cfg.clients_per_round = 16;
+  cfg.eval_user_sample = 50;
+  cfg.ddr_sample_rows = 64;
+  cfg.kd_items = 16;
+  cfg.seed = 41;
+  cfg.availability = 0.8;
+  cfg.net_bandwidth_sigma = 1.0;
+  cfg.net_latency_sigma = 0.3;
+  if (on) {
+    cfg.metrics_out = "/tmp/hfr_bench_metrics.jsonl";
+    cfg.trace_out = "/tmp/hfr_bench_trace.json";
+    cfg.profile = true;
+  }
+  auto runner = ExperimentRunner::Create(cfg).value();
+
+  // The profiler logs its phase table at Info after every run; silence it
+  // for the timed iterations.
+  const LogLevel saved_level = GetLogLevel();
+  if (on) SetLogLevel(LogLevel::kWarning);
+  double ndcg = 0.0;
+  for (auto _ : state) {
+    ExperimentResult r = runner->Run(Method::kHeteFedRec);
+    ndcg = r.final_eval.overall.ndcg;
+    benchmark::DoNotOptimize(r);
+  }
+  SetLogLevel(saved_level);
+  state.counters["ndcg"] = benchmark::Counter(ndcg);
+  if (on) {
+    std::remove("/tmp/hfr_bench_metrics.jsonl");
+    std::remove("/tmp/hfr_bench_trace.json");
+  }
+}
+BENCHMARK(BM_TelemetryOverhead)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);

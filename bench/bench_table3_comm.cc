@@ -115,6 +115,7 @@ int Main(int argc, char** argv) {
   ExperimentConfig delta_cfg = cfg;
   delta_cfg.sparse_comm_accounting = true;
   delta_cfg.full_downloads = false;
+  delta_cfg.track_round_comm = true;  // per-round downlink evolution below
   ExperimentConfig dense_cfg = cfg;
   dense_cfg.sparse_comm_accounting = true;
   auto delta_runner = ExperimentRunner::Create(delta_cfg);
@@ -178,6 +179,35 @@ int Main(int argc, char** argv) {
       hete_dense.final_eval.overall.ndcg, worst_no_ddr);
   st = down.WriteCsv(CsvPath(cli, "table3_delta_downlink"));
   if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
+
+  // Round-by-round downlink under delta sync (CommStats::SnapshotRound via
+  // track_round_comm): round 1 ships cold replicas in full; later rounds
+  // decay toward the DDR-subscription floor for medium/large clients.
+  const std::vector<CommRound>& rounds = hete_delta.round_comm;
+  if (!rounds.empty()) {
+    TablePrinter evo(
+        "HeteFedRec delta-sync downlink per participation by round (scalars)",
+        {"Round", "Us", "Um", "Ul", "Total down"});
+    const size_t show = rounds.size() < 8 ? rounds.size() : 8;
+    for (size_t r = 0; r < show; ++r) {
+      evo.AddRow({TablePrinter::Count(r + 1),
+                  TablePrinter::Num(rounds[r].AvgDownload(Group::kSmall), 0),
+                  TablePrinter::Num(rounds[r].AvgDownload(Group::kMedium), 0),
+                  TablePrinter::Num(rounds[r].AvgDownload(Group::kLarge), 0),
+                  TablePrinter::Count(rounds[r].DownParams())});
+    }
+    if (show < rounds.size()) {
+      const CommRound& last = rounds.back();
+      evo.AddRow({"... " + TablePrinter::Count(rounds.size()),
+                  TablePrinter::Num(last.AvgDownload(Group::kSmall), 0),
+                  TablePrinter::Num(last.AvgDownload(Group::kMedium), 0),
+                  TablePrinter::Num(last.AvgDownload(Group::kLarge), 0),
+                  TablePrinter::Count(last.DownParams())});
+    }
+    evo.Print();
+    st = evo.WriteCsv(CsvPath(cli, "table3_downlink_by_round"));
+    if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  }
   return (agree && metrics_identical) ? 0 : 2;
 }
 

@@ -86,6 +86,13 @@ void AddCommonFlags(CommandLine* cli) {
                "(sync) / epochs (async)");
   cli->AddFlag("resume", "false",
                "resume from a run checkpoint written by --checkpoint_every");
+  cli->AddFlag("metrics_out", "",
+               "stream per-round metrics as JSONL here "
+               "(docs/OBSERVABILITY.md; never perturbs results)");
+  cli->AddFlag("trace_out", "",
+               "write a Chrome/Perfetto trace of the simulated run here");
+  cli->AddFlag("profile", "false",
+               "wall-clock phase profiling; prints a phase table per run");
 }
 
 StatusOr<ExperimentConfig> ConfigFromFlags(const CommandLine& cli) {
@@ -158,6 +165,9 @@ StatusOr<ExperimentConfig> ConfigFromFlags(const CommandLine& cli) {
   cfg.admit_outlier_z = cli.GetDouble("admit_outlier_z");
   cfg.checkpoint_every = static_cast<size_t>(cli.GetInt("checkpoint_every"));
   cfg.resume_run = cli.GetBool("resume");
+  cfg.metrics_out = cli.GetString("metrics_out");
+  cfg.trace_out = cli.GetString("trace_out");
+  cfg.profile = cli.GetBool("profile");
 
   const std::string agg = cli.GetString("agg");
   if (agg == "mean") {

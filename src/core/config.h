@@ -261,6 +261,26 @@ struct ExperimentConfig {
   /// or merges (async), simulating a crash. 0 = off.
   size_t debug_stop_after_rounds = 0;
 
+  // --- telemetry (docs/OBSERVABILITY.md) --------------------------------
+  /// Pure observation: none of these fields may perturb results — a run
+  /// with telemetry on is bit-identical to one with it off (pinned by
+  /// tests/core/telemetry_equivalence_test.cc), and none participate in the
+  /// resume fingerprint (run_state.cc).
+  /// When non-empty, federated runs stream per-round metrics rows (JSONL:
+  /// meta / round / eval / summary / profile) to this path.
+  std::string metrics_out;
+  /// When non-empty, federated runs record dispatch/transfer/merge/distill/
+  /// drop/fault/checkpoint events on the simulated clock and write Chrome
+  /// trace-event JSON (Perfetto-loadable) to this path.
+  std::string trace_out;
+  /// Wall-clock RAII phase profiling through the hot paths; renders a
+  /// phase-time table to stderr at run end (plus "profile" rows in
+  /// metrics_out). Off by default: the disabled scopes cost one atomic load.
+  bool profile = false;
+  /// Keep each round's CommStats delta (CommStats::SnapshotRound) in
+  /// ExperimentResult::round_comm so benches can plot traffic over rounds.
+  bool track_round_comm = false;
+
   uint64_t seed = 7;
 
   /// When non-empty, federated runs write the final server public

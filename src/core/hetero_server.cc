@@ -1,6 +1,7 @@
 #include "src/core/hetero_server.h"
 
 #include "src/math/init.h"
+#include "src/util/telemetry/profiler.h"
 
 namespace hetefedrec {
 
@@ -136,6 +137,7 @@ void HeteroServer::Accumulate(const std::vector<LocalTaskSpec>& tasks,
 }
 
 void HeteroServer::FinishRound() {
+  HFR_PROFILE("apply");
   HFR_CHECK(round_open_);
   round_open_ = false;
 
@@ -240,6 +242,7 @@ void HeteroServer::ApplyUpdate(const std::vector<LocalTaskSpec>& tasks,
 }
 
 double HeteroServer::Distill(const DistillationOptions& options, Rng* rng) {
+  HFR_PROFILE("distill");
   if (tables_.size() < 2) return 0.0;
   std::vector<Matrix*> ptrs;
   ptrs.reserve(tables_.size());

@@ -6,6 +6,7 @@
 #include "src/core/decorrelation.h"
 #include "src/math/activations.h"
 #include "src/math/adam.h"
+#include "src/util/telemetry/profiler.h"
 
 namespace hetefedrec {
 
@@ -159,14 +160,20 @@ LocalUpdateResult LocalTrainer::TrainImpl(
         // dlogits materialize in sample order, so every accumulator
         // (bce_loss, gradients) sums in the per-sample reference order.
         const size_t n = samples.size();
-        sc.ScoreForTrainBatch(vtab, theta_local_[t], sample_items_.data(), n,
-                              &batch_cache_, logits_.data());
-        for (size_t b = 0; b < n; ++b) {
-          bce_loss += BceWithLogits(logits_[b], samples[b].label);
-          dlogits_[b] = BceWithLogitsGrad(logits_[b], samples[b].label);
+        {
+          HFR_PROFILE("forward");
+          sc.ScoreForTrainBatch(vtab, theta_local_[t], sample_items_.data(),
+                                n, &batch_cache_, logits_.data());
+          for (size_t b = 0; b < n; ++b) {
+            bce_loss += BceWithLogits(logits_[b], samples[b].label);
+            dlogits_[b] = BceWithLogitsGrad(logits_[b], samples[b].label);
+          }
         }
-        sc.BackwardBatch(theta_local_[t], batch_cache_, dlogits_.data(),
-                         &vgrad, u_grad_.Row(0), &theta_grad_[t]);
+        {
+          HFR_PROFILE("backward");
+          sc.BackwardBatch(theta_local_[t], batch_cache_, dlogits_.data(),
+                           &vgrad, u_grad_.Row(0), &theta_grad_[t]);
+        }
       } else {
         for (const Sample& s : samples) {
           double logit = sc.ScoreForTrain(vtab, theta_local_[t], s.item,
@@ -187,14 +194,17 @@ LocalUpdateResult LocalTrainer::TrainImpl(
                                           &client->rng, &vgrad);
     }
 
-    if constexpr (kSparse) {
-      adam_v_sparse_.Step(&v_overlay_, v_grad_sparse_);
-    } else {
-      adam_v.Step(&v_local_, v_grad_);
-    }
-    adam_u.Step(&client->user_embedding, u_grad_);
-    for (size_t t = 0; t < tasks.size(); ++t) {
-      adam_theta[t].Step(&theta_local_[t], theta_grad_[t]);
+    {
+      HFR_PROFILE("adam");
+      if constexpr (kSparse) {
+        adam_v_sparse_.Step(&v_overlay_, v_grad_sparse_);
+      } else {
+        adam_v.Step(&v_local_, v_grad_);
+      }
+      adam_u.Step(&client->user_embedding, u_grad_);
+      for (size_t t = 0; t < tasks.size(); ++t) {
+        adam_theta[t].Step(&theta_local_[t], theta_grad_[t]);
+      }
     }
 
     result.train_samples += samples.size() * tasks.size();

@@ -65,7 +65,9 @@ uint64_t ConfigFingerprint(const ExperimentConfig& c,
   // Every field that can change the trained bits or the accounting joins
   // the digest. Deliberately excluded: num_threads (thread-invariant by
   // construction), checkpoint_path/checkpoint_every/resume_run (IO
-  // plumbing) and debug_stop_after_rounds (the kill hook itself).
+  // plumbing), debug_stop_after_rounds (the kill hook itself), and the
+  // telemetry fields metrics_out/trace_out/profile/track_round_comm (pure
+  // observation — a resumed run may toggle them freely).
   std::ostringstream s;
   s << method_name << '|' << c.dataset << '|' << c.data_scale << '|'
     << static_cast<int>(c.base_model) << '|' << c.dims[0] << ',' << c.dims[1]

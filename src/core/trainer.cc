@@ -24,6 +24,9 @@
 #include "src/math/eigen.h"
 #include "src/math/init.h"
 #include "src/math/stats.h"
+#include "src/util/telemetry/json.h"
+#include "src/util/telemetry/profiler.h"
+#include "src/util/telemetry/telemetry.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 
@@ -41,6 +44,107 @@ struct MethodSetup {
   std::array<bool, kNumGroups> excluded = {false, false, false};
   std::array<bool, kNumGroups> apply_ddr = {false, false, false};
   bool reskd = false;
+};
+
+/// Stable handles into the run's MetricsRegistry (docs/OBSERVABILITY.md has
+/// the catalogue). Registration order here is the serialization order of
+/// every metrics dump, so it must stay fixed.
+struct RunMetrics {
+  // Cumulative traffic, mirrored from CommStats each round.
+  Counter* downloads = nullptr;
+  Counter* uploads = nullptr;
+  Counter* dropped = nullptr;
+  Counter* down_scalars = nullptr;
+  Counter* up_scalars = nullptr;
+  // Delta-sync row flow (incremented live in AccountDownload).
+  Counter* rows_subscribed = nullptr;
+  Counter* rows_shipped = nullptr;
+  // Server progress.
+  Counter* rounds = nullptr;
+  Counter* merges = nullptr;
+  Counter* distills = nullptr;
+  Counter* checkpoints = nullptr;
+  // Robustness counters, mirrored from FaultStats (same order as
+  // CommStats::ExportCounters' fault segment).
+  std::array<Counter*, 12> faults{};
+  // Per-round gauges (main thread only).
+  Gauge* clock = nullptr;
+  Gauge* queue_depth = nullptr;
+  Gauge* round_merged = nullptr;
+  Gauge* round_down_scalars = nullptr;
+  Gauge* round_up_scalars = nullptr;
+  Gauge* loss_mean = nullptr;
+  Gauge* replica_hit_rate = nullptr;
+  Gauge* eval_recall = nullptr;
+  Gauge* eval_ndcg = nullptr;
+  // Distributions (main thread only).
+  Histogram* round_seconds = nullptr;
+  Histogram* staleness = nullptr;  // async only
+
+  void Register(MetricsRegistry* reg, bool async_mode) {
+    downloads = reg->GetCounter("comm.downloads");
+    uploads = reg->GetCounter("comm.uploads");
+    dropped = reg->GetCounter("comm.dropped");
+    down_scalars = reg->GetCounter("comm.down_scalars");
+    up_scalars = reg->GetCounter("comm.up_scalars");
+    rows_subscribed = reg->GetCounter("sync.rows_subscribed");
+    rows_shipped = reg->GetCounter("sync.rows_shipped");
+    rounds = reg->GetCounter("server.rounds");
+    merges = reg->GetCounter("server.merges");
+    distills = reg->GetCounter("server.distills");
+    checkpoints = reg->GetCounter("server.checkpoints");
+    static constexpr const char* kFaultNames[12] = {
+        "fault.download_lost",         "fault.upload_lost",
+        "fault.crashed",               "fault.duplicates",
+        "fault.corrupted",             "admission.rejected_nonfinite",
+        "admission.rejected_outlier",  "admission.rows_clipped",
+        "gate.quarantines",            "gate.retries",
+        "gate.gave_up",                "train.nonfinite_grad_steps"};
+    for (int i = 0; i < 12; ++i) faults[i] = reg->GetCounter(kFaultNames[i]);
+    clock = reg->GetGauge("clock.sim_seconds");
+    queue_depth = reg->GetGauge("queue.depth");
+    round_merged = reg->GetGauge("round.merged");
+    round_down_scalars = reg->GetGauge("round.down_scalars");
+    round_up_scalars = reg->GetGauge("round.up_scalars");
+    loss_mean = reg->GetGauge("train.loss_mean");
+    replica_hit_rate = reg->GetGauge("sync.replica_hit_rate");
+    eval_recall = reg->GetGauge("eval.recall");
+    eval_ndcg = reg->GetGauge("eval.ndcg");
+    round_seconds =
+        reg->GetHistogram("round.seconds", {1, 2, 5, 10, 30, 60, 120, 300});
+    if (async_mode) {
+      staleness =
+          reg->GetHistogram("async.staleness", {0, 1, 2, 4, 8, 16, 32, 64});
+    }
+  }
+
+  /// Counters mirror cumulative sources, so "set to total" is a delta Add.
+  /// Main-thread only (Value() must not race a concurrent Add).
+  static void SetTo(Counter* c, uint64_t total) { c->Add(total - c->Value()); }
+
+  void MirrorComm(const CommStats& comm) {
+    uint64_t down = 0, up = 0, drop = 0, down_p = 0, up_p = 0;
+    for (int g = 0; g < kNumGroups; ++g) {
+      const Group grp = static_cast<Group>(g);
+      down += comm.Downloads(grp);
+      up += comm.Participations(grp);
+      drop += comm.Dropped(grp);
+      down_p += comm.DownParams(grp);
+      up_p += comm.UpParams(grp);
+    }
+    SetTo(downloads, down);
+    SetTo(uploads, up);
+    SetTo(dropped, drop);
+    SetTo(down_scalars, down_p);
+    SetTo(up_scalars, up_p);
+    const FaultStats& f = comm.faults();
+    const uint64_t totals[12] = {
+        f.download_lost,      f.upload_lost,      f.crashed,
+        f.duplicates,         f.corrupted,        f.rejected_nonfinite,
+        f.rejected_outlier,   f.rows_clipped,     f.quarantines,
+        f.retries,            f.gave_up,          f.nonfinite_grad_steps};
+    for (int i = 0; i < 12; ++i) SetTo(faults[i], totals[i]);
+  }
 };
 
 /// Resolves cfg.num_threads (0 = hardware concurrency) to a thread count.
@@ -310,6 +414,7 @@ class FederatedRun {
     }
 
     result_.comm.set_wire_scalar_bytes(cfg_.wire_scalar_bytes);
+    SetupTelemetry();
   }
 
   ExperimentResult Run() {
@@ -327,9 +432,10 @@ class FederatedRun {
       if (stopped_) {
         // The debug kill hook simulates a crash: no evaluation, no final
         // model checkpoint — the last *run* checkpoint is the survivor a
-        // resumed process picks up.
+        // resumed process picks up. Telemetry still flushes what it saw.
         result_.simulated_seconds = sim_clock_;
         result_.train_seconds = timer_.Seconds();
+        TelemetryFinish();
         return std::move(result_);
       }
 
@@ -344,6 +450,7 @@ class FederatedRun {
         point.simulated_seconds = sim_clock_;
         if (cfg_.eval_every > 0) result_.history.push_back(point);
         if (last) result_.final_eval = point.eval;
+        TelemetryEval(point);
       }
       // Async runs checkpoint at epoch boundaries, where the event queue
       // has fully drained (the sync schedule checkpoints per round inside
@@ -386,12 +493,14 @@ class FederatedRun {
     }
     result_.simulated_seconds = sim_clock_;
     result_.train_seconds = timer_.Seconds();
+    TelemetryFinish();
     return std::move(result_);
   }
 
  private:
   /// Local training of one client against the current server tables.
   void TrainOne(UserId u, size_t slot_idx, LocalUpdateResult* out) {
+    HFR_PROFILE("train");
     ClientState& client = clients_[u];
     const int g = static_cast<int>(client.group);
     const auto& tasks = setup_.tasks_of_group[g];
@@ -421,6 +530,7 @@ class FederatedRun {
   /// order (the replica commit must be deterministic). Returns the scalars
   /// the active protocol actually ships down; also records CommStats.
   size_t AccountDownload(UserId u, const LocalUpdateResult& update) {
+    HFR_PROFILE("sync");
     const size_t slot =
         setup_.slot_of_group[static_cast<int>(clients_[u].group)];
     const Matrix& table = server_->table(slot);
@@ -431,6 +541,10 @@ class FederatedRun {
       SyncPlan plan = sync_->Sync(u, slot, update.read_rows, table,
                                   server_->versions(), theta_params);
       shipped = plan.params;
+      if (tel_) {
+        metrics_.rows_subscribed->Add(plan.subscribed_rows);
+        metrics_.rows_shipped->Add(plan.shipped_rows);
+      }
     }
     result_.comm.RecordDownload(
         clients_[u].group,
@@ -440,6 +554,7 @@ class FederatedRun {
 
   /// Merges one accepted update into the open round's accumulators.
   void MergeOne(UserId u, const LocalUpdateResult& update) {
+    HFR_PROFILE("merge");
     result_.comm.RecordUpload(clients_[u].group, update.params_up);
     loss_sum_ += update.train_loss;
     loss_count_++;
@@ -492,8 +607,10 @@ class FederatedRun {
       if (decision.verdict != AdmissionVerdict::kAccept) {
         if (decision.verdict == AdmissionVerdict::kRejectNonFinite) {
           f->rejected_nonfinite++;
+          TraceFault("reject_nonfinite", "admission", u, now);
         } else {
           f->rejected_outlier++;
+          TraceFault("reject_outlier", "admission", u, now);
         }
         f->quarantines++;
         if (gate_) gate_->Quarantine(u, now);
@@ -516,19 +633,23 @@ class FederatedRun {
     switch (fk) {
       case FaultKind::kCrash:
         f->crashed++;
+        TraceFault("crash", "fault", u, sim_clock_);
         FailAndRequeue(u, sim_clock_);
         return false;
       case FaultKind::kUploadLoss:
         f->upload_lost++;
+        TraceFault("upload_loss", "fault", u, sim_clock_);
         FailAndRequeue(u, sim_clock_);
         return false;
       case FaultKind::kDuplicate:
         // Delivered twice; the server dedups by (client, round id), so the
         // redundant copy shows up only in the fault counters.
         f->duplicates++;
+        TraceFault("duplicate", "fault", u, sim_clock_);
         break;
       case FaultKind::kCorrupt:
         f->corrupted++;
+        TraceFault("corrupt", "fault", u, sim_clock_);
         injector_->Corrupt(u, key, update);
         break;
       default:
@@ -605,6 +726,7 @@ class FederatedRun {
           // The model never reaches the client: no download accounting, no
           // training — the client retries after backoff.
           result_.comm.mutable_faults()->download_lost++;
+          TraceFault("download_loss", "fault", u, sim_clock_);
           FailAndRequeue(u, sim_clock_);
           continue;
         }
@@ -615,6 +737,11 @@ class FederatedRun {
       // The round's barrier in simulated time: the server applies the
       // aggregate only once its slowest *merged* client has finished.
       double round_seconds = 0.0;
+      size_t merged_count = 0;
+      // While the round is open sim_clock_ is the round's start instant;
+      // every trace event inside the round is stamped with it, and the
+      // barrier-close events below with round_start + round_seconds.
+      const double round_start = sim_clock_;
 
       // Clients of a batch train in parallel (each mutates only its own
       // ClientState and its thread's LocalTrainer scratch; the server and
@@ -629,9 +756,12 @@ class FederatedRun {
           TrainOneFaulted(work[k], 0, fault[k], &update);
           const size_t shipped = AccountDownload(work[k], update);
           if (ResolveUpload(work[k], fault[k], round_id, &update)) {
-            round_seconds = std::max(
-                round_seconds,
-                ClientFinishSeconds(work[k], round_id, shipped, update));
+            const double fin =
+                ClientFinishSeconds(work[k], round_id, shipped, update);
+            round_seconds = std::max(round_seconds, fin);
+            ++merged_count;
+            if (trace_) trace_round_merges_.push_back(work[k]);
+            TraceTransfer(work[k], round_start, fin, /*merged=*/true);
           }
         }
       } else {
@@ -649,9 +779,12 @@ class FederatedRun {
           for (size_t k = 0; k < work.size(); ++k) {
             const size_t shipped = AccountDownload(work[k], updates[k]);
             if (ResolveUpload(work[k], fault[k], round_id, &updates[k])) {
-              round_seconds = std::max(
-                  round_seconds, ClientFinishSeconds(work[k], round_id,
-                                                     shipped, updates[k]));
+              const double fin = ClientFinishSeconds(work[k], round_id,
+                                                     shipped, updates[k]);
+              round_seconds = std::max(round_seconds, fin);
+              ++merged_count;
+              if (trace_) trace_round_merges_.push_back(work[k]);
+              TraceTransfer(work[k], round_start, fin, /*merged=*/true);
             }
           }
         } else {
@@ -674,8 +807,10 @@ class FederatedRun {
               f->nonfinite_grad_steps += updates[k].nonfinite_grad_steps;
               if (fault[k] == FaultKind::kCrash) {
                 f->crashed++;
+                TraceFault("crash", "fault", work[k], sim_clock_);
               } else {
                 f->upload_lost++;
+                TraceFault("upload_loss", "fault", work[k], sim_clock_);
               }
               FailAndRequeue(work[k], sim_clock_);
               eligible[k] = 0;
@@ -702,9 +837,14 @@ class FederatedRun {
           }
           for (size_t k = 0; k < work.size(); ++k) {
             if (!eligible[k]) continue;
+            // Stragglers transferred too (their download is on the wire);
+            // the merged flag separates the two populations in the trace.
+            TraceTransfer(work[k], round_start, finish[k], merged[k] != 0);
             if (merged[k]) {
               if (ResolveUpload(work[k], fault[k], round_id, &updates[k])) {
                 round_seconds = std::max(round_seconds, finish[k]);
+                ++merged_count;
+                if (trace_) trace_round_merges_.push_back(work[k]);
               }
             } else {
               queue_->Requeue(work[k]);
@@ -718,9 +858,34 @@ class FederatedRun {
         }
       }
       server_->FinishRound();
-      if (setup_.reskd) server_->Distill(kd_opts_, &kd_rng_);
+      if (setup_.reskd) {
+        server_->Distill(kd_opts_, &kd_rng_);
+        if (tel_) metrics_.distills->Increment();
+      }
       sim_clock_ += round_seconds;
       ++rounds_done_;
+      if (trace_) {
+        // Barrier close: the round span, then the merges it applied and the
+        // distillation, all at the close instant (ts stays monotone — every
+        // in-round event above was stamped with round_start).
+        JsonObj args;
+        args.U64("round", rounds_done_)
+            .U64("merged", merged_count)
+            .U64("queue", queue_->pending());
+        trace_->Complete("round", "server", round_start, round_seconds,
+                         kServerTrack, args.Build());
+        for (const UserId u : trace_round_merges_) {
+          JsonObj margs;
+          margs.U64("user", u);
+          trace_->Instant("merge", "server", sim_clock_, kServerTrack,
+                          margs.Build());
+        }
+        if (setup_.reskd) {
+          trace_->Instant("distill", "server", sim_clock_, kServerTrack);
+        }
+      }
+      trace_round_merges_.clear();
+      TelemetryRound(epoch, round_seconds, merged_count);
       if (cfg_.debug_stop_after_rounds > 0 &&
           rounds_done_ >= cfg_.debug_stop_after_rounds) {
         // Simulated crash: the round that just completed is never
@@ -776,6 +941,7 @@ class FederatedRun {
         // The model never reaches the client: no download accounting, no
         // training — the client retries after backoff.
         result_.comm.mutable_faults()->download_lost++;
+        TraceFault("download_loss", "fault", u, now);
         FailAndRequeue(u, now);
         continue;
       }
@@ -815,21 +981,34 @@ class FederatedRun {
         // event will ever arrive; the client retries after backoff.
         if (fk == FaultKind::kCrash) {
           f->crashed++;
+          TraceFault("crash", "fault", u, now);
         } else {
           f->upload_lost++;
+          TraceFault("upload_loss", "fault", u, now);
         }
         FailAndRequeue(u, now);
         continue;
       }
-      if (fk == FaultKind::kDuplicate) f->duplicates++;
+      if (fk == FaultKind::kDuplicate) {
+        f->duplicates++;
+        TraceFault("duplicate", "fault", u, now);
+      }
       if (fk == FaultKind::kCorrupt) {
         f->corrupted++;
+        TraceFault("corrupt", "fault", u, now);
         injector_->Corrupt(u, dispatch_seqs_[k], &dispatch_updates_[k]);
       }
       const double finish =
           agg_->clock_seconds() +
           ClientFinishSeconds(u, dispatch_seqs_[k], shipped,
                               dispatch_updates_[k]);
+      if (trace_) {
+        JsonObj args;
+        args.U64("user", u).U64("seq", dispatch_seqs_[k]);
+        trace_->Complete("transfer", "net", agg_->clock_seconds(),
+                         finish - agg_->clock_seconds(),
+                         GroupTrack(clients_[u].group), args.Build());
+      }
       agg_->Submit(
           u, &setup_.tasks_of_group[static_cast<int>(clients_[u].group)],
           std::move(dispatch_updates_[k]), version, finish);
@@ -860,6 +1039,20 @@ class FederatedRun {
         loss_count_++;
         if (gate_) gate_->OnSuccess(out.user);
         ++rounds_done_;
+        if (tel_) metrics_.staleness->Observe(static_cast<double>(out.staleness));
+        if (trace_) {
+          JsonObj args;
+          args.U64("user", out.user)
+              .U64("staleness", out.staleness)
+              .Num("weight", out.weight);
+          trace_->Instant("merge", "server", out.finish_seconds, kServerTrack,
+                          args.Build());
+        }
+        // The async "round" is a merge batch: every clients_per_round-th
+        // merge closes one for the metrics stream.
+        if (++async_merges_in_row_ >= cfg_.clients_per_round) {
+          FlushAsyncRound(epoch);
+        }
         if (cfg_.debug_stop_after_rounds > 0 &&
             rounds_done_ >= cfg_.debug_stop_after_rounds) {
           // Simulated crash mid-epoch: in-flight events are simply lost.
@@ -874,8 +1067,12 @@ class FederatedRun {
         f->rows_clipped += out.rows_clipped;
         if (out.rejected_nonfinite) {
           f->rejected_nonfinite++;
+          TraceFault("reject_nonfinite", "admission", out.user,
+                     out.finish_seconds);
         } else {
           f->rejected_outlier++;
+          TraceFault("reject_outlier", "admission", out.user,
+                     out.finish_seconds);
         }
         f->quarantines++;
         if (gate_) gate_->Quarantine(out.user, agg_->clock_seconds());
@@ -884,7 +1081,17 @@ class FederatedRun {
         // Dropped by the staleness cap: the work is discarded and the
         // client re-queued for a fresh download, like a sync straggler.
         result_.comm.RecordDropped(g);
+        if (trace_) {
+          JsonObj args;
+          args.U64("user", out.user).U64("staleness", out.staleness);
+          trace_->Instant("drop", "server", out.finish_seconds,
+                          GroupTrack(g), args.Build());
+        }
         queue_->Requeue(out.user);
+      }
+      if (out.distilled && tel_) metrics_.distills->Increment();
+      if (out.distilled && trace_) {
+        trace_->Instant("distill", "server", out.finish_seconds, kServerTrack);
       }
       if (++since_dispatch >= cfg_.async_dispatch_batch || agg_->empty()) {
         AsyncDispatch(&budget);
@@ -900,6 +1107,21 @@ class FederatedRun {
                        << "); dropping them until next epoch";
     }
     sim_clock_ = agg_->clock_seconds();
+    // Close the partial merge batch so the epoch's tail still reports.
+    FlushAsyncRound(epoch);
+  }
+
+  /// Emits the open async merge batch as one metrics round (no-op when
+  /// nothing merged since the last row).
+  void FlushAsyncRound(int epoch) {
+    if (async_merges_in_row_ == 0) return;
+    const double now = agg_->clock_seconds();
+    const size_t merged = async_merges_in_row_;
+    async_merges_in_row_ = 0;
+    const double duration = now - async_row_clock_;
+    async_row_clock_ = now;
+    sim_clock_ = now;
+    TelemetryRound(epoch, duration, merged);
   }
 
   Evaluator::BatchScoreFn MakeScoreFn() {
@@ -933,6 +1155,7 @@ class FederatedRun {
   /// top-K sink (no per-user O(items) buffer); the candidate slice and the
   /// partial_sort reference keep the id-list callback.
   GroupedEval RunEvaluation() {
+    HFR_PROFILE("eval");
     if (cfg_.use_batched_topk && cfg_.eval_candidate_sample == 0) {
       return evaluator_->Evaluate(MakeStreamScoreFn(), pool_.get());
     }
@@ -942,6 +1165,11 @@ class FederatedRun {
   /// Writes the full run state to checkpoint_path + ".run" with an atomic
   /// rename (docs/ROBUSTNESS.md "Checkpoint format v2").
   void WriteRunCheckpoint(int next_epoch, bool mid_epoch) {
+    HFR_PROFILE("checkpoint");
+    if (tel_) metrics_.checkpoints->Increment();
+    if (trace_) {
+      trace_->Instant("checkpoint", "server", sim_clock_, kServerTrack);
+    }
     RunState st;
     st.fingerprint = ConfigFingerprint(cfg_, MethodName(method_));
     st.method = MethodName(method_);
@@ -1088,6 +1316,200 @@ class FederatedRun {
     }
   }
 
+  // --- telemetry (docs/OBSERVABILITY.md) --------------------------------
+  // Pure observation: nothing below may touch an RNG stream, the virtual
+  // clock or any trained value — a telemetry-on run is bit-identical to a
+  // telemetry-off one (tests/core/telemetry_equivalence_test.cc). All
+  // emission happens on the deterministic main/merge thread.
+
+  static constexpr int kServerTrack = 0;
+  static int GroupTrack(Group g) { return 1 + static_cast<int>(g); }
+
+  void SetupTelemetry() {
+    if (cfg_.profile) {
+      Profiler::Get().Reset();
+      Profiler::Get().Enable(true);
+    }
+    if (cfg_.metrics_out.empty() && cfg_.trace_out.empty() && !cfg_.profile) {
+      return;
+    }
+    TelemetryOptions topt;
+    topt.metrics_path = cfg_.metrics_out;
+    topt.trace_path = cfg_.trace_out;
+    topt.profile = cfg_.profile;
+    StatusOr<std::unique_ptr<Telemetry>> tel = Telemetry::Create(topt);
+    HFR_CHECK(tel.ok()) << tel.status().ToString();
+    tel_ = std::move(tel).value();
+    trace_ = tel_->trace();
+    metrics_.Register(tel_->registry(), cfg_.async_mode);
+    if (trace_) {
+      trace_->SetTrackName(kServerTrack, "server");
+      for (int g = 0; g < kNumGroups; ++g) {
+        trace_->SetTrackName(1 + g,
+                             "clients/" + GroupName(static_cast<Group>(g)));
+      }
+    }
+    if (tel_->metrics_on()) {
+      JsonObj meta;
+      meta.Str("type", "meta")
+          .I64("version", 1)
+          .Str("method", MethodName(method_))
+          .Str("dataset", cfg_.dataset)
+          .Num("data_scale", cfg_.data_scale)
+          .U64("seed", cfg_.seed)
+          .Bool("async", cfg_.async_mode)
+          .U64("clients_per_round", cfg_.clients_per_round)
+          .I64("epochs", cfg_.global_epochs)
+          .Bool("resumed", cfg_.resume_run);
+      tel_->WriteRow(meta.Build());
+    }
+  }
+
+  /// Instant event for an injected fault / admission rejection on the
+  /// client's group track.
+  void TraceFault(const char* kind, const char* category, UserId u,
+                  double ts) {
+    if (!trace_) return;
+    JsonObj args;
+    args.U64("user", u);
+    trace_->Instant(kind, category, ts, GroupTrack(clients_[u].group),
+                    args.Build());
+  }
+
+  /// One synchronous-round client transfer on its group track, spanning the
+  /// round start to the client's simulated finish.
+  void TraceTransfer(UserId u, double start, double duration, bool merged) {
+    if (!trace_) return;
+    JsonObj args;
+    args.U64("user", u).Bool("merged", merged);
+    trace_->Complete("transfer", "net", start, duration,
+                     GroupTrack(clients_[u].group), args.Build());
+  }
+
+  /// Round close (sync round / async merge batch): snapshot the per-round
+  /// traffic, refresh the registry mirrors and stream one "round" row. The
+  /// virtual clock (sim_clock_) has already advanced to the close instant.
+  void TelemetryRound(int epoch, double duration, size_t merged) {
+    if (!tel_ && !cfg_.track_round_comm) return;
+    const CommRound rc = result_.comm.SnapshotRound();
+    if (cfg_.track_round_comm) result_.round_comm.push_back(rc);
+    if (!tel_) return;
+    ++telemetry_rounds_;
+    merges_total_ += merged;
+    RunMetrics::SetTo(metrics_.rounds, telemetry_rounds_);
+    RunMetrics::SetTo(metrics_.merges, merges_total_);
+    metrics_.MirrorComm(result_.comm);
+    metrics_.clock->Set(sim_clock_);
+    metrics_.queue_depth->Set(static_cast<double>(queue_->pending()));
+    metrics_.round_merged->Set(static_cast<double>(merged));
+    metrics_.round_down_scalars->Set(static_cast<double>(rc.DownParams()));
+    metrics_.round_up_scalars->Set(static_cast<double>(rc.UpParams()));
+    metrics_.loss_mean->Set(
+        loss_count_ > 0 ? loss_sum_ / static_cast<double>(loss_count_) : 0.0);
+    // Replica cache hit rate: subscribed rows the round did NOT have to
+    // ship (fresh in the client replica) over rows subscribed.
+    const uint64_t sub = metrics_.rows_subscribed->Value() - rows_sub_seen_;
+    const uint64_t ship = metrics_.rows_shipped->Value() - rows_ship_seen_;
+    rows_sub_seen_ += sub;
+    rows_ship_seen_ += ship;
+    metrics_.replica_hit_rate->Set(
+        sub > 0 ? 1.0 - static_cast<double>(ship) / static_cast<double>(sub)
+                : 0.0);
+    metrics_.round_seconds->Observe(duration);
+    if (tel_->metrics_on()) {
+      JsonObj row;
+      row.U64("round", telemetry_rounds_);
+      row.Str("type", "round")
+          .I64("epoch", epoch)
+          .Num("clock", sim_clock_)
+          .Num("duration", duration)
+          .U64("merged", merged)
+          .U64("queue", queue_->pending())
+          .Raw("metrics", tel_->registry()->ToJson());
+      tel_->WriteRow(row.Build());
+    }
+  }
+
+  void TelemetryEval(const EpochPoint& point) {
+    if (!tel_) return;
+    metrics_.eval_recall->Set(point.eval.overall.recall);
+    metrics_.eval_ndcg->Set(point.eval.overall.ndcg);
+    if (trace_) {
+      JsonObj args;
+      args.Num("recall", point.eval.overall.recall)
+          .Num("ndcg", point.eval.overall.ndcg);
+      trace_->Instant("eval", "server", sim_clock_, kServerTrack,
+                      args.Build());
+    }
+    if (!tel_->metrics_on()) return;
+    std::string groups = "[";
+    for (int g = 0; g < kNumGroups; ++g) {
+      if (g) groups += ',';
+      const EvalResult& e = point.eval.per_group[g];
+      JsonObj go;
+      go.Str("group", GroupName(static_cast<Group>(g)))
+          .Num("recall", e.recall)
+          .Num("ndcg", e.ndcg)
+          .U64("users", e.users);
+      groups += go.Build();
+    }
+    groups += ']';
+    JsonObj row;
+    row.Str("type", "eval")
+        .I64("epoch", point.epoch)
+        .Num("clock", point.simulated_seconds)
+        .Num("recall", point.eval.overall.recall)
+        .Num("ndcg", point.eval.overall.ndcg)
+        .Num("loss", point.mean_train_loss)
+        .Raw("groups", groups);
+    tel_->WriteRow(row.Build());
+  }
+
+  /// End of run (normal or debug-kill): profile table, summary row, flush.
+  /// Wall-clock profile numbers are nondeterministic, so they are confined
+  /// to "profile" rows and stderr — never the round/summary rows the
+  /// determinism tests byte-compare.
+  void TelemetryFinish() {
+    if (cfg_.profile) {
+      const std::vector<Profiler::PhaseStat> stats = Profiler::Get().Collect();
+      Profiler::Get().Enable(false);
+      HFR_LOG(Info) << "phase profile (wall seconds):\n"
+                    << Profiler::Render(stats);
+      if (tel_ && tel_->metrics_on()) {
+        for (const Profiler::PhaseStat& s : stats) {
+          JsonObj row;
+          row.Str("type", "profile")
+              .Str("path", s.path)
+              .U64("calls", s.calls)
+              .Num("total_s", s.total_seconds)
+              .Num("self_s", s.self_seconds);
+          tel_->WriteRow(row.Build());
+        }
+      }
+    }
+    if (!tel_) return;
+    if (tel_->metrics_on()) {
+      metrics_.MirrorComm(result_.comm);
+      metrics_.clock->Set(sim_clock_);
+      JsonObj row;
+      row.Str("type", "summary")
+          .U64("rounds", telemetry_rounds_)
+          .U64("merges", merges_total_)
+          .Num("clock", sim_clock_)
+          .Num("recall", result_.final_eval.overall.recall)
+          .Num("ndcg", result_.final_eval.overall.ndcg)
+          .U64("total_scalars", result_.comm.TotalTransmitted())
+          .U64("total_bytes", result_.comm.TotalBytes())
+          .U64("dropped", result_.comm.TotalDropped())
+          .Raw("metrics", tel_->registry()->ToJson());
+      tel_->WriteRow(row.Build());
+    }
+    const Status flushed = tel_->Flush();
+    if (!flushed.ok()) {
+      HFR_LOG(Warning) << "telemetry flush failed: " << flushed.ToString();
+    }
+  }
+
   const ExperimentConfig& cfg_;
   const Dataset& dataset_;
   const GroupAssignment& groups_;
@@ -1137,6 +1559,19 @@ class FederatedRun {
   double loss_sum_ = 0.0;
   size_t loss_count_ = 0;
   double sim_clock_ = 0.0;
+
+  // Telemetry (null / empty when every telemetry flag is off).
+  std::unique_ptr<Telemetry> tel_;
+  TraceRecorder* trace_ = nullptr;  // borrowed from tel_; null when off
+  RunMetrics metrics_;
+  uint64_t telemetry_rounds_ = 0;  // "round" rows emitted (sync rounds or
+                                   // async merge batches)
+  uint64_t merges_total_ = 0;      // cumulative merged client updates
+  std::vector<UserId> trace_round_merges_;  // merged users of the open round
+  size_t async_merges_in_row_ = 0;  // merges since the last async batch row
+  double async_row_clock_ = 0.0;    // clock at the last async batch close
+  uint64_t rows_sub_seen_ = 0;      // row-subscription counters already
+  uint64_t rows_ship_seen_ = 0;     // folded into the hit-rate gauge
 };
 
 }  // namespace
@@ -1176,6 +1611,12 @@ ExperimentResult ExperimentRunner::RunFederated(Method method) const {
 
 ExperimentResult ExperimentRunner::RunStandalone() const {
   const ExperimentConfig& cfg = config_;
+  // Standalone has no rounds or network, so only the phase profiler
+  // applies; the metrics/trace outputs are federated-run features.
+  if (cfg.profile) {
+    Profiler::Get().Reset();
+    Profiler::Get().Enable(true);
+  }
   Timer timer;
   Rng root(cfg.seed);
   Rng init_rng = root.Fork(4);
@@ -1263,6 +1704,12 @@ ExperimentResult ExperimentRunner::RunStandalone() const {
         evaluator.Evaluate(Evaluator::BatchScoreFn(score_fn), &pool);
   }
   result.train_seconds = timer.Seconds();
+  if (cfg.profile) {
+    const std::vector<Profiler::PhaseStat> stats = Profiler::Get().Collect();
+    Profiler::Get().Enable(false);
+    HFR_LOG(Info) << "phase profile (wall seconds):\n"
+                  << Profiler::Render(stats);
+  }
   return result;
 }
 

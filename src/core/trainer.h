@@ -30,6 +30,10 @@ struct ExperimentResult {
   GroupedEval final_eval;            // Table II / Fig. 6
   std::vector<EpochPoint> history;   // Fig. 7 (empty if eval_every == 0)
   CommStats comm;                    // Table III
+  /// Per-round traffic deltas (CommStats::SnapshotRound), one entry per
+  /// completed synchronous round / async merge batch. Filled only when
+  /// config.track_round_comm is set; empty otherwise.
+  std::vector<CommRound> round_comm;
   /// Variance of the eigenvalues of cov(V_largest) — Table V diagnostic.
   double collapse_variance = 0.0;
   /// Scale-normalized variant: variance of eigenvalues divided by their

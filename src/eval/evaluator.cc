@@ -6,6 +6,7 @@
 
 #include "src/eval/metrics.h"
 #include "src/util/logging.h"
+#include "src/util/telemetry/profiler.h"
 #include "src/util/thread_pool.h"
 
 namespace hetefedrec {
@@ -154,10 +155,16 @@ GroupedEval Evaluator::Evaluate(const ThreadedScoreFn& score_fn,
     const UserId u = users_[k];
     if (ds_.TestItems(u).empty()) return;
     SlotScratch& s = scratch[slot];
-    score_fn(u, slot, &s.scores);
+    {
+      HFR_PROFILE("score");
+      score_fn(u, slot, &s.scores);
+    }
     HFR_CHECK_EQ(s.scores.size(), ds_.num_items());
     BeginUser(u, &s);
-    SelectMasked(&s);
+    {
+      HFR_PROFILE("topk");
+      SelectMasked(&s);
+    }
     FinishUser(u, &s, recall, ndcg);
     *counted = 1;
   };
@@ -181,14 +188,22 @@ GroupedEval Evaluator::Evaluate(const BatchScoreFn& score_fn,
     if (candidate_sample_ == 0) {
       // Full-catalogue ranking over the contiguous id span.
       s.scores.resize(ds_.num_items());
-      score_fn(u, slot, all_items_, s.scores.data());
+      {
+        HFR_PROFILE("score");
+        score_fn(u, slot, all_items_, s.scores.data());
+      }
+      HFR_PROFILE("topk");
       SelectMasked(&s);
     } else {
       // Candidate slice: test items + seeded negatives. Train items are
       // excluded by construction, so no mask is needed.
       std::vector<ItemId> ids = CandidateItems(u);
       s.scores.resize(ids.size());
-      score_fn(u, slot, ids, s.scores.data());
+      {
+        HFR_PROFILE("score");
+        score_fn(u, slot, ids, s.scores.data());
+      }
+      HFR_PROFILE("topk");
       if (use_batched_topk_) {
         s.selector.SelectFromCandidates(ids, s.scores, top_k_, &s.topk);
       } else {
@@ -218,7 +233,11 @@ GroupedEval Evaluator::Evaluate(const StreamScoreFn& score_fn,
     SlotScratch& s = scratch[slot];
     BeginUser(u, &s);
     s.selector.Begin(top_k_, &s.masked);
-    score_fn(u, slot, &s.selector);
+    {
+      // Fused scoring+selection: one scope covers both.
+      HFR_PROFILE("score");
+      score_fn(u, slot, &s.selector);
+    }
     s.selector.Finish(&s.topk);
     FinishUser(u, &s, recall, ndcg);
     *counted = 1;

@@ -4,6 +4,43 @@
 
 namespace hetefedrec {
 
+size_t CommRound::Uploads() const {
+  size_t total = 0;
+  for (const auto& pg : groups) total += pg.uploads;
+  return total;
+}
+
+size_t CommRound::Downloads() const {
+  size_t total = 0;
+  for (const auto& pg : groups) total += pg.downloads;
+  return total;
+}
+
+size_t CommRound::Dropped() const {
+  size_t total = 0;
+  for (const auto& pg : groups) total += pg.dropped;
+  return total;
+}
+
+size_t CommRound::UpParams() const {
+  size_t total = 0;
+  for (const auto& pg : groups) total += pg.up_params;
+  return total;
+}
+
+size_t CommRound::DownParams() const {
+  size_t total = 0;
+  for (const auto& pg : groups) total += pg.down_params;
+  return total;
+}
+
+double CommRound::AvgDownload(Group g) const {
+  const auto& pg = groups[static_cast<int>(g)];
+  if (pg.downloads == 0) return 0.0;
+  return static_cast<double>(pg.down_params) /
+         static_cast<double>(pg.downloads);
+}
+
 void CommStats::RecordDownload(Group g, size_t params) {
   auto& pg = groups_[static_cast<int>(g)];
   pg.downloads++;
@@ -124,12 +161,30 @@ void CommStats::RestoreCounters(const std::vector<uint64_t>& packed) {
   faults_.retries = packed[i++];
   faults_.gave_up = packed[i++];
   faults_.nonfinite_grad_steps = packed[i++];
+  round_base_ = groups_;
 }
 
 void CommStats::Reset() {
   // The wire format is configuration, not accumulated state.
   groups_ = {};
   faults_ = {};
+  round_base_ = {};
+}
+
+CommRound CommStats::SnapshotRound() {
+  CommRound round;
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    round.groups[g].uploads = groups_[g].uploads - round_base_[g].uploads;
+    round.groups[g].downloads =
+        groups_[g].downloads - round_base_[g].downloads;
+    round.groups[g].dropped = groups_[g].dropped - round_base_[g].dropped;
+    round.groups[g].up_params =
+        groups_[g].up_params - round_base_[g].up_params;
+    round.groups[g].down_params =
+        groups_[g].down_params - round_base_[g].down_params;
+  }
+  round_base_ = groups_;
+  return round;
 }
 
 }  // namespace hetefedrec

@@ -47,6 +47,33 @@ struct FaultStats {
   }
 };
 
+/// \brief One round's worth of traffic: the delta between two consecutive
+/// CommStats::SnapshotRound() calls.
+///
+/// Cumulative totals hide how traffic evolves — e.g. delta sync ships the
+/// whole subscription on a client's first participation and only stale rows
+/// afterwards, so the downlink cost falls over rounds toward the DDR
+/// correlation-row floor (docs/SYNC.md "Measuring it"). Per-round snapshots
+/// make that curve observable in bench_table3 and the metrics JSONL stream.
+struct CommRound {
+  struct PerGroup {
+    size_t uploads = 0;
+    size_t downloads = 0;
+    size_t dropped = 0;
+    size_t up_params = 0;
+    size_t down_params = 0;
+  };
+  std::array<PerGroup, kNumGroups> groups;
+
+  size_t Uploads() const;
+  size_t Downloads() const;
+  size_t Dropped() const;
+  size_t UpParams() const;
+  size_t DownParams() const;
+  /// Mean scalars downloaded per download this round (0 if none).
+  double AvgDownload(Group g) const;
+};
+
 /// \brief Accumulates per-group transmission counts.
 class CommStats {
  public:
@@ -110,20 +137,23 @@ class CommStats {
   /// a counter, so it is excluded (Reset preserves it for the same reason).
   std::vector<uint64_t> ExportCounters() const;
 
-  /// Restores counters exported by `ExportCounters`.
+  /// Restores counters exported by `ExportCounters`. Rebaselines the round
+  /// snapshot: the first SnapshotRound() after a restore covers only traffic
+  /// recorded since the restore.
   void RestoreCounters(const std::vector<uint64_t>& packed);
 
   void Reset();
 
+  /// Returns the traffic recorded since the previous SnapshotRound() (or
+  /// since construction / Reset / RestoreCounters) and advances the
+  /// baseline. Call once per round to get per-round deltas.
+  CommRound SnapshotRound();
+
  private:
-  struct PerGroup {
-    size_t uploads = 0;
-    size_t downloads = 0;
-    size_t dropped = 0;
-    size_t up_params = 0;
-    size_t down_params = 0;
-  };
+  using PerGroup = CommRound::PerGroup;
   std::array<PerGroup, kNumGroups> groups_;
+  /// Totals at the last SnapshotRound() — the subtrahend for round deltas.
+  std::array<PerGroup, kNumGroups> round_base_;
   FaultStats faults_;
   size_t wire_scalar_bytes_ = 8;
 };

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/util/logging.h"
+#include "src/util/telemetry/profiler.h"
 
 namespace hetefedrec {
 
@@ -46,6 +47,7 @@ void AsyncAggregator::Submit(UserId user,
 
 AsyncAggregator::Outcome AsyncAggregator::MergeNext(
     const DistillationOptions& kd_options, Rng* kd_rng) {
+  HFR_PROFILE("merge");
   HFR_CHECK(!events_.empty());
   std::pop_heap(events_.begin(), events_.end(), Later);
   Event e = std::move(events_.back());

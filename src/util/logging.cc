@@ -1,13 +1,15 @@
 #include "src/util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 
 namespace hetefedrec {
 
 namespace {
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,6 +24,51 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Honors HETEFEDREC_LOG_LEVEL before the first line is logged; runs once
+/// during static initialization of g_min_level.
+int InitialLevel() {
+  const char* env = std::getenv("HETEFEDREC_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  LogLevel level = LogLevel::kInfo;
+  if (!ParseLogLevel(env, &level)) {
+    std::fprintf(stderr,
+                 "[WARN] unrecognized HETEFEDREC_LOG_LEVEL '%s'; using info\n",
+                 env);
+  }
+  return static_cast<int>(level);
+}
+
+std::atomic<int> g_min_level{InitialLevel()};
+
+/// Compact per-process thread ordinal: t0 is the first thread that logs.
+unsigned ThreadOrdinal() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// "2026-08-07T12:00:00.123Z" (UTC, millisecond precision) into buf.
+void FormatTimestamp(char* buf, size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &secs);
+#else
+  gmtime_r(&secs, &tm);
+#endif
+  std::snprintf(buf, size, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -30,6 +77,27 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "2") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error" || lower == "3") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 namespace internal {
@@ -45,7 +113,10 @@ LogMessage::~LogMessage() {
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level_), stream_.str().c_str());
+  char ts[32];
+  FormatTimestamp(ts, sizeof(ts));
+  std::fprintf(stderr, "[%s %s t%u] %s\n", ts, LevelName(level_),
+               ThreadOrdinal(), stream_.str().c_str());
 }
 
 FatalLogMessage::FatalLogMessage(const char* file, int line,
@@ -55,8 +126,10 @@ FatalLogMessage::FatalLogMessage(const char* file, int line,
 }
 
 FatalLogMessage::~FatalLogMessage() {
-  std::fprintf(stderr, "[FATAL] %s:%d %s\n", file_, line_,
-               stream_.str().c_str());
+  char ts[32];
+  FormatTimestamp(ts, sizeof(ts));
+  std::fprintf(stderr, "[%s FATAL t%u] %s:%d %s\n", ts, ThreadOrdinal(), file_,
+               line_, stream_.str().c_str());
   std::abort();
 }
 

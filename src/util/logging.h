@@ -1,8 +1,12 @@
 // Minimal leveled logging to stderr plus CHECK macros.
 //
-// Experiments are long-running batch jobs; logging is line-oriented with a
-// level prefix so output can be grepped. CHECK macros abort on programmer
-// errors (contract violations), while recoverable conditions use Status.
+// Experiments are long-running batch jobs; logging is line-oriented with an
+// ISO-8601 UTC timestamp, level and thread-id prefix so output can be
+// grepped and interleaved lines attributed:
+//   [2026-08-07T12:00:00.123Z INFO t0] message
+// Thread ids are compact per-process ordinals (t0 = first logging thread,
+// usually main), not OS tids. CHECK macros abort on programmer errors
+// (contract violations), while recoverable conditions use Status.
 #ifndef HETEFEDREC_UTIL_LOGGING_H_
 #define HETEFEDREC_UTIL_LOGGING_H_
 
@@ -13,9 +17,16 @@ namespace hetefedrec {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Process-wide minimum level; messages below it are dropped.
+/// Process-wide minimum level; messages below it are dropped. The initial
+/// value comes from the HETEFEDREC_LOG_LEVEL environment variable when set
+/// (any ParseLogLevel spelling; bad values warn and keep INFO).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses "debug"/"info"/"warning"/"warn"/"error" (case-insensitive) or a
+/// numeric level 0-3 into *out. Returns false (leaving *out untouched) on
+/// anything else.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
 
 namespace internal {
 

@@ -1,0 +1,105 @@
+#include "src/util/telemetry/json.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace hetefedrec {
+
+void AppendJsonString(std::string* out, const std::string& v) {
+  out->push_back('"');
+  for (char c : v) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+          *out += esc;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    *out += "null";
+    return;
+  }
+  char buf[40];
+  // 2^53: doubles at or beyond this are not guaranteed to hold integers
+  // exactly, so fall through to the %.17g form.
+  constexpr double kExactIntLimit = 9007199254740992.0;
+  if (v == std::floor(v) && std::fabs(v) < kExactIntLimit) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  *out += buf;
+}
+
+void JsonObj::Key(const char* key) {
+  if (!first_) buf_ += ',';
+  first_ = false;
+  AppendJsonString(&buf_, key);
+  buf_ += ':';
+}
+
+JsonObj& JsonObj::U64(const char* key, uint64_t v) {
+  Key(key);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  buf_ += buf;
+  return *this;
+}
+
+JsonObj& JsonObj::I64(const char* key, int64_t v) {
+  Key(key);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  buf_ += buf;
+  return *this;
+}
+
+JsonObj& JsonObj::Num(const char* key, double v) {
+  Key(key);
+  AppendJsonNumber(&buf_, v);
+  return *this;
+}
+
+JsonObj& JsonObj::Bool(const char* key, bool v) {
+  Key(key);
+  buf_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonObj& JsonObj::Str(const char* key, const std::string& v) {
+  Key(key);
+  AppendJsonString(&buf_, v);
+  return *this;
+}
+
+JsonObj& JsonObj::Raw(const char* key, const std::string& json) {
+  Key(key);
+  buf_ += json;
+  return *this;
+}
+
+}  // namespace hetefedrec

@@ -1,0 +1,57 @@
+// Deterministic JSON emission for the telemetry layer.
+//
+// The metrics JSONL stream and the Chrome trace file are tested for
+// byte-equality across runs and thread counts, so every number must render
+// identically everywhere: integers print as integers, doubles print with
+// locale-independent snprintf("%.17g") (round-trip exact for IEEE double),
+// and non-finite values print as null (JSON has no NaN/Inf).
+//
+// JsonObj is an append-only object builder: keys are emitted in call order
+// (never sorted, never hashed), which keeps the byte layout a pure function
+// of the call sequence.
+#ifndef HETEFEDREC_UTIL_TELEMETRY_JSON_H_
+#define HETEFEDREC_UTIL_TELEMETRY_JSON_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hetefedrec {
+
+/// Appends `v` escaped and double-quoted. Escapes quotes, backslashes and
+/// control characters; telemetry strings are ASCII identifiers so no UTF-8
+/// handling is needed.
+void AppendJsonString(std::string* out, const std::string& v);
+
+/// Appends `v` as a JSON number: integer form when exactly integral and
+/// within the 2^53 exact range, otherwise %.17g; null when non-finite.
+void AppendJsonNumber(std::string* out, double v);
+
+/// Single-use JSON object builder; Build() closes the object.
+class JsonObj {
+ public:
+  JsonObj() : buf_("{") {}
+
+  JsonObj& U64(const char* key, uint64_t v);
+  JsonObj& I64(const char* key, int64_t v);
+  JsonObj& Num(const char* key, double v);
+  JsonObj& Bool(const char* key, bool v);
+  JsonObj& Str(const char* key, const std::string& v);
+  /// Inserts pre-rendered JSON (nested object or array) verbatim.
+  JsonObj& Raw(const char* key, const std::string& json);
+
+  /// Closes and returns the object. The builder must not be reused.
+  std::string Build() {
+    buf_ += '}';
+    return std::move(buf_);
+  }
+
+ private:
+  void Key(const char* key);
+
+  std::string buf_;
+  bool first_ = true;
+};
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_UTIL_TELEMETRY_JSON_H_

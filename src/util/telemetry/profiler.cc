@@ -1,0 +1,168 @@
+#include "src/util/telemetry/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace hetefedrec {
+namespace internal {
+
+struct ProfNode {
+  const char* name = "";  // string literal identity (pointer compare first)
+  ProfNode* parent = nullptr;
+  uint64_t calls = 0;
+  double total_seconds = 0.0;
+  double child_seconds = 0.0;
+  std::vector<std::unique_ptr<ProfNode>> children;
+};
+
+namespace {
+
+// One tree per thread that ever profiled; owned process-wide so Collect()
+// can read trees of exited threads and Reset() never invalidates the
+// thread_local cursor of a live one.
+struct ThreadTree {
+  ProfNode root;
+  ProfNode* current = &root;
+};
+
+std::mutex g_trees_mu;
+std::vector<std::unique_ptr<ThreadTree>>& Trees() {
+  static auto* trees = new std::vector<std::unique_ptr<ThreadTree>>();
+  return *trees;
+}
+
+ThreadTree* LocalTree() {
+  thread_local ThreadTree* tree = [] {
+    auto owned = std::make_unique<ThreadTree>();
+    ThreadTree* raw = owned.get();
+    std::lock_guard<std::mutex> lock(g_trees_mu);
+    Trees().push_back(std::move(owned));
+    return raw;
+  }();
+  return tree;
+}
+
+void ZeroTree(ProfNode* node) {
+  node->calls = 0;
+  node->total_seconds = 0.0;
+  node->child_seconds = 0.0;
+  for (auto& c : node->children) ZeroTree(c.get());
+}
+
+struct MergedNode {
+  uint64_t calls = 0;
+  double total_seconds = 0.0;
+  double child_seconds = 0.0;
+  std::map<std::string, MergedNode> children;
+};
+
+void MergeInto(const ProfNode& src, MergedNode* dst) {
+  dst->calls += src.calls;
+  dst->total_seconds += src.total_seconds;
+  dst->child_seconds += src.child_seconds;
+  for (const auto& c : src.children) {
+    if (c->calls == 0 && c->children.empty()) continue;
+    MergeInto(*c, &dst->children[c->name]);
+  }
+}
+
+void Flatten(const MergedNode& node, const std::string& prefix, int depth,
+             std::vector<Profiler::PhaseStat>* out) {
+  std::vector<std::pair<std::string, const MergedNode*>> kids;
+  kids.reserve(node.children.size());
+  for (const auto& kv : node.children) kids.emplace_back(kv.first, &kv.second);
+  std::stable_sort(kids.begin(), kids.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second->total_seconds > b.second->total_seconds;
+                   });
+  for (const auto& [name, kid] : kids) {
+    if (kid->calls == 0) continue;
+    const std::string path = prefix.empty() ? name : prefix + "/" + name;
+    Profiler::PhaseStat stat;
+    stat.path = path;
+    stat.depth = depth;
+    stat.calls = kid->calls;
+    stat.total_seconds = kid->total_seconds;
+    stat.self_seconds = kid->total_seconds - kid->child_seconds;
+    out->push_back(std::move(stat));
+    Flatten(*kid, path, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+ProfNode* ProfEnter(const char* name) {
+  ThreadTree* tree = LocalTree();
+  ProfNode* parent = tree->current;
+  for (auto& c : parent->children) {
+    // Scope names are string literals; pointer equality is the common case
+    // but fall back to strcmp so identical names across TUs still merge.
+    if (c->name == name || std::strcmp(c->name, name) == 0) {
+      tree->current = c.get();
+      return c.get();
+    }
+  }
+  parent->children.push_back(std::make_unique<ProfNode>());
+  ProfNode* node = parent->children.back().get();
+  node->name = name;
+  node->parent = parent;
+  tree->current = node;
+  return node;
+}
+
+void ProfExit(ProfNode* node, double seconds) {
+  node->calls += 1;
+  node->total_seconds += seconds;
+  if (node->parent) node->parent->child_seconds += seconds;
+  LocalTree()->current = node->parent;
+}
+
+}  // namespace internal
+
+Profiler& Profiler::Get() {
+  static Profiler* profiler = new Profiler();
+  return *profiler;
+}
+
+void Profiler::Reset() {
+  std::lock_guard<std::mutex> lock(internal::g_trees_mu);
+  for (auto& tree : internal::Trees()) {
+    internal::ZeroTree(&tree->root);
+    tree->current = &tree->root;
+  }
+}
+
+std::vector<Profiler::PhaseStat> Profiler::Collect() const {
+  internal::MergedNode merged;
+  {
+    std::lock_guard<std::mutex> lock(internal::g_trees_mu);
+    for (const auto& tree : internal::Trees()) {
+      internal::MergeInto(tree->root, &merged);
+    }
+  }
+  std::vector<PhaseStat> out;
+  internal::Flatten(merged, "", 0, &out);
+  return out;
+}
+
+std::string Profiler::Render(const std::vector<PhaseStat>& stats) {
+  std::string out;
+  out += "phase                                    calls     total_s      self_s\n";
+  for (const PhaseStat& s : stats) {
+    const std::string label =
+        std::string(static_cast<size_t>(s.depth) * 2, ' ') +
+        s.path.substr(s.path.rfind('/') + 1);
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-38s %9llu %11.4f %11.4f\n",
+                  label.c_str(), static_cast<unsigned long long>(s.calls),
+                  s.total_seconds, s.self_seconds);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace hetefedrec

@@ -1,0 +1,111 @@
+// RAII wall-clock phase profiling with hierarchical, per-thread scopes.
+//
+// Usage: drop `HFR_PROFILE("phase")` at the top of a hot function. Scopes
+// nest: a scope opened inside another becomes its child, so the collected
+// table shows e.g. round/train/forward with self-time = total - children.
+//
+// Cost model (docs/OBSERVABILITY.md "Overhead"):
+//  - Disabled (the default): one relaxed atomic load and a branch per scope.
+//    BM_TelemetryOverhead pins this at well under 1% of a federated round.
+//  - Enabled: a thread-local tree walk plus two steady_clock reads per scope.
+//
+// Each thread accumulates into its own tree (no synchronization on the hot
+// path); Collect() merges the trees by path. Wall-clock durations are
+// inherently nondeterministic, so profile output is kept OUT of the
+// byte-equality-tested metrics/trace streams: it goes to stderr and to
+// clearly-marked "profile" JSONL rows only when --profile is set.
+//
+// Trees are owned by the process-wide Profiler and survive thread exit;
+// Reset() zeroes counters in place (never frees nodes) so stale thread_local
+// pointers in long-lived threads remain valid. Enable/Reset/Collect must be
+// called while no profiled scope is live (e.g. with the worker pool idle).
+#ifndef HETEFEDREC_UTIL_TELEMETRY_PROFILER_H_
+#define HETEFEDREC_UTIL_TELEMETRY_PROFILER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetefedrec {
+
+namespace internal {
+struct ProfNode;
+/// Descends the calling thread's tree into the child named `name` (creating
+/// it on first use) and returns the node to charge on exit.
+ProfNode* ProfEnter(const char* name);
+/// Charges `seconds` to `node` and pops back to its parent.
+void ProfExit(ProfNode* node, double seconds);
+}  // namespace internal
+
+class Profiler {
+ public:
+  static Profiler& Get();
+
+  void Enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  static bool IsEnabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Zeroes all accumulated counters (keeps node storage alive; see file
+  /// comment). Call with no profiled scopes live.
+  void Reset();
+
+  struct PhaseStat {
+    std::string path;      // "round/train/forward"
+    int depth = 0;         // nesting depth (0 = top level)
+    uint64_t calls = 0;
+    double total_seconds = 0.0;
+    double self_seconds = 0.0;  // total minus time inside child scopes
+  };
+
+  /// Merges every thread's tree by path; preorder, siblings sorted by total
+  /// time descending. Call with no profiled scopes live.
+  std::vector<PhaseStat> Collect() const;
+
+  /// Renders Collect() as an indented fixed-width table.
+  static std::string Render(const std::vector<PhaseStat>& stats);
+
+ private:
+  friend internal::ProfNode* internal::ProfEnter(const char* name);
+  Profiler() = default;
+
+  inline static std::atomic<bool> enabled_{false};
+};
+
+/// RAII scope; all cost gated on the enabled flag at construction.
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name) {
+    if (!Profiler::IsEnabled()) {
+      node_ = nullptr;
+      return;
+    }
+    node_ = internal::ProfEnter(name);
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ProfileScope() {
+    if (!node_) return;
+    const std::chrono::duration<double> d =
+        std::chrono::steady_clock::now() - start_;
+    internal::ProfExit(node_, d.count());
+  }
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  internal::ProfNode* node_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#define HFR_PROFILE_CONCAT2(a, b) a##b
+#define HFR_PROFILE_CONCAT(a, b) HFR_PROFILE_CONCAT2(a, b)
+/// Profiles the enclosing scope under `name` (a string literal).
+#define HFR_PROFILE(name)                                     \
+  ::hetefedrec::ProfileScope HFR_PROFILE_CONCAT(hfr_profile_, \
+                                                __LINE__)(name)
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_UTIL_TELEMETRY_PROFILER_H_

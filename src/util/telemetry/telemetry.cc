@@ -1,0 +1,50 @@
+#include "src/util/telemetry/telemetry.h"
+
+namespace hetefedrec {
+
+Telemetry::Telemetry(const TelemetryOptions& options) : options_(options) {
+  if (!options_.trace_path.empty()) {
+    trace_ = std::make_unique<TraceRecorder>();
+  }
+}
+
+StatusOr<std::unique_ptr<Telemetry>> Telemetry::Create(
+    const TelemetryOptions& options) {
+  std::unique_ptr<Telemetry> tel(new Telemetry(options));
+  if (!options.metrics_path.empty()) {
+    tel->metrics_file_ = std::fopen(options.metrics_path.c_str(), "wb");
+    if (!tel->metrics_file_) {
+      return Status::IOError("cannot open metrics stream: " +
+                             options.metrics_path);
+    }
+  }
+  return tel;
+}
+
+Telemetry::~Telemetry() {
+  // Backstop for early exits; the executor flushes (and checks) explicitly.
+  Flush();
+  if (metrics_file_) std::fclose(metrics_file_);
+}
+
+void Telemetry::WriteRow(const std::string& json) {
+  if (!metrics_file_) return;
+  std::fwrite(json.data(), 1, json.size(), metrics_file_);
+  std::fputc('\n', metrics_file_);
+}
+
+Status Telemetry::Flush() {
+  if (metrics_file_) {
+    if (std::fflush(metrics_file_) != 0) {
+      return Status::IOError("flush failed: " + options_.metrics_path);
+    }
+  }
+  if (trace_ && !trace_written_) {
+    Status s = trace_->WriteJson(options_.trace_path);
+    if (!s.ok()) return s;
+    trace_written_ = true;
+  }
+  return Status::OK();
+}
+
+}  // namespace hetefedrec

@@ -1,0 +1,76 @@
+#include "src/util/telemetry/trace.h"
+
+#include <cstdio>
+
+#include "src/util/telemetry/json.h"
+
+namespace hetefedrec {
+
+void TraceRecorder::SetTrackName(int track, const std::string& name) {
+  JsonObj args;
+  args.Str("name", name);
+  JsonObj o;
+  o.Str("ph", "M")
+      .Str("name", "thread_name")
+      .I64("pid", 1)
+      .I64("tid", track)
+      .Raw("args", args.Build());
+  meta_.push_back(o.Build());
+}
+
+void TraceRecorder::Append(const char* phase, const char* name,
+                           const char* category, double ts_seconds,
+                           double dur_seconds, int track,
+                           const std::string& args_json) {
+  JsonObj o;
+  o.Str("ph", phase).Str("name", name).Str("cat", category);
+  // Simulated seconds -> trace microseconds.
+  o.Num("ts", ts_seconds * 1e6);
+  if (dur_seconds >= 0.0) o.Num("dur", dur_seconds * 1e6);
+  o.I64("pid", 1).I64("tid", track);
+  if (!args_json.empty()) o.Raw("args", args_json);
+  events_.push_back(o.Build());
+}
+
+void TraceRecorder::Instant(const char* name, const char* category,
+                            double ts_seconds, int track,
+                            const std::string& args_json) {
+  Append("i", name, category, ts_seconds, -1.0, track, args_json);
+}
+
+void TraceRecorder::Complete(const char* name, const char* category,
+                             double ts_seconds, double dur_seconds, int track,
+                             const std::string& args_json) {
+  Append("X", name, category, ts_seconds, dur_seconds, track, args_json);
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const std::string& e : meta_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += e;
+  }
+  for (const std::string& e : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += e;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::IOError("cannot open trace file: " + path);
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
+    return Status::IOError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace hetefedrec

@@ -42,6 +42,48 @@ TEST(CommStatsTest, ResetClears) {
   EXPECT_EQ(stats.TotalTransmitted(), 0u);
 }
 
+TEST(CommStatsTest, SnapshotRoundReportsDeltasAndRebaselines) {
+  CommStats stats;
+  stats.RecordDownload(Group::kSmall, 100);
+  stats.RecordUpload(Group::kSmall, 40);
+  stats.RecordDropped(Group::kLarge);
+
+  CommRound r1 = stats.SnapshotRound();
+  EXPECT_EQ(r1.Downloads(), 1u);
+  EXPECT_EQ(r1.Uploads(), 1u);
+  EXPECT_EQ(r1.Dropped(), 1u);
+  EXPECT_EQ(r1.DownParams(), 100u);
+  EXPECT_EQ(r1.UpParams(), 40u);
+  EXPECT_DOUBLE_EQ(r1.AvgDownload(Group::kSmall), 100.0);
+
+  // Second snapshot covers only traffic since the first.
+  stats.RecordDownload(Group::kMedium, 60);
+  stats.RecordDownload(Group::kMedium, 20);
+  CommRound r2 = stats.SnapshotRound();
+  EXPECT_EQ(r2.Downloads(), 2u);
+  EXPECT_EQ(r2.DownParams(), 80u);
+  EXPECT_EQ(r2.Uploads(), 0u);
+  EXPECT_DOUBLE_EQ(r2.AvgDownload(Group::kMedium), 40.0);
+  EXPECT_DOUBLE_EQ(r2.AvgDownload(Group::kSmall), 0.0);
+
+  // An idle round snapshots to all-zero; cumulative totals are untouched.
+  CommRound r3 = stats.SnapshotRound();
+  EXPECT_EQ(r3.Downloads() + r3.Uploads() + r3.DownParams(), 0u);
+  EXPECT_EQ(stats.TotalTransmitted(), 220u);
+}
+
+TEST(CommStatsTest, SnapshotRoundRebaselinesAcrossRestore) {
+  CommStats stats;
+  stats.RecordUpload(Group::kSmall, 10);
+  CommStats resumed;
+  resumed.RestoreCounters(stats.ExportCounters());
+  // Restored totals belong to rounds already reported before the restart;
+  // the next snapshot must not re-report them.
+  CommRound r = resumed.SnapshotRound();
+  EXPECT_EQ(r.Uploads(), 0u);
+  EXPECT_EQ(r.UpParams(), 0u);
+}
+
 TEST(ClientTest, InitSetsWidthAndDeterministicEmbedding) {
   Rng root(42);
   ClientState a, b;

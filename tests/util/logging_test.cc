@@ -1,0 +1,95 @@
+#include "src/util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+
+namespace hetefedrec {
+namespace {
+
+/// Restores the process log level after each test so ordering between
+/// tests in this binary never matters.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_ = LogLevel::kInfo;
+};
+
+TEST_F(LoggingTest, ParseLogLevelNames) {
+  LogLevel out = LogLevel::kError;
+  EXPECT_TRUE(ParseLogLevel("debug", &out));
+  EXPECT_EQ(out, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("info", &out));
+  EXPECT_EQ(out, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warning", &out));
+  EXPECT_EQ(out, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", &out));
+  EXPECT_EQ(out, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &out));
+  EXPECT_EQ(out, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, ParseLogLevelIsCaseInsensitive) {
+  LogLevel out = LogLevel::kDebug;
+  EXPECT_TRUE(ParseLogLevel("WARNING", &out));
+  EXPECT_EQ(out, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("Error", &out));
+  EXPECT_EQ(out, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, ParseLogLevelNumeric) {
+  LogLevel out = LogLevel::kError;
+  EXPECT_TRUE(ParseLogLevel("0", &out));
+  EXPECT_EQ(out, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("3", &out));
+  EXPECT_EQ(out, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, ParseLogLevelRejectsBadValuesUntouched) {
+  LogLevel out = LogLevel::kWarning;
+  EXPECT_FALSE(ParseLogLevel("bogus", &out));
+  EXPECT_FALSE(ParseLogLevel("", &out));
+  EXPECT_FALSE(ParseLogLevel("4", &out));
+  EXPECT_FALSE(ParseLogLevel("infoo", &out));
+  EXPECT_EQ(out, LogLevel::kWarning);  // failed parses leave *out alone
+}
+
+TEST_F(LoggingTest, SetAndGetLogLevelRoundTrip) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, MinLevelFiltersLowerSeverities) {
+  SetLogLevel(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  HFR_LOG(Debug) << "filtered debug";
+  HFR_LOG(Info) << "filtered info";
+  HFR_LOG(Warning) << "kept warning";
+  HFR_LOG(Error) << "kept error";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("filtered debug"), std::string::npos);
+  EXPECT_EQ(captured.find("filtered info"), std::string::npos);
+  EXPECT_NE(captured.find("kept warning"), std::string::npos);
+  EXPECT_NE(captured.find("kept error"), std::string::npos);
+}
+
+TEST_F(LoggingTest, PrefixHasTimestampLevelAndThreadId) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  HFR_LOG(Info) << "hello telemetry";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  // "[2026-08-07T12:00:00.123Z INFO t0] hello telemetry"
+  const std::regex line(
+      R"(\[\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z INFO t\d+\] )"
+      R"(hello telemetry\n)");
+  EXPECT_TRUE(std::regex_search(captured, line)) << captured;
+}
+
+}  // namespace
+}  // namespace hetefedrec

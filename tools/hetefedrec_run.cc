@@ -132,6 +132,15 @@ int Main(int argc, char** argv) {
               "resume from <checkpoint>.run written by --checkpoint_every");
   cli.AddFlag("stop_after_rounds", "0",
               "kill the run after n merged rounds (kill-point testing)");
+  cli.AddFlag("metrics_out", "",
+              "stream per-round metrics as JSONL here (docs/OBSERVABILITY.md; "
+              "never perturbs results)");
+  cli.AddFlag("trace_out", "",
+              "write a Chrome/Perfetto trace of the simulated run here "
+              "(virtual-clock timeline; docs/OBSERVABILITY.md)");
+  cli.AddFlag("profile", "false",
+              "wall-clock phase profiling; prints a phase table at exit and "
+              "adds profile rows to --metrics_out");
 
   Status st = cli.Parse(argc, argv);
   if (!st.ok()) {
@@ -210,6 +219,9 @@ int Main(int argc, char** argv) {
   cfg.resume_run = cli.GetBool("resume");
   cfg.debug_stop_after_rounds =
       static_cast<size_t>(cli.GetUint64("stop_after_rounds"));
+  cfg.metrics_out = cli.GetString("metrics_out");
+  cfg.trace_out = cli.GetString("trace_out");
+  cfg.profile = cli.GetBool("profile");
   if (cli.GetString("agg") == "sum") {
     cfg.aggregation = AggregationMode::kSum;
   } else if (cli.GetString("agg") == "weighted") {
