@@ -21,6 +21,8 @@
 #include "src/fed/sync/versioned_table.h"
 #include "src/math/activations.h"
 #include "src/math/adam.h"
+#include "src/math/aligned.h"
+#include "src/math/backend.h"
 #include "src/math/eigen.h"
 #include "src/math/init.h"
 #include "src/math/stats.h"
@@ -81,9 +83,13 @@ BENCHMARK(BM_FfnForwardBackward)->Arg(8)->Arg(32)->Arg(128);
 
 void BM_BatchedForward(benchmark::State& state) {
   // Per-sample Forward vs one ForwardBatch over the same 256-row block —
-  // the shape of one training task's per-epoch sample set.
+  // the shape of one training task's per-epoch sample set. Arg 2 selects
+  // the compute backend (0 fp64 | 1 fp32 scalar | 2 fp32 AVX2); the
+  // fp32-vs-fp64 ratio at equal algorithm is the backend speedup recorded
+  // in docs/PERFORMANCE.md "Numeric backends".
   const size_t width = static_cast<size_t>(state.range(0));
   const bool batched = state.range(1) != 0;
+  const int backend = static_cast<int>(state.range(2));
   constexpr size_t kBatch = 256;
   FeedForwardNet net(2 * width, {8, 8});
   Rng rng(5);
@@ -91,8 +97,16 @@ void BM_BatchedForward(benchmark::State& state) {
   std::vector<double> x(kBatch * 2 * width);
   for (double& v : x) v = rng.Normal(0.0, 0.3);
   std::vector<double> logits(kBatch);
+  FeedForwardNetF netf;
+  netf.AssignCastFrom(net);
+  AlignedVector<float> xf(x.begin(), x.end());
+  std::vector<float> logitsf(kBatch);
+  SetFp32SimdEnabled(backend == 2 && CpuSupportsFp32Simd());
   for (auto _ : state) {
-    if (batched) {
+    if (backend != 0) {
+      netf.ForwardBatch(xf.data(), kBatch, nullptr, logitsf.data());
+      benchmark::DoNotOptimize(logitsf);
+    } else if (batched) {
       net.ForwardBatch(x.data(), kBatch, nullptr, logits.data());
     } else {
       for (size_t b = 0; b < kBatch; ++b) {
@@ -101,15 +115,22 @@ void BM_BatchedForward(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(logits);
   }
+  SetFp32SimdEnabled(false);
   state.SetItemsProcessed(state.iterations() * kBatch);
 }
 BENCHMARK(BM_BatchedForward)
-    ->Args({8, 0})
-    ->Args({8, 1})
-    ->Args({32, 0})
-    ->Args({32, 1})
-    ->Args({128, 0})
-    ->Args({128, 1});
+    ->Args({8, 0, 0})
+    ->Args({8, 1, 0})
+    ->Args({8, 1, 1})
+    ->Args({8, 1, 2})
+    ->Args({32, 0, 0})
+    ->Args({32, 1, 0})
+    ->Args({32, 1, 1})
+    ->Args({32, 1, 2})
+    ->Args({128, 0, 0})
+    ->Args({128, 1, 0})
+    ->Args({128, 1, 1})
+    ->Args({128, 1, 2});
 
 // Evaluator scoring cost for one user at the Anime paper scale (6,888
 // items, width 32): per-item scalar Score vs batched ScoreRange vs the
@@ -120,10 +141,14 @@ void BM_EvalScoring(benchmark::State& state) {
   // Modes 0-2: scoring only (0 scalar | 1 batch | 2 candidates). Modes
   // 3-4: one user's full evaluation inner loop — scoring *and* top-20
   // selection with the train-item mask — through the partial_sort
-  // reference (3) vs the fused block-streamed selector (4).
+  // reference (3) vs the fused block-streamed selector (4). Arg 2 selects
+  // the compute backend for modes 1 and 4 (0 fp64 | 1 fp32 scalar |
+  // 2 fp32 AVX2) — the float path mirrors the evaluator's: float scoring
+  // scratch upcast into the double score buffer the selector consumes.
   const int mode = static_cast<int>(state.range(0));
   const BaseModel model =
       state.range(1) == 0 ? BaseModel::kNcf : BaseModel::kLightGcn;
+  const int backend = static_cast<int>(state.range(2));
   constexpr size_t kAnimeItems = 6888;
   constexpr size_t kWidth = 32;
   constexpr size_t kTopK = 20;
@@ -146,12 +171,47 @@ void BM_EvalScoring(benchmark::State& state) {
   for (ItemId i : interacted) masked[i] = true;
 
   Scorer sc(model, kWidth);
+  ScorerF scf(model, kWidth);
+  MatrixF tablef;
+  tablef.AssignCast(table);
+  FeedForwardNetF thetaf;
+  thetaf.AssignCastFrom(theta);
+  std::vector<float> userf(user.Row(0), user.Row(0) + kWidth);
+  std::vector<float> outf(kAnimeItems);
+  SetFp32SimdEnabled(backend == 2 && CpuSupportsFp32Simd());
   TopKSelector selector;
   constexpr size_t kBlock = 1024;
   std::vector<double> out(kAnimeItems);
   std::vector<ItemId> topk;
   size_t scored = 0;
   for (auto _ : state) {
+    if (backend != 0) {
+      // Float arms cover the two shipping paths: the bulk ScoreRange
+      // (mode 1) and the fused block-scored top-K stream (mode 4).
+      scf.BeginUser(userf.data(), tablef, interacted);
+      if (mode == 1) {
+        scf.ScoreRange(tablef, thetaf, 0, kAnimeItems, outf.data());
+        for (size_t j = 0; j < kAnimeItems; ++j) {
+          out[j] = static_cast<double>(outf[j]);
+        }
+      } else {
+        selector.Begin(kTopK, &masked);
+        for (size_t first = 0; first < kAnimeItems; first += kBlock) {
+          const size_t bs = std::min(kBlock, kAnimeItems - first);
+          scf.ScoreRange(tablef, thetaf, static_cast<ItemId>(first), bs,
+                         outf.data());
+          for (size_t j = 0; j < bs; ++j) {
+            out[j] = static_cast<double>(outf[j]);
+          }
+          selector.Push(static_cast<ItemId>(first), out.data(), bs);
+        }
+        selector.Finish(&topk);
+      }
+      scored += kAnimeItems;
+      benchmark::DoNotOptimize(out);
+      benchmark::DoNotOptimize(topk);
+      continue;
+    }
     sc.BeginUser(user.Row(0), table, interacted);
     switch (mode) {
       case 0:
@@ -189,19 +249,26 @@ void BM_EvalScoring(benchmark::State& state) {
     benchmark::DoNotOptimize(out);
     benchmark::DoNotOptimize(topk);
   }
+  SetFp32SimdEnabled(false);
   state.SetItemsProcessed(static_cast<int64_t>(scored));
 }
 BENCHMARK(BM_EvalScoring)
-    ->Args({0, 0})
-    ->Args({1, 0})
-    ->Args({2, 0})
-    ->Args({3, 0})
-    ->Args({4, 0})
-    ->Args({0, 1})
-    ->Args({1, 1})
-    ->Args({2, 1})
-    ->Args({3, 1})
-    ->Args({4, 1});
+    ->Args({0, 0, 0})
+    ->Args({1, 0, 0})
+    ->Args({1, 0, 1})
+    ->Args({1, 0, 2})
+    ->Args({2, 0, 0})
+    ->Args({3, 0, 0})
+    ->Args({4, 0, 0})
+    ->Args({4, 0, 1})
+    ->Args({4, 0, 2})
+    ->Args({0, 1, 0})
+    ->Args({1, 1, 0})
+    ->Args({1, 1, 2})
+    ->Args({2, 1, 0})
+    ->Args({3, 1, 0})
+    ->Args({4, 1, 0})
+    ->Args({4, 1, 2});
 
 void BM_ScorerFullCatalogue(benchmark::State& state) {
   // Cost of ranking all items for one user (the evaluation inner loop).
@@ -352,6 +419,10 @@ void BM_FederatedRound(benchmark::State& state) {
   // arg 2 (default on): batched scoring kernels vs the per-sample
   // reference — the training-side half of the batched-layer speedup.
   const bool use_batched = state.range(2) != 0;
+  // arg 3: compute backend (0 fp64 | 1 fp32 scalar | 2 fp32 AVX2). The
+  // fp64-vs-fp32_simd ratio on the sparse batched arm is the end-to-end
+  // per-round backend speedup recorded in docs/PERFORMANCE.md.
+  const int backend = static_cast<int>(state.range(3));
 
   HeteroServer::Options so;
   so.widths = {RoundBenchSetup::kWidth};
@@ -365,6 +436,8 @@ void BM_FederatedRound(benchmark::State& state) {
   opt.local_epochs = 2;
   opt.use_sparse = use_sparse;
   opt.use_batched = use_batched;
+  opt.backend = backend == 0 ? ComputeBackend::kFp64 : ComputeBackend::kFp32;
+  SetFp32SimdEnabled(backend == 2 && CpuSupportsFp32Simd());
 
   size_t uploaded_rows = 0;
   for (auto _ : state) {
@@ -378,6 +451,7 @@ void BM_FederatedRound(benchmark::State& state) {
     }
     server.FinishRound();
   }
+  SetFp32SimdEnabled(false);
   state.SetItemsProcessed(state.iterations() * setup.clients.size());
   state.counters["rows_per_client"] = benchmark::Counter(
       static_cast<double>(uploaded_rows) /
@@ -385,12 +459,15 @@ void BM_FederatedRound(benchmark::State& state) {
        static_cast<double>(setup.clients.size())));
 }
 BENCHMARK(BM_FederatedRound)
-    ->Args({0, 0, 1})
-    ->Args({1, 0, 1})
-    ->Args({0, 1, 1})
-    ->Args({1, 1, 1})
-    ->Args({1, 0, 0})  // sparse + per-sample reference scoring
-    ->Args({1, 1, 0})
+    ->Args({0, 0, 1, 0})
+    ->Args({1, 0, 1, 0})
+    ->Args({1, 0, 1, 1})  // sparse + batched, fp32 scalar kernels
+    ->Args({1, 0, 1, 2})  // sparse + batched, fp32 AVX2 kernels
+    ->Args({0, 1, 1, 0})
+    ->Args({1, 1, 1, 0})
+    ->Args({1, 1, 1, 2})
+    ->Args({1, 0, 0, 0})  // sparse + per-sample reference scoring
+    ->Args({1, 1, 0, 0})
     ->Unit(benchmark::kMillisecond)
     ->MinTime(2.0);
 

@@ -44,8 +44,12 @@ void AddCommonFlags(CommandLine* cli) {
   cli->AddFlag("straggler_slack", "0",
                "over-selection slack per round (0 = deterministic "
                "protocol)");
-  cli->AddFlag("wire_format", "fp64",
-               "wire scalar width for byte accounting: fp64 | fp32 | fp16");
+  cli->AddFlag("compute_backend", "fp64",
+               "numeric compute backend: fp64 (bit-exact reference) | fp32 "
+               "(float client math) | fp32_simd (float + AVX2 kernels)");
+  cli->AddFlag("wire_format", "auto",
+               "wire scalar width for byte accounting: auto | fp64 | fp32 | "
+               "fp16 (auto = fp64, or fp32 when --compute_backend is fp32*)");
   cli->AddFlag("async", "false",
                "asynchronous merge-on-arrival aggregation instead of "
                "synchronous rounds (docs/SYNC.md)");
@@ -140,9 +144,18 @@ StatusOr<ExperimentConfig> ConfigFromFlags(const CommandLine& cli) {
   cfg.full_downloads = !cli.GetBool("delta_downloads");
   cfg.availability = cli.GetDouble("availability");
   cfg.straggler_slack = static_cast<size_t>(cli.GetInt("straggler_slack"));
-  auto wire = WireScalarBytesByName(cli.GetString("wire_format"));
-  if (!wire.ok()) return wire.status();
-  cfg.wire_scalar_bytes = *wire;
+  auto backend = ComputeBackendByName(cli.GetString("compute_backend"));
+  if (!backend.ok()) return backend.status();
+  cfg.compute_backend = *backend;
+  const std::string wire_format = cli.GetString("wire_format");
+  if (wire_format == "auto") {
+    cfg.wire_scalar_bytes =
+        cfg.compute_backend == ComputeBackend::kFp64 ? 8 : 4;
+  } else {
+    auto wire = WireScalarBytesByName(wire_format);
+    if (!wire.ok()) return wire.status();
+    cfg.wire_scalar_bytes = *wire;
+  }
   cfg.async_mode = cli.GetBool("async");
   cfg.async_staleness_alpha = cli.GetDouble("async_alpha");
   cfg.async_max_staleness =

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/math/backend.h"
 #include "src/models/scorer.h"
 #include "src/util/status.h"
 
@@ -137,6 +138,14 @@ struct ExperimentConfig {
   /// 0 = hardware concurrency. Results are bit-identical for any value:
   /// client training is independent and updates merge in batch order.
   size_t num_threads = 1;
+  /// Numeric compute backend (src/math/backend.h). kFp64 (default) is the
+  /// bit-exact reference — every prior result reproduces unchanged. kFp32
+  /// runs client training, evaluation scoring and distillation in float
+  /// (server state, aggregation, the wire and checkpoints stay fp64);
+  /// kFp32Simd additionally dispatches the float kernels to AVX2+FMA,
+  /// bit-identical to kFp32 by construction. fp32 metrics stay within the
+  /// tolerance pinned by tests/core/backend_equivalence_test.cc.
+  ComputeBackend compute_backend = ComputeBackend::kFp64;
 
   // --- delta sync & simulated network (docs/SYNC.md) --------------------
   /// True (default): every participation downloads the full item table —

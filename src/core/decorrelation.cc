@@ -34,16 +34,18 @@ double DecorrelationLossAndGrad(const TableT& table, double alpha,
   const size_t m = rows.size();
   const double inv_m = 1.0 / static_cast<double>(m);
 
-  // Column means and variances over the sample.
+  // Column means and variances over the sample. The loss math stays in
+  // double on every backend (tiny sample, and the RNG draw sequence above
+  // must match fp64 exactly); only the row reads below may be float.
   std::vector<double> mean(n_cols, 0.0), inv_sd(n_cols, 0.0);
   for (size_t r : rows) {
-    const double* row = table.Row(r);
+    const auto* row = table.Row(r);
     for (size_t c = 0; c < n_cols; ++c) mean[c] += row[c];
   }
   for (double& v : mean) v *= inv_m;
   std::vector<double> var(n_cols, 0.0);
   for (size_t r : rows) {
-    const double* row = table.Row(r);
+    const auto* row = table.Row(r);
     for (size_t c = 0; c < n_cols; ++c) {
       double d = row[c] - mean[c];
       var[c] += d * d;
@@ -57,7 +59,7 @@ double DecorrelationLossAndGrad(const TableT& table, double alpha,
   // Standardized sample X (m x N) and C = XᵀX / m.
   Matrix x(m, n_cols);
   for (size_t k = 0; k < m; ++k) {
-    const double* row = table.Row(rows[k]);
+    const auto* row = table.Row(rows[k]);
     double* xrow = x.Row(k);
     for (size_t c = 0; c < n_cols; ++c) {
       xrow[c] = (row[c] - mean[c]) * inv_sd[c];
@@ -84,7 +86,7 @@ double DecorrelationLossAndGrad(const TableT& table, double alpha,
 
   for (size_t k = 0; k < m; ++k) {
     const double* grow = g.Row(k);
-    double* out = grad->MutableRow(rows[k]);
+    auto* out = grad->MutableRow(rows[k]);
     for (size_t c = 0; c < n_cols; ++c) {
       out[c] += alpha * (grow[c] - col_mean_g[c]) * inv_sd[c];
     }
@@ -97,5 +99,10 @@ template double DecorrelationLossAndGrad<Matrix, Matrix>(const Matrix&,
                                                          Rng*, Matrix*);
 template double DecorrelationLossAndGrad<RowOverlayTable, SparseRowStore>(
     const RowOverlayTable&, double, size_t, Rng*, SparseRowStore*);
+template double DecorrelationLossAndGrad<MatrixF, MatrixF>(const MatrixF&,
+                                                           double, size_t,
+                                                           Rng*, MatrixF*);
+template double DecorrelationLossAndGrad<RowOverlayTableF, SparseRowStoreF>(
+    const RowOverlayTableF&, double, size_t, Rng*, SparseRowStoreF*);
 
 }  // namespace hetefedrec

@@ -20,6 +20,7 @@
 #define HETEFEDREC_CORE_DECORRELATION_H_
 
 #include "src/math/matrix.h"
+#include "src/math/sparse.h"
 #include "src/util/rng.h"
 
 namespace hetefedrec {
@@ -48,18 +49,25 @@ template <typename TableT>
 double DecorrelationLossAndGrad(const TableT& table, double alpha,
                                 size_t sample_rows, Rng* rng,
                                 std::nullptr_t) {
+  using GradM = MatrixT<typename TableT::Scalar>;
   return DecorrelationLossAndGrad(table, alpha, sample_rows, rng,
-                                  static_cast<Matrix*>(nullptr));
+                                  static_cast<GradM*>(nullptr));
 }
 
-/// Explicit instantiations live in decorrelation.cc.
-class RowOverlayTable;
-class SparseRowStore;
+/// Explicit instantiations live in decorrelation.cc. The float-table
+/// variants (fp32 compute backend) keep the loss math itself in double —
+/// the sample is small and the RNG draw sequence must match the fp64
+/// backend exactly — only the table reads and gradient writes are float.
 extern template double DecorrelationLossAndGrad<Matrix, Matrix>(
     const Matrix&, double, size_t, Rng*, Matrix*);
 extern template double
 DecorrelationLossAndGrad<RowOverlayTable, SparseRowStore>(
     const RowOverlayTable&, double, size_t, Rng*, SparseRowStore*);
+extern template double DecorrelationLossAndGrad<MatrixF, MatrixF>(
+    const MatrixF&, double, size_t, Rng*, MatrixF*);
+extern template double
+DecorrelationLossAndGrad<RowOverlayTableF, SparseRowStoreF>(
+    const RowOverlayTableF&, double, size_t, Rng*, SparseRowStoreF*);
 
 }  // namespace hetefedrec
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/data/types.h"
+#include "src/math/aligned.h"
 #include "src/math/kernels.h"
 
 namespace hetefedrec {
@@ -12,15 +13,18 @@ namespace hetefedrec {
 namespace {
 
 // Gathers the selected rows into a contiguous k x n block — the layout the
-// batched Gram kernel (and any future SIMD backend) wants. The Vkd rows are
+// batched Gram kernel (and the SIMD backend) wants. The Vkd rows are
 // scattered across the table; everything downstream then reads packed rows.
+// The fp32 pipeline casts at this gather, once per row.
+template <typename T>
 void GatherRows(const Matrix& table, const std::vector<ItemId>& items,
-                std::vector<double>* packed) {
+                AlignedVector<T>* packed) {
   const size_t n = table.cols();
   packed->resize(items.size() * n);
   for (size_t a = 0; a < items.size(); ++a) {
     const double* src = table.Row(items[a]);
-    std::copy(src, src + n, packed->data() + a * n);
+    T* dst = packed->data() + a * n;
+    for (size_t d = 0; d < n; ++d) dst[d] = static_cast<T>(src[d]);
   }
 }
 
@@ -28,128 +32,123 @@ void GatherRows(const Matrix& table, const std::vector<ItemId>& items,
 // gram(a,b) / (norm_a * norm_b) with 1s on the diagonal and 0 for all-zero
 // rows — exactly CosineSimilarity per pair (norms are the diagonal sqrts,
 // the same Dot the scalar path computed).
-void RelationFromGram(const Matrix& gram, const std::vector<double>& norm,
-                      Matrix* rel) {
+template <typename T>
+void RelationFromGram(const MatrixT<T>& gram, const std::vector<T>& norm,
+                      MatrixT<T>* rel) {
   const size_t k = gram.rows();
   for (size_t a = 0; a < k; ++a) {
-    (*rel)(a, a) = 1.0;
+    (*rel)(a, a) = T(1);
     for (size_t b = a + 1; b < k; ++b) {
-      double s = (norm[a] == 0.0 || norm[b] == 0.0)
-                     ? 0.0
-                     : gram(a, b) / (norm[a] * norm[b]);
+      T s = (norm[a] == T(0) || norm[b] == T(0))
+                ? T(0)
+                : gram(a, b) / (norm[a] * norm[b]);
       (*rel)(a, b) = s;
       (*rel)(b, a) = s;
     }
   }
 }
 
-}  // namespace
-
-Matrix RelationMatrix(const Matrix& table, const std::vector<ItemId>& items) {
+template <typename T>
+MatrixT<T> RelationMatrixImpl(const Matrix& table,
+                              const std::vector<ItemId>& items) {
   const size_t k = items.size();
   const size_t n = table.cols();
-  std::vector<double> packed;
+  AlignedVector<T> packed;
   GatherRows(table, items, &packed);
-  Matrix gram(k, k);
+  MatrixT<T> gram(k, k);
   GramMatrix(packed.data(), k, n, &gram);
-  std::vector<double> norm(k);
+  std::vector<T> norm(k);
   for (size_t a = 0; a < k; ++a) norm[a] = std::sqrt(gram(a, a));
-  Matrix rel(k, k);
+  MatrixT<T> rel(k, k);
   RelationFromGram(gram, norm, &rel);
   return rel;
 }
 
-double RelationLoss(const Matrix& relation, const Matrix& target) {
+template <typename T>
+double RelationLossImpl(const MatrixT<T>& relation, const MatrixT<T>& target) {
   HFR_CHECK(relation.SameShape(target));
   double loss = 0.0;
   for (size_t i = 0; i < relation.data().size(); ++i) {
-    double d = relation.data()[i] - target.data()[i];
+    double d = static_cast<double>(relation.data()[i]) -
+               static_cast<double>(target.data()[i]);
     loss += d * d;
   }
   return loss;
 }
 
-namespace {
-
 // One gradient-descent step of || rel(V) - target ||² on the selected rows.
+// The table is read through a T-cast gather and the computed gradient is
+// upcast row-by-row at the final write — the table stays fp64 state.
+template <typename T>
 void DistillStep(Matrix* table, const std::vector<ItemId>& items,
-                 const Matrix& target, double lr) {
+                 const MatrixT<T>& target, double lr) {
   const size_t k = items.size();
   const size_t n = table->cols();
   // One gather + one batched Gram serve norms, normalized copies and the
   // relation matrix (the scalar path recomputed each dot per pair).
-  std::vector<double> packed;
+  AlignedVector<T> packed;
   GatherRows(*table, items, &packed);
-  Matrix gram(k, k);
+  MatrixT<T> gram(k, k);
   GramMatrix(packed.data(), k, n, &gram);
   // Normalized copies ẑ_a and norms of the selected rows. Norm2 is
   // sqrt(Dot(row, row)) — the Gram diagonal.
-  Matrix z(k, n);
-  std::vector<double> norm(k, 0.0);
+  MatrixT<T> z(k, n);
+  std::vector<T> norm(k, T(0));
   for (size_t a = 0; a < k; ++a) {
     norm[a] = std::sqrt(gram(a, a));
-    if (norm[a] > 0) {
-      double inv = 1.0 / norm[a];
-      const double* row = packed.data() + a * n;
-      double* zr = z.Row(a);
+    if (norm[a] > T(0)) {
+      T inv = T(1) / norm[a];
+      const T* row = packed.data() + a * n;
+      T* zr = z.Row(a);
       for (size_t d = 0; d < n; ++d) zr[d] = row[d] * inv;
     }
   }
-  Matrix rel(k, k);
+  MatrixT<T> rel(k, k);
   RelationFromGram(gram, norm, &rel);
 
   // Accumulate gradients; entries (a,b) and (b,a) both appear in the
   // squared norm, so each unordered pair contributes coefficient
   // 4 (s_ab - t_ab); ds_ab/dx_a = (ẑ_b - s_ab ẑ_a) / ||x_a||.
-  Matrix grads(k, n);
+  MatrixT<T> grads(k, n);
   for (size_t a = 0; a < k; ++a) {
-    if (norm[a] == 0.0) continue;
-    const double* za = z.Row(a);
-    double* ga = grads.Row(a);
+    if (norm[a] == T(0)) continue;
+    const T* za = z.Row(a);
+    T* ga = grads.Row(a);
     for (size_t b = 0; b < k; ++b) {
-      if (b == a || norm[b] == 0.0) continue;
-      double coef = 4.0 * (rel(a, b) - target(a, b)) / norm[a];
-      const double* zb = z.Row(b);
-      double s = rel(a, b);
+      if (b == a || norm[b] == T(0)) continue;
+      T coef = T(4) * (rel(a, b) - target(a, b)) / norm[a];
+      const T* zb = z.Row(b);
+      T s = rel(a, b);
       for (size_t d = 0; d < n; ++d) ga[d] += coef * (zb[d] - s * za[d]);
     }
   }
   for (size_t a = 0; a < k; ++a) {
     double* row = table->Row(items[a]);
-    const double* ga = grads.Row(a);
-    for (size_t d = 0; d < n; ++d) row[d] -= lr * ga[d];
+    const T* ga = grads.Row(a);
+    for (size_t d = 0; d < n; ++d) row[d] -= lr * static_cast<double>(ga[d]);
   }
 }
 
-}  // namespace
-
-double EnsembleDistill(std::vector<Matrix*> tables,
-                       const DistillationOptions& options, Rng* rng,
-                       std::vector<ItemId>* sampled_items) {
-  HFR_CHECK(!tables.empty());
-  const size_t num_items = tables[0]->rows();
-  for (const Matrix* t : tables) HFR_CHECK_EQ(t->rows(), num_items);
-
-  // Sample Vkd (distinct items).
-  size_t k = std::min(options.kd_items, num_items);
-  std::vector<ItemId> all(num_items);
-  for (size_t i = 0; i < num_items; ++i) all[i] = static_cast<ItemId>(i);
-  rng->Shuffle(&all);
-  std::vector<ItemId> items(all.begin(), all.begin() + k);
-  if (sampled_items != nullptr) *sampled_items = items;
+template <typename T>
+double EnsembleDistillImpl(std::vector<Matrix*>& tables,
+                           const DistillationOptions& options,
+                           const std::vector<ItemId>& items) {
+  const size_t k = items.size();
 
   // Ensemble relation d_ens (Eq. 16), fixed during the descent.
-  Matrix ens(k, k);
-  std::vector<Matrix> relations;
+  MatrixT<T> ens(k, k);
+  std::vector<MatrixT<T>> relations;
   relations.reserve(tables.size());
   for (Matrix* t : tables) {
-    relations.push_back(RelationMatrix(*t, items));
-    ens.AddScaled(relations.back(), 1.0);
+    relations.push_back(RelationMatrixImpl<T>(*t, items));
+    ens.AddScaled(relations.back(), T(1));
   }
-  ens.Scale(1.0 / static_cast<double>(tables.size()));
+  ens.Scale(T(1) / static_cast<T>(tables.size()));
 
   double pre_loss = 0.0;
-  for (const Matrix& rel : relations) pre_loss += RelationLoss(rel, ens);
+  for (const MatrixT<T>& rel : relations) {
+    pre_loss += RelationLossImpl(rel, ens);
+  }
   pre_loss /= static_cast<double>(tables.size());
 
   for (Matrix* t : tables) {
@@ -158,6 +157,38 @@ double EnsembleDistill(std::vector<Matrix*> tables,
     }
   }
   return pre_loss;
+}
+
+}  // namespace
+
+Matrix RelationMatrix(const Matrix& table, const std::vector<ItemId>& items) {
+  return RelationMatrixImpl<double>(table, items);
+}
+
+double RelationLoss(const Matrix& relation, const Matrix& target) {
+  return RelationLossImpl(relation, target);
+}
+
+double EnsembleDistill(std::vector<Matrix*> tables,
+                       const DistillationOptions& options, Rng* rng,
+                       std::vector<ItemId>* sampled_items) {
+  HFR_CHECK(!tables.empty());
+  const size_t num_items = tables[0]->rows();
+  for (const Matrix* t : tables) HFR_CHECK_EQ(t->rows(), num_items);
+
+  // Sample Vkd (distinct items). Scalar-free, so the draw sequence is the
+  // same on every compute backend.
+  size_t k = std::min(options.kd_items, num_items);
+  std::vector<ItemId> all(num_items);
+  for (size_t i = 0; i < num_items; ++i) all[i] = static_cast<ItemId>(i);
+  rng->Shuffle(&all);
+  std::vector<ItemId> items(all.begin(), all.begin() + k);
+  if (sampled_items != nullptr) *sampled_items = items;
+
+  if (options.backend == ComputeBackend::kFp64) {
+    return EnsembleDistillImpl<double>(tables, options, items);
+  }
+  return EnsembleDistillImpl<float>(tables, options, items);
 }
 
 }  // namespace hetefedrec

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/data/types.h"
+#include "src/math/backend.h"
 #include "src/math/matrix.h"
 #include "src/util/rng.h"
 
@@ -25,6 +26,12 @@ struct DistillationOptions {
   size_t kd_items = 64;  // |Vkd|
   int steps = 5;         // gradient steps per table per round
   double lr = 0.01;      // step size
+  /// Working scalar of the Gram/relation/gradient pipeline. The tables
+  /// themselves stay double (server storage of record); the fp32 backends
+  /// cast the gathered Vkd rows once and upcast the final row updates.
+  /// The Vkd sample draw is scalar-free, so the RNG sequence is identical
+  /// on every backend.
+  ComputeBackend backend = ComputeBackend::kFp64;
 };
 
 /// \brief Pairwise cosine-similarity matrix of the selected rows.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <type_traits>
 
 #include "src/core/decorrelation.h"
 #include "src/math/activations.h"
@@ -18,12 +19,20 @@ LocalUpdateResult LocalTrainer::Train(
     const std::vector<const FeedForwardNet*>& thetas,
     const std::vector<LocalTaskSpec>& tasks,
     const LocalTrainerOptions& options) {
-  return options.use_sparse
-             ? TrainImpl<true>(client, global_table, thetas, tasks, options)
-             : TrainImpl<false>(client, global_table, thetas, tasks, options);
+  const bool fp32 = options.backend != ComputeBackend::kFp64;
+  if (options.use_sparse) {
+    return fp32 ? TrainImpl<true, float>(client, global_table, thetas, tasks,
+                                         options)
+                : TrainImpl<true, double>(client, global_table, thetas, tasks,
+                                          options);
+  }
+  return fp32 ? TrainImpl<false, float>(client, global_table, thetas, tasks,
+                                        options)
+              : TrainImpl<false, double>(client, global_table, thetas, tasks,
+                                         options);
 }
 
-template <bool kSparse>
+template <bool kSparse, typename S>
 LocalUpdateResult LocalTrainer::TrainImpl(
     ClientState* client, const Matrix& global_table,
     const std::vector<const FeedForwardNet*>& thetas,
@@ -37,62 +46,80 @@ LocalUpdateResult LocalTrainer::TrainImpl(
   for (size_t t = 0; t + 1 < tasks.size(); ++t) {
     HFR_CHECK_LE(tasks[t].width, tasks[t + 1].width);
   }
+  constexpr bool kFp64 = std::is_same_v<S, double>;
+  Scratch<S>& scr = ScratchFor<S>();
 
   // Local working view of V ("download", counted once per round): a full
   // dense copy on the reference path, a copy-on-write overlay on the
-  // sparse path.
+  // sparse path. The fp32 backend casts at this boundary — dense copies
+  // convert the whole table once; the overlay converts per visited row.
   if constexpr (kSparse) {
-    v_overlay_.Reset(&global_table);
-    v_grad_sparse_.Reset(global_table.rows(), width);
+    scr.v_overlay.Reset(&global_table);
+    scr.v_grad_sparse.Reset(global_table.rows(), width);
   } else {
-    v_local_ = global_table;
-    if (!v_grad_.SameShape(v_local_)) v_grad_ = Matrix(v_local_.rows(), width);
+    scr.v_local.AssignCast(global_table);
+    if (!scr.v_grad.SameShape(scr.v_local)) {
+      scr.v_grad = MatrixT<S>(scr.v_local.rows(), width);
+    }
   }
   auto local_table = [&]() -> auto& {
     if constexpr (kSparse) {
-      return v_overlay_;
+      return scr.v_overlay;
     } else {
-      return v_local_;
+      return scr.v_local;
     }
   };
   auto local_grad = [&]() -> auto& {
     if constexpr (kSparse) {
-      return v_grad_sparse_;
+      return scr.v_grad_sparse;
     } else {
-      return v_grad_;
+      return scr.v_grad;
     }
   };
   auto& vtab = local_table();
   auto& vgrad = local_grad();
 
-  if (u_grad_.cols() != width) u_grad_ = Matrix(1, width);
+  if (scr.u_grad.cols() != width) scr.u_grad = MatrixT<S>(1, width);
+
+  // Working user embedding: the persistent double row itself on the
+  // reference backend; a float round-trip copy on fp32 (written back at
+  // the end of the round).
+  auto user_table = [&]() -> MatrixT<S>& {
+    if constexpr (kFp64) {
+      return client->user_embedding;
+    } else {
+      return scr.user_emb;
+    }
+  };
+  if constexpr (!kFp64) scr.user_emb.AssignCast(client->user_embedding);
+  MatrixT<S>& utab = user_table();
 
   // Θ download buffers and gradient accumulators, reused across calls.
-  theta_local_.resize(tasks.size());
-  theta_grad_.resize(tasks.size());
+  scr.theta_local.resize(tasks.size());
+  scr.theta_grad.resize(tasks.size());
   size_t theta_params = 0;
   for (size_t t = 0; t < tasks.size(); ++t) {
     HFR_CHECK(thetas[t] != nullptr);
-    theta_local_[t] = *thetas[t];
+    scr.theta_local[t].template AssignCastFrom<double>(*thetas[t]);
     theta_params += thetas[t]->ParamCount();
-    if (!theta_grad_[t].SameShape(theta_local_[t])) {
-      theta_grad_[t] = FeedForwardNet::ZerosLike(theta_local_[t]);
+    if (!scr.theta_grad[t].SameShape(scr.theta_local[t])) {
+      scr.theta_grad[t] = FeedForwardNetT<S>::ZerosLike(scr.theta_local[t]);
     }
   }
 
   // Fresh optimizer state for this round.
   AdamOptions adam_opt;
   adam_opt.lr = options.lr;
-  Adam adam_v(adam_opt);
+  AdamT<S> adam_v(adam_opt);
   if constexpr (kSparse) {
-    adam_v_sparse_.set_options(adam_opt);
-    adam_v_sparse_.Reset(global_table.rows(), width);
+    scr.adam_v_sparse.set_options(adam_opt);
+    scr.adam_v_sparse.Reset(global_table.rows(), width);
   }
-  Adam adam_u(adam_opt);
-  std::vector<FfnAdam> adam_theta(tasks.size(), FfnAdam(adam_opt));
+  AdamT<S> adam_u(adam_opt);
+  std::vector<FfnAdamT<S>> adam_theta(tasks.size(), FfnAdamT<S>(adam_opt));
 
   // One Scorer per task width.
-  std::vector<Scorer> scorers;
+  std::vector<ScorerT<S>> scorers;
   scorers.reserve(tasks.size());
   for (const LocalTaskSpec& task : tasks) {
     scorers.emplace_back(model_, task.width);
@@ -123,11 +150,11 @@ LocalUpdateResult LocalTrainer::TrainImpl(
   // improving epoch, no O(num_items) position-table copy.
   double best_val_loss = std::numeric_limits<double>::infinity();
   bool best_set = false;
-  Matrix best_v;
+  MatrixT<S> best_v;
   std::vector<uint32_t> best_overlay_rows;
-  std::vector<double> best_overlay_data;
-  Matrix best_u;
-  std::vector<FeedForwardNet> best_theta;
+  std::vector<S> best_overlay_data;
+  MatrixT<S> best_u;
+  std::vector<FeedForwardNetT<S>> best_theta;
 
   LocalUpdateResult result;
 
@@ -139,52 +166,56 @@ LocalUpdateResult LocalTrainer::TrainImpl(
     } else {
       vgrad.SetZero();
     }
-    u_grad_.SetZero();
-    for (auto& g : theta_grad_) g.SetZero();
+    scr.u_grad.SetZero();
+    for (auto& g : scr.theta_grad) g.SetZero();
 
     double bce_loss = 0.0;
-    Scorer::TrainCache cache;
+    typename ScorerT<S>::TrainCache cache;
     if (options.use_batched) {
       // The epoch's item list is shared by every task's forward block.
       const size_t n = samples.size();
       sample_items_.resize(n);
-      logits_.resize(n);
-      dlogits_.resize(n);
+      scr.logits.resize(n);
+      scr.dlogits.resize(n);
       for (size_t b = 0; b < n; ++b) sample_items_[b] = samples[b].item;
     }
     for (size_t t = 0; t < tasks.size(); ++t) {
-      Scorer& sc = scorers[t];
-      sc.BeginUser(client->user_embedding.Row(0), vtab, train_items);
+      ScorerT<S>& sc = scorers[t];
+      sc.BeginUser(utab.Row(0), vtab, train_items);
       if (options.use_batched) {
         // One forward block and one backward block per task; losses and
         // dlogits materialize in sample order, so every accumulator
         // (bce_loss, gradients) sums in the per-sample reference order.
+        // The loss scalars stay double on every backend.
         const size_t n = samples.size();
         {
           HFR_PROFILE("forward");
-          sc.ScoreForTrainBatch(vtab, theta_local_[t], sample_items_.data(),
-                                n, &batch_cache_, logits_.data());
+          sc.ScoreForTrainBatch(vtab, scr.theta_local[t], sample_items_.data(),
+                                n, &scr.batch_cache, scr.logits.data());
           for (size_t b = 0; b < n; ++b) {
-            bce_loss += BceWithLogits(logits_[b], samples[b].label);
-            dlogits_[b] = BceWithLogitsGrad(logits_[b], samples[b].label);
+            const double logit = static_cast<double>(scr.logits[b]);
+            bce_loss += BceWithLogits(logit, samples[b].label);
+            scr.dlogits[b] =
+                static_cast<S>(BceWithLogitsGrad(logit, samples[b].label));
           }
         }
         {
           HFR_PROFILE("backward");
-          sc.BackwardBatch(theta_local_[t], batch_cache_, dlogits_.data(),
-                           &vgrad, u_grad_.Row(0), &theta_grad_[t]);
+          sc.BackwardBatch(scr.theta_local[t], scr.batch_cache,
+                           scr.dlogits.data(), &vgrad, scr.u_grad.Row(0),
+                           &scr.theta_grad[t]);
         }
       } else {
         for (const Sample& s : samples) {
-          double logit = sc.ScoreForTrain(vtab, theta_local_[t], s.item,
-                                          &cache);
+          const double logit = static_cast<double>(
+              sc.ScoreForTrain(vtab, scr.theta_local[t], s.item, &cache));
           bce_loss += BceWithLogits(logit, s.label);
-          sc.BackwardSample(theta_local_[t], cache,
-                            BceWithLogitsGrad(logit, s.label), &vgrad,
-                            u_grad_.Row(0), &theta_grad_[t]);
+          sc.BackwardSample(scr.theta_local[t], cache,
+                            static_cast<S>(BceWithLogitsGrad(logit, s.label)),
+                            &vgrad, scr.u_grad.Row(0), &scr.theta_grad[t]);
         }
       }
-      sc.FinishUserBackward(&vgrad, u_grad_.Row(0));
+      sc.FinishUserBackward(&vgrad, scr.u_grad.Row(0));
     }
 
     double reg_loss = 0.0;
@@ -197,13 +228,13 @@ LocalUpdateResult LocalTrainer::TrainImpl(
     {
       HFR_PROFILE("adam");
       if constexpr (kSparse) {
-        adam_v_sparse_.Step(&v_overlay_, v_grad_sparse_);
+        scr.adam_v_sparse.Step(&scr.v_overlay, scr.v_grad_sparse);
       } else {
-        adam_v.Step(&v_local_, v_grad_);
+        adam_v.Step(&scr.v_local, scr.v_grad);
       }
-      adam_u.Step(&client->user_embedding, u_grad_);
+      adam_u.Step(&utab, scr.u_grad);
       for (size_t t = 0; t < tasks.size(); ++t) {
-        adam_theta[t].Step(&theta_local_[t], theta_grad_[t]);
+        adam_theta[t].Step(&scr.theta_local[t], scr.theta_grad[t]);
       }
     }
 
@@ -220,23 +251,26 @@ LocalUpdateResult LocalTrainer::TrainImpl(
 
     if (use_validation && !val_samples.empty()) {
       // Validation BCE of the client's own-width model after this epoch.
-      Scorer& own = scorers.back();
-      own.BeginUser(client->user_embedding.Row(0), vtab, fit_items);
+      ScorerT<S>& own = scorers.back();
+      own.BeginUser(utab.Row(0), vtab, fit_items);
       double val = 0.0;
       if (options.use_batched) {
         const size_t n = val_samples.size();
         val_items_.resize(n);
-        val_scores_.resize(n);
+        scr.val_scores.resize(n);
         for (size_t b = 0; b < n; ++b) val_items_[b] = val_samples[b].item;
-        own.ScoreBatch(vtab, theta_local_.back(), val_items_.data(), n,
-                       val_scores_.data());
+        own.ScoreBatch(vtab, scr.theta_local.back(), val_items_.data(), n,
+                       scr.val_scores.data());
         for (size_t b = 0; b < n; ++b) {
-          val += BceWithLogits(val_scores_[b], val_samples[b].label);
+          val += BceWithLogits(static_cast<double>(scr.val_scores[b]),
+                               val_samples[b].label);
         }
       } else {
         for (const Sample& s : val_samples) {
-          val += BceWithLogits(own.Score(vtab, theta_local_.back(), s.item),
-                               s.label);
+          val += BceWithLogits(
+              static_cast<double>(
+                  own.Score(vtab, scr.theta_local.back(), s.item)),
+              s.label);
         }
       }
       val /= static_cast<double>(val_samples.size());
@@ -245,12 +279,12 @@ LocalUpdateResult LocalTrainer::TrainImpl(
         best_val_loss = val;
         best_set = true;
         if constexpr (kSparse) {
-          v_overlay_.SnapshotLocal(&best_overlay_rows, &best_overlay_data);
+          scr.v_overlay.SnapshotLocal(&best_overlay_rows, &best_overlay_data);
         } else {
-          best_v = v_local_;
+          best_v = scr.v_local;
         }
-        best_u = client->user_embedding;
-        best_theta = theta_local_;
+        best_u = utab;
+        best_theta = scr.theta_local;
       }
     }
   }
@@ -259,8 +293,8 @@ LocalUpdateResult LocalTrainer::TrainImpl(
   // the best-epoch restore — rows mutated only after the best epoch drop
   // out of the upload set, but the client still needed their fresh values.
   if constexpr (kSparse) {
-    result.read_rows.assign(v_overlay_.touched().begin(),
-                            v_overlay_.touched().end());
+    result.read_rows.assign(scr.v_overlay.touched().begin(),
+                            scr.v_overlay.touched().end());
     for (const Sample& s : val_samples) {
       // Validation items are scored but never trained, so they are read
       // without entering the overlay.
@@ -276,16 +310,26 @@ LocalUpdateResult LocalTrainer::TrainImpl(
     if constexpr (kSparse) {
       // Rows touched after the best epoch revert to base values by
       // dropping out of the overlay, exactly matching the dense restore.
-      v_overlay_.RestoreLocal(best_overlay_rows, best_overlay_data);
+      scr.v_overlay.RestoreLocal(best_overlay_rows, best_overlay_data);
     } else {
-      v_local_ = best_v;
+      scr.v_local = best_v;
     }
-    client->user_embedding = best_u;
-    theta_local_ = std::move(best_theta);
+    utab = best_u;
+    scr.theta_local = std::move(best_theta);
     result.validation_loss = best_val_loss;
   }
 
-  // Deltas to upload. Identical arithmetic on both paths: the dense path's
+  // fp32 backend: write the trained user embedding back into the
+  // persistent double row (the only state that survives the round).
+  if constexpr (!kFp64) {
+    double* out = client->user_embedding.Row(0);
+    const S* in = utab.Row(0);
+    for (size_t d = 0; d < width; ++d) out[d] = static_cast<double>(in[d]);
+  }
+
+  // Deltas to upload, always upcast to double at this boundary — the wire
+  // and the server aggregation are fp64 storage of record on every
+  // backend. Identical arithmetic on both row paths: the dense path's
   // delta is exactly 0.0 outside the touched set (zero gradient in every
   // epoch keeps the Adam moments and step at exactly zero).
   size_t v_upload_params = global_table.size();
@@ -293,23 +337,31 @@ LocalUpdateResult LocalTrainer::TrainImpl(
     result.sparse = true;
     SparseRowUpdate& up = result.v_delta_sparse;
     up.width = width;
-    up.rows.assign(v_overlay_.touched().begin(), v_overlay_.touched().end());
+    up.rows.assign(scr.v_overlay.touched().begin(),
+                   scr.v_overlay.touched().end());
     std::sort(up.rows.begin(), up.rows.end());
     up.data.resize(up.rows.size() * width);
     for (size_t k = 0; k < up.rows.size(); ++k) {
-      const double* local = v_overlay_.Row(up.rows[k]);
+      const S* local = scr.v_overlay.Row(up.rows[k]);
       const double* base = global_table.Row(up.rows[k]);
       double* out = up.data.data() + k * width;
-      for (size_t d = 0; d < width; ++d) out[d] = local[d] - base[d];
+      for (size_t d = 0; d < width; ++d) {
+        out[d] = static_cast<double>(local[d]) - base[d];
+      }
     }
     if (options.sparse_comm_accounting) v_upload_params = up.ParamCount();
   } else {
-    result.v_delta = v_local_;
+    if constexpr (kFp64) {
+      result.v_delta = scr.v_local;
+    } else {
+      result.v_delta.AssignCast(scr.v_local);
+    }
     result.v_delta.AddScaled(global_table, -1.0);
   }
   result.theta_deltas.resize(tasks.size());
   for (size_t t = 0; t < tasks.size(); ++t) {
-    FeedForwardNet d = theta_local_[t];
+    FeedForwardNet d;
+    d.AssignCastFrom(scr.theta_local[t]);
     d.AddScaled(*thetas[t], -1.0);
     result.theta_deltas[t] = std::move(d);
   }
@@ -317,19 +369,25 @@ LocalUpdateResult LocalTrainer::TrainImpl(
   result.params_up = v_upload_params + theta_params;
   long long skipped = adam_u.skipped_steps();
   if constexpr (kSparse) {
-    skipped += adam_v_sparse_.skipped_steps();
+    skipped += scr.adam_v_sparse.skipped_steps();
   } else {
     skipped += adam_v.skipped_steps();
   }
-  for (const FfnAdam& a : adam_theta) skipped += a.skipped_steps();
+  for (const FfnAdamT<S>& a : adam_theta) skipped += a.skipped_steps();
   result.nonfinite_grad_steps = static_cast<size_t>(skipped);
   return result;
 }
 
-template LocalUpdateResult LocalTrainer::TrainImpl<true>(
+template LocalUpdateResult LocalTrainer::TrainImpl<true, double>(
     ClientState*, const Matrix&, const std::vector<const FeedForwardNet*>&,
     const std::vector<LocalTaskSpec>&, const LocalTrainerOptions&);
-template LocalUpdateResult LocalTrainer::TrainImpl<false>(
+template LocalUpdateResult LocalTrainer::TrainImpl<false, double>(
+    ClientState*, const Matrix&, const std::vector<const FeedForwardNet*>&,
+    const std::vector<LocalTaskSpec>&, const LocalTrainerOptions&);
+template LocalUpdateResult LocalTrainer::TrainImpl<true, float>(
+    ClientState*, const Matrix&, const std::vector<const FeedForwardNet*>&,
+    const std::vector<LocalTaskSpec>&, const LocalTrainerOptions&);
+template LocalUpdateResult LocalTrainer::TrainImpl<false, float>(
     ClientState*, const Matrix&, const std::vector<const FeedForwardNet*>&,
     const std::vector<LocalTaskSpec>&, const LocalTrainerOptions&);
 

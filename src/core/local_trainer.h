@@ -20,6 +20,13 @@
 //     provably untouched by Adam (their gradient is exactly zero in every
 //     epoch, so their moments and step stay exactly 0.0) — see
 //     docs/PERFORMANCE.md.
+//
+// Orthogonally to the dense/sparse split, the local optimization can run on
+// the fp32 compute backend (LocalTrainerOptions::backend): the client casts
+// the downloaded parameters to float once, trains entirely in float (the
+// loss/regularizer scalars stay double), and upcasts the deltas at the
+// upload boundary — the wire and the server stay fp64 storage of record.
+// The persistent user embedding round-trips through float for the round.
 #ifndef HETEFEDREC_CORE_LOCAL_TRAINER_H_
 #define HETEFEDREC_CORE_LOCAL_TRAINER_H_
 
@@ -27,6 +34,8 @@
 
 #include "src/data/dataset.h"
 #include "src/fed/client.h"
+#include "src/math/adam.h"
+#include "src/math/backend.h"
 #include "src/math/sparse.h"
 #include "src/models/ffn.h"
 #include "src/models/scorer.h"
@@ -105,6 +114,10 @@ struct LocalTrainerOptions {
   /// `params_up` reports the paper's dense accounting regardless of path,
   /// so Table III reproduces unchanged.
   bool sparse_comm_accounting = false;
+  /// Working scalar for the local optimization. kFp64 is the bit-exact
+  /// reference; kFp32/kFp32Simd train in float (the SIMD flavor is selected
+  /// globally via SetFp32SimdEnabled, not per trainer).
+  ComputeBackend backend = ComputeBackend::kFp64;
 };
 
 /// \brief Executes CLIENT_TRAIN for one client.
@@ -133,32 +146,47 @@ class LocalTrainer {
                           const LocalTrainerOptions& options);
 
  private:
-  template <bool kSparse>
+  template <bool kSparse, typename S>
   LocalUpdateResult TrainImpl(ClientState* client, const Matrix& global_table,
                               const std::vector<const FeedForwardNet*>& thetas,
                               const std::vector<LocalTaskSpec>& tasks,
                               const LocalTrainerOptions& options);
 
+  /// Per-scalar scratch reused across clients to limit allocator churn.
+  template <typename S>
+  struct Scratch {
+    MatrixT<S> v_local;                   // dense path local table
+    MatrixT<S> v_grad;                    // dense path gradient
+    RowOverlayTableT<S> v_overlay;        // sparse path local table view
+    SparseRowStoreT<S> v_grad_sparse;     // sparse path gradient
+    SparseRowAdamT<S> adam_v_sparse;      // sparse V optimizer (reset/call)
+    MatrixT<S> u_grad;
+    MatrixT<S> user_emb;                  // float-path working copy of u
+    std::vector<FeedForwardNetT<S>> theta_local;  // download buffers
+    std::vector<FeedForwardNetT<S>> theta_grad;   // gradient accumulators
+    // Batched-scoring scratch (options.use_batched).
+    typename ScorerT<S>::BatchTrainCache batch_cache;
+    std::vector<S> logits;
+    std::vector<S> dlogits;
+    std::vector<S> val_scores;
+  };
+
+  template <typename S>
+  Scratch<S>& ScratchFor() {
+    if constexpr (std::is_same_v<S, double>) {
+      return scratch64_;
+    } else {
+      return scratch32_;
+    }
+  }
+
   const Dataset& ds_;
   BaseModel model_;
 
-  // Scratch reused across clients to limit allocator churn.
-  Matrix v_local_;            // dense path local table
-  Matrix v_grad_;             // dense path gradient
-  RowOverlayTable v_overlay_;       // sparse path local table view
-  SparseRowStore v_grad_sparse_;    // sparse path gradient
-  SparseRowAdam adam_v_sparse_;     // sparse path V optimizer (reset per call)
-  Matrix u_grad_;
-  std::vector<FeedForwardNet> theta_local_;  // download buffers (reused)
-  std::vector<FeedForwardNet> theta_grad_;   // gradient accumulators
-
-  // Batched-scoring scratch (options.use_batched).
-  Scorer::BatchTrainCache batch_cache_;
+  Scratch<double> scratch64_;
+  Scratch<float> scratch32_;
   std::vector<ItemId> sample_items_;
-  std::vector<double> logits_;
-  std::vector<double> dlogits_;
   std::vector<ItemId> val_items_;
-  std::vector<double> val_scores_;
 };
 
 }  // namespace hetefedrec

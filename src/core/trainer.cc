@@ -201,6 +201,52 @@ void StreamScoresForEval(const Scorer& sc, const Matrix& table,
   }
 }
 
+// fp32-backend overloads: score in float against float casts of the server
+// state, upcasting each block into the evaluator's double contract (the
+// metrics pipeline and top-K sink stay fp64). The thread_local scratch is
+// bounded by kEvalStreamBlock / the candidate-list length per thread.
+void ScoreIdsForEval(const ScorerF& sc, const MatrixF& table,
+                     const FeedForwardNetF& theta,
+                     const std::vector<ItemId>& ids, bool use_batched,
+                     bool full_span, double* out) {
+  thread_local std::vector<float> tmp;
+  tmp.resize(ids.size());
+  if (!use_batched) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      tmp[i] = sc.Score(table, theta, ids[i]);
+    }
+  } else if (full_span) {
+    HFR_CHECK_EQ(ids.size(), table.rows());
+    sc.ScoreRange(table, theta, 0, ids.size(), tmp.data());
+  } else {
+    sc.ScoreBatch(table, theta, ids.data(), ids.size(), tmp.data());
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    out[i] = static_cast<double>(tmp[i]);
+  }
+}
+
+void StreamScoresForEval(const ScorerF& sc, const MatrixF& table,
+                         const FeedForwardNetF& theta, bool use_batched,
+                         std::vector<double>* buf, TopKSelector* sink) {
+  thread_local std::vector<float> tmp;
+  const size_t n = table.rows();
+  buf->resize(std::min(kEvalStreamBlock, n));
+  tmp.resize(std::min(kEvalStreamBlock, n));
+  for (size_t first = 0; first < n; first += kEvalStreamBlock) {
+    const size_t bs = std::min(kEvalStreamBlock, n - first);
+    if (use_batched) {
+      sc.ScoreRange(table, theta, static_cast<ItemId>(first), bs, tmp.data());
+    } else {
+      for (size_t i = 0; i < bs; ++i) {
+        tmp[i] = sc.Score(table, theta, static_cast<ItemId>(first + i));
+      }
+    }
+    for (size_t i = 0; i < bs; ++i) (*buf)[i] = static_cast<double>(tmp[i]);
+    sink->Push(static_cast<ItemId>(first), buf->data(), bs);
+  }
+}
+
 MethodSetup BuildSetup(const ExperimentConfig& cfg, Method method) {
   MethodSetup s;
   const auto& dims = cfg.dims;
@@ -281,7 +327,11 @@ class FederatedRun {
         groups_(groups),
         setup_(BuildSetup(cfg, method)),
         method_(method),
-        root_(cfg.seed) {
+        root_(cfg.seed),
+        fp32_(cfg.compute_backend != ComputeBackend::kFp64) {
+    // Arms (or disarms) the process-wide fp32 SIMD dispatch; falls back to
+    // the scalar fp32 kernels (identical results) when AVX2 is unavailable.
+    ActivateBackend(cfg_.compute_backend);
     if (setup_.widths.size() > 1) {
       HFR_CHECK_LT(cfg_.dims[0], cfg_.dims[1]);
       HFR_CHECK_LT(cfg_.dims[1], cfg_.dims[2]);
@@ -321,6 +371,7 @@ class FederatedRun {
     kd_opts_.kd_items = cfg_.kd_items;
     kd_opts_.steps = cfg_.kd_steps;
     kd_opts_.lr = cfg_.kd_lr;
+    kd_opts_.backend = cfg_.compute_backend;
 
     // Delta-sync machinery (docs/SYNC.md). With full_downloads the replica
     // bookkeeping is skipped entirely — the default path stays the paper's.
@@ -389,12 +440,23 @@ class FederatedRun {
     // One Scorer per (executing thread, slot), constructed once and reused
     // for every evaluated user (Scorer construction allocates per-width
     // scratch; the evaluator likewise reuses per-thread scores buffers).
-    eval_scorers_.resize(pool_->num_slots());
     eval_stream_bufs_.resize(pool_->num_slots());
-    for (size_t t = 0; t < pool_->num_slots(); ++t) {
-      eval_scorers_[t].reserve(server_->num_slots());
-      for (size_t s = 0; s < server_->num_slots(); ++s) {
-        eval_scorers_[t].emplace_back(cfg_.base_model, server_->width(s));
+    if (fp32_) {
+      eval_scorers_f_.resize(pool_->num_slots());
+      eval_user_f_.resize(pool_->num_slots());
+      for (size_t t = 0; t < pool_->num_slots(); ++t) {
+        eval_scorers_f_[t].reserve(server_->num_slots());
+        for (size_t s = 0; s < server_->num_slots(); ++s) {
+          eval_scorers_f_[t].emplace_back(cfg_.base_model, server_->width(s));
+        }
+      }
+    } else {
+      eval_scorers_.resize(pool_->num_slots());
+      for (size_t t = 0; t < pool_->num_slots(); ++t) {
+        eval_scorers_[t].reserve(server_->num_slots());
+        for (size_t s = 0; s < server_->num_slots(); ++s) {
+          eval_scorers_[t].emplace_back(cfg_.base_model, server_->width(s));
+        }
       }
     }
 
@@ -520,6 +582,7 @@ class FederatedRun {
     lopt.use_sparse = cfg_.use_sparse_updates;
     lopt.use_batched = cfg_.use_batched_scoring;
     lopt.sparse_comm_accounting = cfg_.sparse_comm_accounting;
+    lopt.backend = cfg_.compute_backend;
 
     size_t slot = setup_.slot_of_group[g];
     *out = trainers_[slot_idx]->Train(&client, server_->table(slot), thetas,
@@ -1124,7 +1187,44 @@ class FederatedRun {
     TelemetryRound(epoch, duration, merged);
   }
 
+  /// fp32 backend: refreshes the float casts of every slot's table and Θ
+  /// once per evaluation pass (the server state mutates between passes).
+  void RefreshEvalCasts() {
+    const size_t ns = server_->num_slots();
+    eval_tables_f_.resize(ns);
+    eval_thetas_f_.resize(ns);
+    for (size_t s = 0; s < ns; ++s) {
+      eval_tables_f_[s].AssignCast(server_->table(s));
+      eval_thetas_f_[s].AssignCastFrom(server_->theta(s));
+    }
+  }
+
+  /// fp32 backend: BeginUser with a float cast of the client's persistent
+  /// double user embedding (per-thread scratch row).
+  ScorerF& BeginUserF(UserId u, size_t thread_slot, size_t slot) {
+    const ClientState& c = clients_[u];
+    ScorerF& sc = eval_scorers_f_[thread_slot][slot];
+    std::vector<float>& uf = eval_user_f_[thread_slot];
+    const double* ud = c.user_embedding.Row(0);
+    const size_t w = c.user_embedding.cols();
+    uf.resize(w);
+    for (size_t d = 0; d < w; ++d) uf[d] = static_cast<float>(ud[d]);
+    sc.BeginUser(uf.data(), eval_tables_f_[slot], dataset_.TrainItems(u));
+    return sc;
+  }
+
   Evaluator::BatchScoreFn MakeScoreFn() {
+    if (fp32_) {
+      return [this](UserId u, size_t thread_slot,
+                    const std::vector<ItemId>& ids, double* out) {
+        size_t slot =
+            setup_.slot_of_group[static_cast<int>(clients_[u].group)];
+        ScorerF& sc = BeginUserF(u, thread_slot, slot);
+        ScoreIdsForEval(sc, eval_tables_f_[slot], eval_thetas_f_[slot], ids,
+                        cfg_.use_batched_scoring,
+                        cfg_.eval_candidate_sample == 0, out);
+      };
+    }
     return [this](UserId u, size_t thread_slot,
                   const std::vector<ItemId>& ids, double* out) {
       const ClientState& c = clients_[u];
@@ -1139,6 +1239,16 @@ class FederatedRun {
   }
 
   Evaluator::StreamScoreFn MakeStreamScoreFn() {
+    if (fp32_) {
+      return [this](UserId u, size_t thread_slot, TopKSelector* sink) {
+        size_t slot =
+            setup_.slot_of_group[static_cast<int>(clients_[u].group)];
+        ScorerF& sc = BeginUserF(u, thread_slot, slot);
+        StreamScoresForEval(sc, eval_tables_f_[slot], eval_thetas_f_[slot],
+                            cfg_.use_batched_scoring,
+                            &eval_stream_bufs_[thread_slot], sink);
+      };
+    }
     return [this](UserId u, size_t thread_slot, TopKSelector* sink) {
       const ClientState& c = clients_[u];
       size_t slot = setup_.slot_of_group[static_cast<int>(c.group)];
@@ -1156,6 +1266,7 @@ class FederatedRun {
   /// partial_sort reference keep the id-list callback.
   GroupedEval RunEvaluation() {
     HFR_PROFILE("eval");
+    if (fp32_) RefreshEvalCasts();
     if (cfg_.use_batched_topk && cfg_.eval_candidate_sample == 0) {
       return evaluator_->Evaluate(MakeStreamScoreFn(), pool_.get());
     }
@@ -1534,6 +1645,14 @@ class FederatedRun {
   std::vector<std::vector<Scorer>> eval_scorers_;
   std::vector<std::vector<double>> eval_stream_bufs_;  // per-thread blocks
 
+  // fp32 backend evaluation state (empty on fp64): float scorers mirror
+  // eval_scorers_; the table/Θ casts refresh once per evaluation pass.
+  const bool fp32_;
+  std::vector<std::vector<ScorerF>> eval_scorers_f_;
+  std::vector<MatrixF> eval_tables_f_;
+  std::vector<FeedForwardNetF> eval_thetas_f_;
+  std::vector<std::vector<float>> eval_user_f_;  // per-thread cast user rows
+
   // Robustness layer (docs/ROBUSTNESS.md); all null on default configs.
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<ClientGate> gate_;
@@ -1620,6 +1739,8 @@ ExperimentResult ExperimentRunner::RunStandalone() const {
   Timer timer;
   Rng root(cfg.seed);
   Rng init_rng = root.Fork(4);
+  const bool fp32 = cfg.compute_backend != ComputeBackend::kFp64;
+  ActivateBackend(cfg.compute_backend);
 
   // Standalone users never interact, so evaluation (train + score per
   // user) parallelizes over users like the federated eval does; each
@@ -1660,6 +1781,7 @@ ExperimentResult ExperimentRunner::RunStandalone() const {
     lopt.use_sparse = cfg.use_sparse_updates;
     lopt.use_batched = cfg.use_batched_scoring;
     lopt.sparse_comm_accounting = cfg.sparse_comm_accounting;
+    lopt.backend = cfg.compute_backend;
     LocalUpdateResult update =
         local.Train(client, *table, {theta}, tasks, lopt);
     if (update.sparse) {
@@ -1668,6 +1790,20 @@ ExperimentResult ExperimentRunner::RunStandalone() const {
       table->AddScaled(update.v_delta, 1.0);
     }
     theta->AddScaled(update.theta_deltas[0], 1.0);
+  };
+
+  // fp32 backend: score the freshly trained user through float casts of
+  // its table/Θ (training itself already ran in float via lopt.backend).
+  auto cast_user = [&](const Matrix& table, const FeedForwardNet& theta,
+                       const ClientState& client, MatrixF* tf,
+                       FeedForwardNetF* thf, std::vector<float>* uf) {
+    tf->AssignCast(table);
+    thf->AssignCastFrom(theta);
+    const double* ud = client.user_embedding.Row(0);
+    uf->resize(table.cols());
+    for (size_t d = 0; d < uf->size(); ++d) {
+      (*uf)[d] = static_cast<float>(ud[d]);
+    }
   };
 
   ExperimentResult result;
@@ -1679,6 +1815,17 @@ ExperimentResult ExperimentRunner::RunStandalone() const {
       FeedForwardNet theta;
       ClientState client;
       train_user(u, thread_slot, &table, &theta, &client);
+      if (fp32) {
+        MatrixF tf;
+        FeedForwardNetF thf;
+        std::vector<float> uf;
+        cast_user(table, theta, client, &tf, &thf, &uf);
+        ScorerF sc(cfg.base_model, table.cols());
+        sc.BeginUser(uf.data(), tf, dataset_.TrainItems(u));
+        StreamScoresForEval(sc, tf, thf, cfg.use_batched_scoring,
+                            &stream_bufs[thread_slot], sink);
+        return;
+      }
       Scorer sc(cfg.base_model, table.cols());
       sc.BeginUser(client.user_embedding.Row(0), table,
                    dataset_.TrainItems(u));
@@ -1694,6 +1841,17 @@ ExperimentResult ExperimentRunner::RunStandalone() const {
       FeedForwardNet theta;
       ClientState client;
       train_user(u, thread_slot, &table, &theta, &client);
+      if (fp32) {
+        MatrixF tf;
+        FeedForwardNetF thf;
+        std::vector<float> uf;
+        cast_user(table, theta, client, &tf, &thf, &uf);
+        ScorerF sc(cfg.base_model, table.cols());
+        sc.BeginUser(uf.data(), tf, dataset_.TrainItems(u));
+        ScoreIdsForEval(sc, tf, thf, ids, cfg.use_batched_scoring,
+                        cfg.eval_candidate_sample == 0, out);
+        return;
+      }
       Scorer sc(cfg.base_model, table.cols());
       sc.BeginUser(client.user_embedding.Row(0), table,
                    dataset_.TrainItems(u));

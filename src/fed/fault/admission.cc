@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/math/matrix.h"
 #include "src/util/logging.h"
 
 namespace hetefedrec {
@@ -30,9 +31,10 @@ bool FfnFinite(const FeedForwardNet& net) {
 
 // Clips one row of `width` values to L2 norm <= cap; returns true if it
 // was scaled. Accumulates the (post-clip) squared norm into *sum_sq.
+// The squared norm is the shared Dot helper (src/math/matrix.h) — the same
+// code path the collapse diagnostics and the fp32 kernels dispatch through.
 bool ClipRow(double* row, size_t width, double cap, double* sum_sq) {
-  double sq = 0.0;
-  for (size_t d = 0; d < width; ++d) sq += row[d] * row[d];
+  double sq = Dot(row, row, width);
   if (cap > 0.0 && sq > cap * cap) {
     const double scale = cap / std::sqrt(sq);
     for (size_t d = 0; d < width; ++d) row[d] *= scale;

@@ -14,10 +14,6 @@ double Sigmoid(double x) {
   return e / (1.0 + e);
 }
 
-double Relu(double x) { return x > 0 ? x : 0.0; }
-
-double ReluGrad(double x) { return x > 0 ? 1.0 : 0.0; }
-
 double BceWithLogits(double logit, double label) {
   return std::max(logit, 0.0) - logit * label +
          std::log1p(std::exp(-std::abs(logit)));

@@ -13,11 +13,18 @@ namespace hetefedrec {
 /// Numerically stable logistic function.
 double Sigmoid(double x);
 
-/// ReLU.
-double Relu(double x);
+/// ReLU. Templated so both compute backends (double/float) share it; the
+/// comparison-and-select form is exact in either width.
+template <typename T>
+inline T Relu(T x) {
+  return x > T(0) ? x : T(0);
+}
 
 /// dReLU/dx given the forward input.
-double ReluGrad(double x);
+template <typename T>
+inline T ReluGrad(T x) {
+  return x > T(0) ? T(1) : T(0);
+}
 
 /// \brief Stable binary cross entropy on a logit.
 ///

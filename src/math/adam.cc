@@ -6,7 +6,8 @@ namespace hetefedrec {
 
 namespace {
 
-bool AllFinite(const double* x, size_t n) {
+template <typename T>
+bool AllFinite(const T* x, size_t n) {
   for (size_t i = 0; i < n; ++i) {
     if (!std::isfinite(x[i])) return false;
   }
@@ -15,50 +16,65 @@ bool AllFinite(const double* x, size_t n) {
 
 }  // namespace
 
-void Adam::Step(Matrix* param, const Matrix& grad) {
+template <typename T>
+void AdamT<T>::Step(MatrixT<T>* param, const MatrixT<T>& grad) {
   HFR_CHECK(param->SameShape(grad));
   if (!AllFinite(grad.data().data(), grad.size())) {
     ++skipped_;
     return;
   }
   if (m_.empty()) {
-    m_ = Matrix(param->rows(), param->cols());
-    v_ = Matrix(param->rows(), param->cols());
+    m_ = MatrixT<T>(param->rows(), param->cols());
+    v_ = MatrixT<T>(param->rows(), param->cols());
   }
   HFR_CHECK(m_.SameShape(*param));
   ++t_;
-  const double b1 = options_.beta1;
-  const double b2 = options_.beta2;
-  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(t_));
-  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(t_));
-  double* p = param->data().data();
-  double* m = m_.data().data();
-  double* v = v_.data().data();
-  const double* g = grad.data().data();
+  const T b1 = static_cast<T>(options_.beta1);
+  const T b2 = static_cast<T>(options_.beta2);
+  const T one(1);
+  // Bias corrections in double regardless of T (cast once): keeps the
+  // double path bit-identical and costs one conversion per step.
+  const T bias1 =
+      static_cast<T>(1.0 - std::pow(options_.beta1, static_cast<double>(t_)));
+  const T bias2 =
+      static_cast<T>(1.0 - std::pow(options_.beta2, static_cast<double>(t_)));
+  const T lr = static_cast<T>(options_.lr);
+  const T eps = static_cast<T>(options_.eps);
+  T* p = param->data().data();
+  T* m = m_.data().data();
+  T* v = v_.data().data();
+  const T* g = grad.data().data();
   const size_t n = param->size();
   for (size_t i = 0; i < n; ++i) {
-    m[i] = b1 * m[i] + (1.0 - b1) * g[i];
-    v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
-    double mhat = m[i] / bias1;
-    double vhat = v[i] / bias2;
-    p[i] -= options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
+    m[i] = b1 * m[i] + (one - b1) * g[i];
+    v[i] = b2 * v[i] + (one - b2) * g[i] * g[i];
+    T mhat = m[i] / bias1;
+    T vhat = v[i] / bias2;
+    p[i] -= lr * mhat / (std::sqrt(vhat) + eps);
   }
 }
 
-void Adam::Reset() {
-  m_ = Matrix();
-  v_ = Matrix();
+template <typename T>
+void AdamT<T>::Reset() {
+  m_ = MatrixT<T>();
+  v_ = MatrixT<T>();
   t_ = 0;
   skipped_ = 0;
 }
 
-void SparseRowAdam::Reset(size_t num_rows, size_t width) {
+template class AdamT<double>;
+template class AdamT<float>;
+
+template <typename T>
+void SparseRowAdamT<T>::Reset(size_t num_rows, size_t width) {
   moments_.Reset(num_rows, 2 * width);
   t_ = 0;
   skipped_ = 0;
 }
 
-void SparseRowAdam::Step(RowOverlayTable* table, const SparseRowStore& grad) {
+template <typename T>
+void SparseRowAdamT<T>::Step(RowOverlayTableT<T>* table,
+                             const SparseRowStoreT<T>& grad) {
   const size_t w = table->cols();
   HFR_CHECK_EQ(grad.cols(), w);
   HFR_CHECK_EQ(grad.rows(), table->rows());
@@ -71,27 +87,35 @@ void SparseRowAdam::Step(RowOverlayTable* table, const SparseRowStore& grad) {
     }
   }
   ++t_;
-  const double b1 = options_.beta1;
-  const double b2 = options_.beta2;
-  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(t_));
-  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  const T b1 = static_cast<T>(options_.beta1);
+  const T b2 = static_cast<T>(options_.beta2);
+  const T one(1);
+  const T bias1 =
+      static_cast<T>(1.0 - std::pow(options_.beta1, static_cast<double>(t_)));
+  const T bias2 =
+      static_cast<T>(1.0 - std::pow(options_.beta2, static_cast<double>(t_)));
+  const T lr = static_cast<T>(options_.lr);
+  const T eps = static_cast<T>(options_.eps);
   // Enroll this step's gradient rows first so pointers into `moments_`
   // stay stable during the update sweep.
   for (uint32_t r : grad.touched()) moments_.EnsureRow(r);
   for (uint32_t r : moments_.touched()) {
-    double* m = moments_.RowOrNull(r);
-    double* v = m + w;
-    const double* g = grad.RowOrNull(r);
-    double* p = table->MutableRow(r);
+    T* m = moments_.RowOrNull(r);
+    T* v = m + w;
+    const T* g = grad.RowOrNull(r);
+    T* p = table->MutableRow(r);
     for (size_t d = 0; d < w; ++d) {
-      const double gd = g != nullptr ? g[d] : 0.0;
-      m[d] = b1 * m[d] + (1.0 - b1) * gd;
-      v[d] = b2 * v[d] + (1.0 - b2) * gd * gd;
-      const double mhat = m[d] / bias1;
-      const double vhat = v[d] / bias2;
-      p[d] -= options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
+      const T gd = g != nullptr ? g[d] : T(0);
+      m[d] = b1 * m[d] + (one - b1) * gd;
+      v[d] = b2 * v[d] + (one - b2) * gd * gd;
+      const T mhat = m[d] / bias1;
+      const T vhat = v[d] / bias2;
+      p[d] -= lr * mhat / (std::sqrt(vhat) + eps);
     }
   }
 }
+
+template class SparseRowAdamT<double>;
+template class SparseRowAdamT<float>;
 
 }  // namespace hetefedrec

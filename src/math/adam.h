@@ -1,7 +1,12 @@
 // Adam optimizer (Kingma & Ba, 2015) over Matrix parameters.
 //
 // Clients run Adam locally (the paper's optimizer, lr = 0.001); the server
-// applies aggregated *updates*, not Adam, per Eq. 4/9.
+// applies aggregated *updates*, not Adam, per Eq. 4/9. Both classes are
+// templated on the working scalar: the double instantiations are the
+// bit-identity reference, the float ones serve the fp32 compute backend
+// (hyper-parameters stay double in AdamOptions and are cast once per
+// step, and the bias corrections are computed in double then cast, so the
+// double path is unchanged to the bit).
 #ifndef HETEFEDREC_MATH_ADAM_H_
 #define HETEFEDREC_MATH_ADAM_H_
 
@@ -20,12 +25,13 @@ struct AdamOptions {
 
 /// \brief Per-parameter Adam state (first/second moments + step count).
 ///
-/// One `Adam` instance owns the state for exactly one Matrix-shaped
+/// One `AdamT` instance owns the state for exactly one Matrix-shaped
 /// parameter. State is created lazily on the first `Step` so the class can
 /// be declared before parameter shapes are known.
-class Adam {
+template <typename T>
+class AdamT {
  public:
-  explicit Adam(AdamOptions options = {}) : options_(options) {}
+  explicit AdamT(AdamOptions options = {}) : options_(options) {}
 
   /// Applies one Adam update: param -= lr * mhat / (sqrt(vhat) + eps).
   /// Shapes of `param` and `grad` must match across all calls.
@@ -33,7 +39,7 @@ class Adam {
   /// A gradient containing any non-finite value (NaN/Inf) would poison the
   /// moment estimates forever; such steps are skipped entirely — no moment
   /// decay, no step-count increment — and counted in `skipped_steps()`.
-  void Step(Matrix* param, const Matrix& grad);
+  void Step(MatrixT<T>* param, const MatrixT<T>& grad);
 
   /// Resets moments and the step counter (used when a client receives fresh
   /// global parameters at the start of a round).
@@ -48,11 +54,17 @@ class Adam {
 
  private:
   AdamOptions options_;
-  Matrix m_;
-  Matrix v_;
+  MatrixT<T> m_;
+  MatrixT<T> v_;
   long long t_ = 0;
   long long skipped_ = 0;
 };
+
+using Adam = AdamT<double>;
+using AdamF = AdamT<float>;
+
+extern template class AdamT<double>;
+extern template class AdamT<float>;
 
 /// \brief Row-sparse Adam over a copy-on-write table view.
 ///
@@ -64,9 +76,10 @@ class Adam {
 /// touched in an earlier step keep receiving moment-decay steps in later
 /// ones (matching dense Adam), so the per-step cost is O(cumulative touched
 /// rows × width), never O(table).
-class SparseRowAdam {
+template <typename T>
+class SparseRowAdamT {
  public:
-  explicit SparseRowAdam(AdamOptions options = {}) : options_(options) {}
+  explicit SparseRowAdamT(AdamOptions options = {}) : options_(options) {}
 
   /// Replaces the hyper-parameters (takes effect from the next Step).
   void set_options(const AdamOptions& options) { options_ = options; }
@@ -82,7 +95,7 @@ class SparseRowAdam {
   /// Like dense `Adam::Step`, a gradient with any non-finite value skips the
   /// whole step (no enrollment, no decay, no step-count increment) and bumps
   /// `skipped_steps()`.
-  void Step(RowOverlayTable* table, const SparseRowStore& grad);
+  void Step(RowOverlayTableT<T>* table, const SparseRowStoreT<T>& grad);
 
   long long step_count() const { return t_; }
 
@@ -92,10 +105,16 @@ class SparseRowAdam {
 
  private:
   AdamOptions options_;
-  SparseRowStore moments_;  // per touched row: [m(0..w), v(0..w)]
+  SparseRowStoreT<T> moments_;  // per touched row: [m(0..w), v(0..w)]
   long long t_ = 0;
   long long skipped_ = 0;
 };
+
+using SparseRowAdam = SparseRowAdamT<double>;
+using SparseRowAdamF = SparseRowAdamT<float>;
+
+extern template class SparseRowAdamT<double>;
+extern template class SparseRowAdamT<float>;
 
 }  // namespace hetefedrec
 

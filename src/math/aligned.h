@@ -1,0 +1,57 @@
+// 32-byte–aligned storage for numeric containers.
+//
+// The fp32/SIMD kernel backend (src/math/backend.h) loads 8-lane AVX2
+// vectors straight out of Matrix rows and kernel block scratch; allocating
+// every numeric buffer on a 32-byte boundary lets those loads start aligned
+// (and keeps rows from straddling cache lines for the narrow FFN widths).
+// std::vector's default allocator only guarantees alignof(double), so the
+// containers use this allocator instead. The alignment is a pure storage
+// property: element values, iteration order and vector semantics are
+// untouched, so swapping it in changes no results.
+#ifndef HETEFEDREC_MATH_ALIGNED_H_
+#define HETEFEDREC_MATH_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace hetefedrec {
+
+/// Alignment (bytes) of every numeric buffer: one full AVX2 vector.
+inline constexpr size_t kSimdAlign = 32;
+
+/// \brief Minimal C++17 allocator handing out kSimdAlign-aligned memory.
+template <typename T>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(kSimdAlign)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(kSimdAlign));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+/// Vector whose buffer starts on a kSimdAlign boundary.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_MATH_ALIGNED_H_

@@ -1,16 +1,31 @@
 #include "src/math/kernels.h"
 
 #include <algorithm>
+#include <type_traits>
+
+#include "src/math/backend.h"
+#include "src/math/kernels_fp32.h"
 
 namespace hetefedrec {
 
 namespace {
 
-// Fixed-width inner kernels: the FFN layer widths are tiny (hidden 8, out
-// 1), so compile-time OutDim keeps the whole accumulator row in registers
-// and fully unrolls the j loop. Loop nesting and unrolling only regroup
-// *independent* accumulator targets — per (b, j) the i order (and the
-// exact-zero skip) is the scalar loop's, so results are bit-identical.
+// True when the float kernels should run their AVX2 implementations; the
+// choice is results-inert (scalar fp32 and AVX2 produce the same bits).
+inline bool UseSimd() {
+#ifdef HFR_HAVE_AVX2_TU
+  return Fp32SimdEnabled();
+#else
+  return false;
+#endif
+}
+
+// Fixed-width inner kernels for the double backend: the FFN layer widths
+// are tiny (hidden 8, out 1), so compile-time OutDim keeps the whole
+// accumulator row in registers and fully unrolls the j loop. Loop nesting
+// and unrolling only regroup *independent* accumulator targets — per
+// (b, j) the i order (and the exact-zero skip) is the scalar loop's, so
+// results are bit-identical.
 template <size_t OutDim>
 void GemvBatchResumeFixed(const double* x, size_t batch, size_t x_stride,
                           size_t in_dim, const double* w, const double* init,
@@ -46,26 +61,9 @@ void GemvBatchResumeGeneric(const double* x, size_t batch, size_t x_stride,
   }
 }
 
-template <size_t OutDim>
-void GemvBatchTransposedFixed(const double* delta, size_t batch,
-                              const double* w, size_t in_dim, double* dx) {
-  for (size_t b = 0; b < batch; ++b) {
-    const double* drow = delta + b * OutDim;
-    double* dxrow = dx + b * in_dim;
-    for (size_t i = 0; i < in_dim; ++i) {
-      const double* wrow = w + i * OutDim;
-      double acc = 0.0;
-      for (size_t j = 0; j < OutDim; ++j) acc += wrow[j] * drow[j];
-      dxrow[i] = acc;
-    }
-  }
-}
-
-}  // namespace
-
-void GemvBatchResume(const double* x, size_t batch, size_t x_stride,
-                     size_t in_dim, const double* w, const double* init,
-                     size_t out_dim, double* out) {
+void GemvBatchResumeF64(const double* x, size_t batch, size_t x_stride,
+                        size_t in_dim, const double* w, const double* init,
+                        size_t out_dim, double* out) {
   switch (out_dim) {
     case 1:
       return GemvBatchResumeFixed<1>(x, batch, x_stride, in_dim, w, init,
@@ -88,14 +86,20 @@ void GemvBatchResume(const double* x, size_t batch, size_t x_stride,
   }
 }
 
-void GemvBatchBiased(const double* x, size_t batch, size_t in_dim,
-                     const double* w, const double* bias, size_t out_dim,
-                     double* out) {
-  // A biased GEMV is a resume from the bias with contiguous rows.
-  GemvBatchResume(x, batch, in_dim, in_dim, w, bias, out_dim, out);
+template <size_t OutDim>
+void GemvBatchTransposedFixed(const double* delta, size_t batch,
+                              const double* w, size_t in_dim, double* dx) {
+  for (size_t b = 0; b < batch; ++b) {
+    const double* drow = delta + b * OutDim;
+    double* dxrow = dx + b * in_dim;
+    for (size_t i = 0; i < in_dim; ++i) {
+      const double* wrow = w + i * OutDim;
+      double acc = 0.0;
+      for (size_t j = 0; j < OutDim; ++j) acc += wrow[j] * drow[j];
+      dxrow[i] = acc;
+    }
+  }
 }
-
-namespace {
 
 template <size_t OutDim>
 void AccumulateOuterBatchFixed(const double* in, const double* delta,
@@ -145,11 +149,9 @@ void GemvBatchTransposedGeneric(const double* delta, size_t batch,
   }
 }
 
-}  // namespace
-
-void AccumulateOuterBatch(const double* in, const double* delta, size_t batch,
-                          size_t in_dim, size_t out_dim, double* grads_w,
-                          double* grads_b) {
+void AccumulateOuterBatchF64(const double* in, const double* delta,
+                             size_t batch, size_t in_dim, size_t out_dim,
+                             double* grads_w, double* grads_b) {
   // b-outer is exactly the sample-by-sample scalar sequence; the gradient
   // panel (in_dim x out_dim doubles) is small enough to stay resident
   // while the contiguous in/delta rows stream through.
@@ -175,8 +177,8 @@ void AccumulateOuterBatch(const double* in, const double* delta, size_t batch,
   }
 }
 
-void GemvBatchTransposed(const double* delta, size_t batch, size_t out_dim,
-                         const double* w, size_t in_dim, double* dx) {
+void GemvBatchTransposedF64(const double* delta, size_t batch, size_t out_dim,
+                            const double* w, size_t in_dim, double* dx) {
   switch (out_dim) {
     case 1:
       return GemvBatchTransposedFixed<1>(delta, batch, w, in_dim, dx);
@@ -193,18 +195,80 @@ void GemvBatchTransposed(const double* delta, size_t batch, size_t out_dim,
   }
 }
 
-void GramMatrix(const double* x, size_t k, size_t n, Matrix* out) {
+}  // namespace
+
+template <typename T>
+void GemvBatchResume(const T* x, size_t batch, size_t x_stride, size_t in_dim,
+                     const T* w, const T* init, size_t out_dim, T* out) {
+  if constexpr (std::is_same_v<T, double>) {
+    GemvBatchResumeF64(x, batch, x_stride, in_dim, w, init, out_dim, out);
+  } else {
+#ifdef HFR_HAVE_AVX2_TU
+    if (UseSimd()) {
+      return fp32::GemvBatchResumeAvx2(x, batch, x_stride, in_dim, w, init,
+                                       out_dim, out);
+    }
+#endif
+    fp32::GemvBatchResumeScalar(x, batch, x_stride, in_dim, w, init, out_dim,
+                                out);
+  }
+}
+
+template <typename T>
+void GemvBatchBiased(const T* x, size_t batch, size_t in_dim, const T* w,
+                     const T* bias, size_t out_dim, T* out) {
+  // A biased GEMV is a resume from the bias with contiguous rows.
+  GemvBatchResume(x, batch, in_dim, in_dim, w, bias, out_dim, out);
+}
+
+template <typename T>
+void AccumulateOuterBatch(const T* in, const T* delta, size_t batch,
+                          size_t in_dim, size_t out_dim, T* grads_w,
+                          T* grads_b) {
+  if constexpr (std::is_same_v<T, double>) {
+    AccumulateOuterBatchF64(in, delta, batch, in_dim, out_dim, grads_w,
+                            grads_b);
+  } else {
+#ifdef HFR_HAVE_AVX2_TU
+    if (UseSimd()) {
+      return fp32::AccumulateOuterBatchAvx2(in, delta, batch, in_dim, out_dim,
+                                            grads_w, grads_b);
+    }
+#endif
+    fp32::AccumulateOuterBatchScalar(in, delta, batch, in_dim, out_dim,
+                                     grads_w, grads_b);
+  }
+}
+
+template <typename T>
+void GemvBatchTransposed(const T* delta, size_t batch, size_t out_dim,
+                         const T* w, size_t in_dim, T* dx) {
+  if constexpr (std::is_same_v<T, double>) {
+    GemvBatchTransposedF64(delta, batch, out_dim, w, in_dim, dx);
+  } else {
+#ifdef HFR_HAVE_AVX2_TU
+    if (UseSimd()) {
+      return fp32::GemvBatchTransposedAvx2(delta, batch, out_dim, w, in_dim,
+                                           dx);
+    }
+#endif
+    fp32::GemvBatchTransposedScalar(delta, batch, out_dim, w, in_dim, dx);
+  }
+}
+
+template <typename T>
+void GramMatrix(const T* x, size_t k, size_t n, MatrixT<T>* out) {
   HFR_CHECK(out != nullptr);
   HFR_CHECK_EQ(out->rows(), k);
   HFR_CHECK_EQ(out->cols(), k);
   // Upper triangle in square tiles so both operand panels stay cache-hot;
-  // every entry is still the plain ascending dot of two packed rows.
+  // every entry is still the backend's dot of two packed rows.
   for (size_t a0 = 0; a0 < k; a0 += kKernelRowBlock) {
     const size_t a1 = std::min(k, a0 + kKernelRowBlock);
     for (size_t c0 = a0; c0 < k; c0 += kKernelRowBlock) {
       const size_t c1 = std::min(k, c0 + kKernelRowBlock);
       for (size_t a = a0; a < a1; ++a) {
-        const double* xa = x + a * n;
+        const T* xa = x + a * n;
         for (size_t c = std::max(a, c0); c < c1; ++c) {
           (*out)(a, c) = Dot(xa, x + c * n, n);
         }
@@ -215,5 +279,29 @@ void GramMatrix(const double* x, size_t k, size_t n, Matrix* out) {
     for (size_t c = a + 1; c < k; ++c) (*out)(c, a) = (*out)(a, c);
   }
 }
+
+template void GemvBatchBiased<double>(const double*, size_t, size_t,
+                                      const double*, const double*, size_t,
+                                      double*);
+template void GemvBatchBiased<float>(const float*, size_t, size_t,
+                                     const float*, const float*, size_t,
+                                     float*);
+template void GemvBatchResume<double>(const double*, size_t, size_t, size_t,
+                                      const double*, const double*, size_t,
+                                      double*);
+template void GemvBatchResume<float>(const float*, size_t, size_t, size_t,
+                                     const float*, const float*, size_t,
+                                     float*);
+template void AccumulateOuterBatch<double>(const double*, const double*,
+                                           size_t, size_t, size_t, double*,
+                                           double*);
+template void AccumulateOuterBatch<float>(const float*, const float*, size_t,
+                                          size_t, size_t, float*, float*);
+template void GemvBatchTransposed<double>(const double*, size_t, size_t,
+                                          const double*, size_t, double*);
+template void GemvBatchTransposed<float>(const float*, size_t, size_t,
+                                         const float*, size_t, float*);
+template void GramMatrix<double>(const double*, size_t, size_t, Matrix*);
+template void GramMatrix<float>(const float*, size_t, size_t, MatrixF*);
 
 }  // namespace hetefedrec

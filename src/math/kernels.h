@@ -6,8 +6,12 @@
 // during training, and one full scalar forward per item during evaluation.
 // The kernels here push a B x dim block through each step at once — one
 // bias-initialized GEMM per layer, one outer-product accumulation per layer
-// on the way back, and a Gram matrix for the distillation relation — while
-// every per-sample result stays *bit-identical* to the scalar loops:
+// on the way back, and a Gram matrix for the distillation relation.
+//
+// Two scalar instantiations exist (src/math/backend.h):
+//
+//   T = double — the reference backend. Every per-sample result stays
+//   *bit-identical* to the scalar loops:
 //
 //   * Each output element accumulates its terms in exactly the scalar
 //     order (ascending input index for forwards, ascending sample index
@@ -17,11 +21,17 @@
 //   * Exact-zero inputs are skipped, matching the scalar kernels' skip
 //     (relevant for -0.0 accumulators: acc + 0.0 can flip -0.0 to +0.0).
 //
-// These invariants make the batched layer a drop-in replacement: the
-// trainer, the distiller and the evaluator all produce the same bits as the
-// per-sample reference (tests/math/kernels_test.cc and
-// tests/core/batched_equivalence_test.cc pin this), and the contiguous
-// block layout is the prerequisite for any future float/SIMD backend.
+//   These invariants make the batched layer a drop-in replacement: the
+//   trainer, the distiller and the evaluator all produce the same bits as
+//   the per-sample reference (tests/math/kernels_test.cc and
+//   tests/core/batched_equivalence_test.cc pin this).
+//
+//   T = float — the fp32 backend: fused multiply-adds, no exact-zero skip,
+//   and fixed-tree reductions, dispatched at runtime to hand-vectorized
+//   AVX2+FMA code or a lane-emulating scalar fallback that produces the
+//   same bits (src/math/kernels_fp32.h). Not bit-comparable to double —
+//   the tolerance harness (tests/core/backend_equivalence_test.cc) bounds
+//   the drift at the metrics level instead.
 #ifndef HETEFEDREC_MATH_KERNELS_H_
 #define HETEFEDREC_MATH_KERNELS_H_
 
@@ -32,50 +42,86 @@
 namespace hetefedrec {
 
 /// Rows per block in the batched kernels: bounds the working set of one
-/// block (kKernelRowBlock x dim doubles) so the weight panel stays hot in
+/// block (kKernelRowBlock x dim scalars) so the weight panel stays hot in
 /// L1/L2 across the block's rows.
 inline constexpr size_t kKernelRowBlock = 32;
 
 /// out[b, j] = bias[j] + Σ_i x[b, i] * w[i, j]   (x: batch x in_dim,
 /// w: in_dim x out_dim, out: batch x out_dim, all row-major contiguous).
 ///
-/// Per (b, j) the sum runs over ascending i with exact-zero x skipped —
-/// the scalar FFN-layer loop — so each row of `out` is bit-identical to a
-/// standalone GEMV of that sample.
-void GemvBatchBiased(const double* x, size_t batch, size_t in_dim,
-                     const double* w, const double* bias, size_t out_dim,
-                     double* out);
+/// For T = double, per (b, j) the sum runs over ascending i with exact-zero
+/// x skipped — the scalar FFN-layer loop — so each row of `out` is
+/// bit-identical to a standalone GEMV of that sample.
+template <typename T>
+void GemvBatchBiased(const T* x, size_t batch, size_t in_dim, const T* w,
+                     const T* bias, size_t out_dim, T* out);
 
 /// GemvBatchBiased resuming from shared partial sums: every row's
 /// accumulators start at `init` (length out_dim — e.g. the bias plus a
 /// prefix of input terms common to the whole batch) and consume `in_dim`
-/// further inputs per row, rows starting `x_stride` doubles apart.
-/// Per (b, j) the additions run in ascending i with exact-zero x skipped,
-/// so resuming is bit-identical to re-running the full accumulation.
-void GemvBatchResume(const double* x, size_t batch, size_t x_stride,
-                     size_t in_dim, const double* w, const double* init,
-                     size_t out_dim, double* out);
+/// further inputs per row, rows starting `x_stride` scalars apart.
+/// For T = double, per (b, j) the additions run in ascending i with
+/// exact-zero x skipped, so resuming is bit-identical to re-running the
+/// full accumulation. For T = float the same ascending-i fused chain makes
+/// resume-vs-full identical as well (both are fmaf chains over the same
+/// term sequence).
+template <typename T>
+void GemvBatchResume(const T* x, size_t batch, size_t x_stride, size_t in_dim,
+                     const T* w, const T* init, size_t out_dim, T* out);
 
 /// Gradient outer products of one layer over a batch:
 ///   grads_w[i, j] += Σ_b in[b, i] * delta[b, j]
 ///   grads_b[j]    += Σ_b delta[b, j]
-/// Per target element the sum runs over ascending b with exact-zero in
-/// skipped, matching a sample-by-sample sequence of scalar accumulations.
-void AccumulateOuterBatch(const double* in, const double* delta, size_t batch,
-                          size_t in_dim, size_t out_dim, double* grads_w,
-                          double* grads_b);
+/// For T = double, per target element the sum runs over ascending b with
+/// exact-zero in skipped, matching a sample-by-sample sequence of scalar
+/// accumulations.
+template <typename T>
+void AccumulateOuterBatch(const T* in, const T* delta, size_t batch,
+                          size_t in_dim, size_t out_dim, T* grads_w,
+                          T* grads_b);
 
 /// Back-propagated input gradients of one layer over a batch:
 ///   dx[b, i] = Σ_j w[i, j] * delta[b, j]
-/// Per (b, i) the sum runs over ascending j — the scalar loop's order.
-void GemvBatchTransposed(const double* delta, size_t batch, size_t out_dim,
-                         const double* w, size_t in_dim, double* dx);
+/// For T = double, per (b, i) the sum runs over ascending j — the scalar
+/// loop's order.
+template <typename T>
+void GemvBatchTransposed(const T* delta, size_t batch, size_t out_dim,
+                         const T* w, size_t in_dim, T* dx);
 
 /// Gram matrix of k packed rows: out(a, b) = Dot(x_a, x_b) for the
 /// row-major k x n block `x`. Symmetric; only the upper triangle (plus the
-/// diagonal) is computed, then mirrored. Each entry is the plain ascending
-/// Dot of the two rows, so it is bit-identical to pairwise Dot calls.
-void GramMatrix(const double* x, size_t k, size_t n, Matrix* out);
+/// diagonal) is computed, then mirrored. Each entry is the backend's
+/// Dot of the two rows — for T = double bit-identical to pairwise Dot
+/// calls, for T = float the dispatched SIMD/scalar tree dot.
+template <typename T>
+void GramMatrix(const T* x, size_t k, size_t n, MatrixT<T>* out);
+
+extern template void GemvBatchBiased<double>(const double*, size_t, size_t,
+                                             const double*, const double*,
+                                             size_t, double*);
+extern template void GemvBatchBiased<float>(const float*, size_t, size_t,
+                                            const float*, const float*,
+                                            size_t, float*);
+extern template void GemvBatchResume<double>(const double*, size_t, size_t,
+                                             size_t, const double*,
+                                             const double*, size_t, double*);
+extern template void GemvBatchResume<float>(const float*, size_t, size_t,
+                                            size_t, const float*, const float*,
+                                            size_t, float*);
+extern template void AccumulateOuterBatch<double>(const double*, const double*,
+                                                  size_t, size_t, size_t,
+                                                  double*, double*);
+extern template void AccumulateOuterBatch<float>(const float*, const float*,
+                                                 size_t, size_t, size_t,
+                                                 float*, float*);
+extern template void GemvBatchTransposed<double>(const double*, size_t, size_t,
+                                                 const double*, size_t,
+                                                 double*);
+extern template void GemvBatchTransposed<float>(const float*, size_t, size_t,
+                                                const float*, size_t, float*);
+extern template void GramMatrix<double>(const double*, size_t, size_t,
+                                        Matrix*);
+extern template void GramMatrix<float>(const float*, size_t, size_t, MatrixF*);
 
 }  // namespace hetefedrec
 

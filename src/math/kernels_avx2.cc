@@ -1,0 +1,159 @@
+// Hand-vectorized AVX2+FMA fp32 kernels (compiled with -mavx2 -mfma; this
+// is the only translation unit with those flags, so nothing here may be
+// called unless runtime dispatch confirmed CPU support).
+//
+// Lockstep contract with kernels_fp32.cc: per output element, the vector
+// code performs the same single-rounding multiply-adds in the same order
+// as the scalar emulation, and the horizontal reduction is the fixed
+// (l0+l4, l1+l5, l2+l6, l3+l7) → (s0+s2, s1+s3) → t0+t1 tree. Any change
+// to either file must be mirrored in the other
+// (tests/math/kernels_test.cc pins the bit-identity).
+
+#include "src/math/kernels_fp32.h"
+
+#ifdef HFR_HAVE_AVX2_TU
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace hetefedrec {
+namespace fp32 {
+
+namespace {
+
+// (l0+l4, l1+l5, l2+l6, l3+l7) → (s0+s2, s1+s3) → t0+t1 — the exact tree
+// DotImpl in kernels_fp32.cc retires.
+inline float ReduceTree(__m256 acc) {
+  const __m128 lo = _mm256_castps256_ps128(acc);
+  const __m128 hi = _mm256_extractf128_ps(acc, 1);
+  const __m128 s = _mm_add_ps(lo, hi);           // (s0, s1, s2, s3)
+  const __m128 t = _mm_add_ps(s, _mm_movehl_ps(s, s));  // (s0+s2, s1+s3)
+  const __m128 r = _mm_add_ss(t, _mm_shuffle_ps(t, t, 0x55));
+  return _mm_cvtss_f32(r);
+}
+
+inline float DotImpl(const float* a, const float* b, size_t n) {
+  if (n < 8) {
+    float r = 0.0f;
+    for (size_t i = 0; i < n; ++i) r = std::fmaf(a[i], b[i], r);
+    return r;
+  }
+  __m256 acc = _mm256_mul_ps(_mm256_loadu_ps(a), _mm256_loadu_ps(b));
+  size_t i = 8;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc);
+  }
+  float r = ReduceTree(acc);
+  for (; i < n; ++i) r = std::fmaf(a[i], b[i], r);
+  return r;
+}
+
+}  // namespace
+
+void GemvBatchResumeAvx2(const float* x, size_t batch, size_t x_stride,
+                         size_t in_dim, const float* w, const float* init,
+                         size_t out_dim, float* out) {
+  if (out_dim == 1) {
+    for (size_t b = 0; b < batch; ++b) {
+      out[b] = init[0] + DotImpl(x + b * x_stride, w, in_dim);
+    }
+    return;
+  }
+  for (size_t b = 0; b < batch; ++b) {
+    const float* xrow = x + b * x_stride;
+    float* orow = out + b * out_dim;
+    size_t j0 = 0;
+    for (; j0 + 8 <= out_dim; j0 += 8) {
+      __m256 acc = _mm256_loadu_ps(init + j0);
+      for (size_t i = 0; i < in_dim; ++i) {
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(xrow[i]),
+                              _mm256_loadu_ps(w + i * out_dim + j0), acc);
+      }
+      _mm256_storeu_ps(orow + j0, acc);
+    }
+    for (; j0 < out_dim; ++j0) {
+      float acc = init[j0];
+      for (size_t i = 0; i < in_dim; ++i) {
+        acc = std::fmaf(xrow[i], w[i * out_dim + j0], acc);
+      }
+      orow[j0] = acc;
+    }
+  }
+}
+
+void AccumulateOuterBatchAvx2(const float* in, const float* delta,
+                              size_t batch, size_t in_dim, size_t out_dim,
+                              float* grads_w, float* grads_b) {
+  for (size_t b = 0; b < batch; ++b) {
+    const float* drow = delta + b * out_dim;
+    const float* irow = in + b * in_dim;
+    {
+      size_t j0 = 0;
+      for (; j0 + 8 <= out_dim; j0 += 8) {
+        _mm256_storeu_ps(grads_b + j0,
+                         _mm256_add_ps(_mm256_loadu_ps(grads_b + j0),
+                                       _mm256_loadu_ps(drow + j0)));
+      }
+      for (; j0 < out_dim; ++j0) grads_b[j0] += drow[j0];
+    }
+    if (out_dim == 1) {
+      // grads_w is a column — vectorize over i instead (independent lanes).
+      const __m256 d8 = _mm256_set1_ps(drow[0]);
+      size_t i = 0;
+      for (; i + 8 <= in_dim; i += 8) {
+        _mm256_storeu_ps(grads_w + i,
+                         _mm256_fmadd_ps(_mm256_loadu_ps(irow + i), d8,
+                                         _mm256_loadu_ps(grads_w + i)));
+      }
+      for (; i < in_dim; ++i) {
+        grads_w[i] = std::fmaf(irow[i], drow[0], grads_w[i]);
+      }
+      continue;
+    }
+    for (size_t i = 0; i < in_dim; ++i) {
+      const __m256 xi8 = _mm256_set1_ps(irow[i]);
+      float* grow = grads_w + i * out_dim;
+      size_t j0 = 0;
+      for (; j0 + 8 <= out_dim; j0 += 8) {
+        _mm256_storeu_ps(grow + j0,
+                         _mm256_fmadd_ps(xi8, _mm256_loadu_ps(drow + j0),
+                                         _mm256_loadu_ps(grow + j0)));
+      }
+      for (; j0 < out_dim; ++j0) {
+        grow[j0] = std::fmaf(irow[i], drow[j0], grow[j0]);
+      }
+    }
+  }
+}
+
+void GemvBatchTransposedAvx2(const float* delta, size_t batch, size_t out_dim,
+                             const float* w, size_t in_dim, float* dx) {
+  for (size_t b = 0; b < batch; ++b) {
+    const float* drow = delta + b * out_dim;
+    float* dxrow = dx + b * in_dim;
+    for (size_t i = 0; i < in_dim; ++i) {
+      dxrow[i] = DotImpl(w + i * out_dim, drow, out_dim);
+    }
+  }
+}
+
+float DotAvx2(const float* a, const float* b, size_t n) {
+  return DotImpl(a, b, n);
+}
+
+void AxpyAvx2(float alpha, const float* x, float* y, size_t n) {
+  const __m256 a8 = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(a8, _mm256_loadu_ps(x + i),
+                               _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] = std::fmaf(alpha, x[i], y[i]);
+}
+
+}  // namespace fp32
+}  // namespace hetefedrec
+
+#endif  // HFR_HAVE_AVX2_TU

@@ -1,0 +1,132 @@
+// Portable scalar fp32 kernels that emulate the AVX2 set lane-for-lane.
+//
+// Every multiply-add is a std::fmaf — correctly rounded to float in one
+// step, exactly like _mm256_fmadd_ps — and every horizontal reduction
+// retires the same fixed 8→4→2→1 tree the vector code uses, so this file
+// and kernels_avx2.cc produce the same bits on the same inputs. Keep the
+// two files in lockstep: any change to an accumulation order here must be
+// mirrored there (tests/math/kernels_test.cc pins the identity).
+
+#include "src/math/kernels_fp32.h"
+
+#include <cmath>
+
+namespace hetefedrec {
+namespace fp32 {
+
+namespace {
+
+// Canonical fp32 dot product: 8 lane accumulators over ascending 8-element
+// chunks (first chunk a plain product, later chunks fused), reduced
+// (l0+l4, l1+l5, l2+l6, l3+l7) → (s0+s2, s1+s3) → t0+t1, then the tail
+// fused in ascending order. n < 8 is a plain ascending fmaf chain from 0.
+inline float DotImpl(const float* a, const float* b, size_t n) {
+  if (n < 8) {
+    float r = 0.0f;
+    for (size_t i = 0; i < n; ++i) r = std::fmaf(a[i], b[i], r);
+    return r;
+  }
+  float lane[8];
+  for (size_t k = 0; k < 8; ++k) lane[k] = a[k] * b[k];
+  size_t i = 8;
+  for (; i + 8 <= n; i += 8) {
+    for (size_t k = 0; k < 8; ++k)
+      lane[k] = std::fmaf(a[i + k], b[i + k], lane[k]);
+  }
+  const float s0 = lane[0] + lane[4];
+  const float s1 = lane[1] + lane[5];
+  const float s2 = lane[2] + lane[6];
+  const float s3 = lane[3] + lane[7];
+  float r = (s0 + s2) + (s1 + s3);
+  for (; i < n; ++i) r = std::fmaf(a[i], b[i], r);
+  return r;
+}
+
+}  // namespace
+
+void GemvBatchResumeScalar(const float* x, size_t batch, size_t x_stride,
+                           size_t in_dim, const float* w, const float* init,
+                           size_t out_dim, float* out) {
+  if (out_dim == 1) {
+    // The weight column is contiguous — dot-shaped, resumed from init.
+    for (size_t b = 0; b < batch; ++b) {
+      out[b] = init[0] + DotImpl(x + b * x_stride, w, in_dim);
+    }
+    return;
+  }
+  for (size_t b = 0; b < batch; ++b) {
+    const float* xrow = x + b * x_stride;
+    float* orow = out + b * out_dim;
+    size_t j0 = 0;
+    for (; j0 + 8 <= out_dim; j0 += 8) {
+      float acc[8];
+      for (size_t k = 0; k < 8; ++k) acc[k] = init[j0 + k];
+      for (size_t i = 0; i < in_dim; ++i) {
+        const float xi = xrow[i];
+        const float* wrow = w + i * out_dim + j0;
+        for (size_t k = 0; k < 8; ++k) acc[k] = std::fmaf(xi, wrow[k], acc[k]);
+      }
+      for (size_t k = 0; k < 8; ++k) orow[j0 + k] = acc[k];
+    }
+    for (; j0 < out_dim; ++j0) {
+      float acc = init[j0];
+      for (size_t i = 0; i < in_dim; ++i) {
+        acc = std::fmaf(xrow[i], w[i * out_dim + j0], acc);
+      }
+      orow[j0] = acc;
+    }
+  }
+}
+
+void AccumulateOuterBatchScalar(const float* in, const float* delta,
+                                size_t batch, size_t in_dim, size_t out_dim,
+                                float* grads_w, float* grads_b) {
+  for (size_t b = 0; b < batch; ++b) {
+    const float* drow = delta + b * out_dim;
+    const float* irow = in + b * in_dim;
+    for (size_t j = 0; j < out_dim; ++j) grads_b[j] += drow[j];
+    if (out_dim == 1) {
+      const float d = drow[0];
+      for (size_t i = 0; i < in_dim; ++i) {
+        grads_w[i] = std::fmaf(irow[i], d, grads_w[i]);
+      }
+      continue;
+    }
+    for (size_t i = 0; i < in_dim; ++i) {
+      const float xi = irow[i];
+      float* grow = grads_w + i * out_dim;
+      size_t j0 = 0;
+      for (; j0 + 8 <= out_dim; j0 += 8) {
+        for (size_t k = 0; k < 8; ++k) {
+          grow[j0 + k] = std::fmaf(xi, drow[j0 + k], grow[j0 + k]);
+        }
+      }
+      for (; j0 < out_dim; ++j0) {
+        grow[j0] = std::fmaf(xi, drow[j0], grow[j0]);
+      }
+    }
+  }
+}
+
+void GemvBatchTransposedScalar(const float* delta, size_t batch,
+                               size_t out_dim, const float* w, size_t in_dim,
+                               float* dx) {
+  for (size_t b = 0; b < batch; ++b) {
+    const float* drow = delta + b * out_dim;
+    float* dxrow = dx + b * in_dim;
+    for (size_t i = 0; i < in_dim; ++i) {
+      dxrow[i] = DotImpl(w + i * out_dim, drow, out_dim);
+    }
+  }
+}
+
+float DotScalar(const float* a, const float* b, size_t n) {
+  return DotImpl(a, b, n);
+}
+
+void AxpyScalar(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = std::fmaf(alpha, x[i], y[i]);
+}
+
+}  // namespace fp32
+}  // namespace hetefedrec

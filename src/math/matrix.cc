@@ -2,105 +2,161 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
+
+#include "src/math/backend.h"
+#include "src/math/kernels_fp32.h"
 
 namespace hetefedrec {
 
-void Matrix::Fill(double value) {
+template <typename T>
+void MatrixT<T>::Fill(T value) {
   std::fill(data_.begin(), data_.end(), value);
 }
 
-void Matrix::AddScaled(const Matrix& other, double scale) {
+template <typename T>
+void MatrixT<T>::AddScaled(const MatrixT& other, T scale) {
   HFR_CHECK(SameShape(other));
-  const double* src = other.data_.data();
-  double* dst = data_.data();
+  const T* src = other.data_.data();
+  T* dst = data_.data();
   for (size_t i = 0; i < data_.size(); ++i) dst[i] += scale * src[i];
 }
 
-void Matrix::AddScaledIntoLeadingCols(const Matrix& other, double scale) {
+template <typename T>
+void MatrixT<T>::AddScaledIntoLeadingCols(const MatrixT& other, T scale) {
   HFR_CHECK_EQ(rows_, other.rows_);
   HFR_CHECK_LE(other.cols_, cols_);
   for (size_t r = 0; r < rows_; ++r) {
-    const double* src = other.Row(r);
-    double* dst = Row(r);
+    const T* src = other.Row(r);
+    T* dst = Row(r);
     for (size_t c = 0; c < other.cols_; ++c) dst[c] += scale * src[c];
   }
 }
 
-void Matrix::Scale(double scale) {
-  for (double& v : data_) v *= scale;
+template <typename T>
+void MatrixT<T>::Scale(T scale) {
+  for (T& v : data_) v *= scale;
 }
 
-Matrix Matrix::LeadingCols(size_t n_cols) const {
+template <typename T>
+MatrixT<T> MatrixT<T>::LeadingCols(size_t n_cols) const {
   HFR_CHECK_LE(n_cols, cols_);
-  Matrix out(rows_, n_cols);
+  MatrixT out(rows_, n_cols);
   for (size_t r = 0; r < rows_; ++r) {
-    const double* src = Row(r);
-    double* dst = out.Row(r);
+    const T* src = Row(r);
+    T* dst = out.Row(r);
     std::copy(src, src + n_cols, dst);
   }
   return out;
 }
 
-Matrix Matrix::RowSlice(size_t row0, size_t n_rows) const {
+template <typename T>
+MatrixT<T> MatrixT<T>::RowSlice(size_t row0, size_t n_rows) const {
   HFR_CHECK_LE(row0 + n_rows, rows_);
-  Matrix out(n_rows, cols_);
+  MatrixT out(n_rows, cols_);
   std::copy(data_.begin() + row0 * cols_,
             data_.begin() + (row0 + n_rows) * cols_, out.data_.begin());
   return out;
 }
 
-Matrix Matrix::Transposed() const {
-  Matrix out(cols_, rows_);
+template <typename T>
+MatrixT<T> MatrixT<T>::Transposed() const {
+  MatrixT out(cols_, rows_);
   for (size_t r = 0; r < rows_; ++r) {
     for (size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
   }
   return out;
 }
 
-Matrix Matrix::MatMul(const Matrix& a, const Matrix& b) {
+template <typename T>
+MatrixT<T> MatrixT<T>::MatMul(const MatrixT& a, const MatrixT& b) {
   HFR_CHECK_EQ(a.cols(), b.rows());
-  Matrix out(a.rows(), b.cols());
+  MatrixT out(a.rows(), b.cols());
   for (size_t i = 0; i < a.rows(); ++i) {
     for (size_t k = 0; k < a.cols(); ++k) {
-      double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const double* brow = b.Row(k);
-      double* orow = out.Row(i);
+      T aik = a(i, k);
+      if (aik == T(0)) continue;
+      const T* brow = b.Row(k);
+      T* orow = out.Row(i);
       for (size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
     }
   }
   return out;
 }
 
-double Matrix::FrobeniusNorm() const {
-  double sum = 0.0;
-  for (double v : data_) sum += v * v;
+template <typename T>
+T MatrixT<T>::FrobeniusNorm() const {
+  T sum = T(0);
+  for (T v : data_) sum += v * v;
   return std::sqrt(sum);
 }
 
-double Matrix::MaxAbs() const {
-  double m = 0.0;
-  for (double v : data_) m = std::max(m, std::abs(v));
+template <typename T>
+T MatrixT<T>::MaxAbs() const {
+  T m = T(0);
+  for (T v : data_) m = std::max(m, std::abs(v));
   return m;
 }
 
-double Dot(const double* a, const double* b, size_t n) {
-  double s = 0.0;
-  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
-  return s;
+template class MatrixT<double>;
+template class MatrixT<float>;
+
+namespace {
+
+// Float helpers go through the backend dispatch; inside one process the
+// scalar and AVX2 sets are bit-identical, so this branch is results-inert.
+inline float DotDispatch(const float* a, const float* b, size_t n) {
+#ifdef HFR_HAVE_AVX2_TU
+  if (Fp32SimdEnabled()) return fp32::DotAvx2(a, b, n);
+#endif
+  return fp32::DotScalar(a, b, n);
 }
 
-void Axpy(double alpha, const double* x, double* y, size_t n) {
-  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}  // namespace
+
+template <typename T>
+T Dot(const T* a, const T* b, size_t n) {
+  if constexpr (std::is_same_v<T, float>) {
+    return DotDispatch(a, b, n);
+  } else {
+    T s = T(0);
+    for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+    return s;
+  }
 }
 
-double Norm2(const double* a, size_t n) { return std::sqrt(Dot(a, a, n)); }
+template <typename T>
+void Axpy(T alpha, const T* x, T* y, size_t n) {
+  if constexpr (std::is_same_v<T, float>) {
+#ifdef HFR_HAVE_AVX2_TU
+    if (Fp32SimdEnabled()) return fp32::AxpyAvx2(alpha, x, y, n);
+#endif
+    return fp32::AxpyScalar(alpha, x, y, n);
+  } else {
+    for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  }
+}
 
-double CosineSimilarity(const double* a, const double* b, size_t n) {
-  double na = Norm2(a, n);
-  double nb = Norm2(b, n);
-  if (na == 0.0 || nb == 0.0) return 0.0;
+template <typename T>
+T Norm2(const T* a, size_t n) {
+  return std::sqrt(Dot(a, a, n));
+}
+
+template <typename T>
+T CosineSimilarity(const T* a, const T* b, size_t n) {
+  T na = Norm2(a, n);
+  T nb = Norm2(b, n);
+  if (na == T(0) || nb == T(0)) return T(0);
   return Dot(a, b, n) / (na * nb);
 }
+
+template double Dot<double>(const double*, const double*, size_t);
+template float Dot<float>(const float*, const float*, size_t);
+template void Axpy<double>(double, const double*, double*, size_t);
+template void Axpy<float>(float, const float*, float*, size_t);
+template double Norm2<double>(const double*, size_t);
+template float Norm2<float>(const float*, size_t);
+template double CosineSimilarity<double>(const double*, const double*, size_t);
+template float CosineSimilarity<float>(const float*, const float*, size_t);
 
 }  // namespace hetefedrec

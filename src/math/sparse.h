@@ -7,17 +7,25 @@
 // delta. The three types here make every one of those steps proportional
 // to the rows actually touched:
 //
-//   SparseRowStore   — packed (row index → fixed-width row data) map with
+//   SparseRowStoreT  — packed (row index → fixed-width row data) map with
 //                      O(1) lookup via a dense position table and O(touched)
 //                      reset. Used for gradient accumulators and per-row
 //                      Adam moments.
-//   RowOverlayTable  — copy-on-write view over a base Matrix: reads fall
+//   RowOverlayTableT — copy-on-write view over a base Matrix: reads fall
 //                      through to the base until a row is first mutated.
 //                      This is the client's "local table" without the
 //                      dense download copy.
 //   SparseRowUpdate  — immutable packed upload (sorted touched rows +
 //                      packed per-row delta data), the sparse analogue of
-//                      the dense `v_delta` matrix.
+//                      the dense `v_delta` matrix. Always double: the wire
+//                      and the server aggregation are fp64 storage of
+//                      record on every compute backend.
+//
+// The stores and overlays are templated on the working scalar for the fp32
+// compute backend (src/math/backend.h). A float overlay still sits over the
+// *double* base table — rows are cast on first touch (writes) or into a
+// read cache (reads), so the conversion cost stays O(rows the client
+// actually visits), never O(catalogue).
 //
 // Correctness invariant (see docs/PERFORMANCE.md): a row whose gradient is
 // exactly zero in every local epoch is provably left untouched by Adam
@@ -27,20 +35,24 @@
 #define HETEFEDREC_MATH_SPARSE_H_
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "src/math/matrix.h"
 
 namespace hetefedrec {
 
-/// \brief Packed set of touched rows, each holding `cols` doubles.
+/// \brief Packed set of touched rows, each holding `cols` scalars.
 ///
 /// Lookup is O(1) through a dense `pos_` table sized to the logical row
 /// count; `Clear` is O(touched), so reusing one store across clients and
 /// epochs costs nothing proportional to the catalogue.
-class SparseRowStore {
+template <typename T>
+class SparseRowStoreT {
  public:
-  SparseRowStore() = default;
+  using Scalar = T;
+
+  SparseRowStoreT() = default;
 
   /// Re-shapes the store for a `num_rows x cols` logical matrix and drops
   /// all touched rows. O(touched_prev) when the shape is unchanged.
@@ -61,12 +73,12 @@ class SparseRowStore {
   }
 
   /// Row data if touched, nullptr otherwise.
-  const double* RowOrNull(size_t r) const {
+  const T* RowOrNull(size_t r) const {
     HFR_CHECK_LT(r, num_rows_);
     const int64_t p = pos_[r];
     return p < 0 ? nullptr : data_.data() + static_cast<size_t>(p) * cols_;
   }
-  double* RowOrNull(size_t r) {
+  T* RowOrNull(size_t r) {
     HFR_CHECK_LT(r, num_rows_);
     const int64_t p = pos_[r];
     return p < 0 ? nullptr : data_.data() + static_cast<size_t>(p) * cols_;
@@ -74,39 +86,52 @@ class SparseRowStore {
 
   /// Row data, created zero-filled on first touch. The returned pointer is
   /// invalidated by the next EnsureRow/MutableRow of a *new* row.
-  double* EnsureRow(size_t r);
+  T* EnsureRow(size_t r);
 
   /// Alias of EnsureRow so the store can stand in for a Matrix gradient
   /// accumulator in templated backward passes.
-  double* MutableRow(size_t r) { return EnsureRow(r); }
+  T* MutableRow(size_t r) { return EnsureRow(r); }
 
   /// Copies the packed touched state (rows + data, NOT the O(num_rows)
   /// position table) into the caller's buffers. O(touched).
-  void Snapshot(std::vector<uint32_t>* rows, std::vector<double>* data) const;
+  void Snapshot(std::vector<uint32_t>* rows, std::vector<T>* data) const;
 
   /// Replaces the touched set with a snapshot taken from a store of the
   /// same logical shape. O(touched_current + touched_snapshot): the
   /// position table is patched incrementally, never reallocated.
-  void Restore(const std::vector<uint32_t>& rows,
-               const std::vector<double>& data);
+  void Restore(const std::vector<uint32_t>& rows, const std::vector<T>& data);
 
  private:
   size_t num_rows_ = 0;
   size_t cols_ = 0;
   std::vector<int64_t> pos_;  // -1 = untouched, else index into rows_/data_
   std::vector<uint32_t> rows_;
-  std::vector<double> data_;  // rows_.size() * cols_, packed
+  AlignedVector<T> data_;  // rows_.size() * cols_, packed
 };
 
-/// \brief Copy-on-write row view over a base Matrix.
+using SparseRowStore = SparseRowStoreT<double>;
+using SparseRowStoreF = SparseRowStoreT<float>;
+
+extern template class SparseRowStoreT<double>;
+extern template class SparseRowStoreT<float>;
+
+/// \brief Copy-on-write row view over a base Matrix (always double).
 ///
 /// Reads (`Row`) return the overlay row when present and the base row
 /// otherwise; `MutableRow` copies the base row into the overlay on first
 /// touch. The overlay after training holds exactly the rows whose values
 /// can differ from the base — the client's upload set.
-class RowOverlayTable {
+///
+/// For T = float the base stays the server's double table: `MutableRow`
+/// casts the base row on first touch, and `Row` of an untouched row casts
+/// it into a separate read cache (so reads never pollute the upload set).
+/// Both costs are O(visited rows).
+template <typename T>
+class RowOverlayTableT {
  public:
-  RowOverlayTable() = default;
+  using Scalar = T;
+
+  RowOverlayTableT() = default;
 
   /// Binds the view to `base` and drops all overlay rows. `base` must
   /// outlive the view (or the next Reset).
@@ -115,13 +140,18 @@ class RowOverlayTable {
   size_t rows() const { return base_->rows(); }
   size_t cols() const { return base_->cols(); }
 
-  const double* Row(size_t r) const {
-    const double* p = local_.RowOrNull(r);
-    return p != nullptr ? p : base_->Row(r);
+  const T* Row(size_t r) const {
+    const T* p = local_.RowOrNull(r);
+    if (p != nullptr) return p;
+    if constexpr (std::is_same_v<T, double>) {
+      return base_->Row(r);
+    } else {
+      return CachedBaseRow(r);
+    }
   }
 
   /// Overlay row for r, initialized from the base row on first touch.
-  double* MutableRow(size_t r);
+  T* MutableRow(size_t r);
 
   /// Overlay row indices in first-touch order.
   const std::vector<uint32_t>& touched() const { return local_.touched(); }
@@ -129,27 +159,37 @@ class RowOverlayTable {
   const Matrix& base() const { return *base_; }
 
   /// Read access to the overlay store (tests / diagnostics).
-  const SparseRowStore& local() const { return local_; }
+  const SparseRowStoreT<T>& local() const { return local_; }
 
   /// Packed copy of the overlay rows (used to snapshot the best validation
-  /// epoch). O(touched) — deliberately not a SparseRowStore copy, whose
-  /// position table would cost O(num_items) per improving epoch.
-  void SnapshotLocal(std::vector<uint32_t>* rows,
-                     std::vector<double>* data) const {
+  /// epoch). O(touched) — deliberately not a store copy, whose position
+  /// table would cost O(num_items) per improving epoch.
+  void SnapshotLocal(std::vector<uint32_t>* rows, std::vector<T>* data) const {
     local_.Snapshot(rows, data);
   }
 
   /// Replaces the overlay with a snapshot (rows touched after the snapshot
   /// revert to base values by vanishing from the overlay). O(touched).
   void RestoreLocal(const std::vector<uint32_t>& rows,
-                    const std::vector<double>& data) {
+                    const std::vector<T>& data) {
     local_.Restore(rows, data);
   }
 
  private:
+  // Float path only: lazily cast base rows for read-only access.
+  const T* CachedBaseRow(size_t r) const;
+
   const Matrix* base_ = nullptr;
-  SparseRowStore local_;
+  SparseRowStoreT<T> local_;
+  // mutable: a logically-const read materializes the cast copy.
+  mutable SparseRowStoreT<T> read_cache_;
 };
+
+using RowOverlayTable = RowOverlayTableT<double>;
+using RowOverlayTableF = RowOverlayTableT<float>;
+
+extern template class RowOverlayTableT<double>;
+extern template class RowOverlayTableT<float>;
 
 /// \brief Immutable packed upload: touched rows (ascending) + per-row data.
 struct SparseRowUpdate {

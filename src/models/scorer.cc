@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
 #include "src/math/sparse.h"
 
@@ -18,15 +19,18 @@ std::string BaseModelName(BaseModel model) {
   return model == BaseModel::kNcf ? "Fed-NCF" : "Fed-LightGCN";
 }
 
-Scorer::Scorer(BaseModel model, size_t width) : model_(model), width_(width) {
+template <typename S>
+ScorerT<S>::ScorerT(BaseModel model, size_t width)
+    : model_(model), width_(width) {
   HFR_CHECK_GT(width, 0u);
   x_.resize(2 * width);
   dx_.resize(2 * width);
 }
 
+template <typename S>
 template <typename TableT>
-void Scorer::BeginUser(const double* user_emb, const TableT& item_table,
-                       const std::vector<ItemId>& interacted) {
+void ScorerT<S>::BeginUser(const S* user_emb, const TableT& item_table,
+                           const std::vector<ItemId>& interacted) {
   HFR_CHECK_GE(item_table.cols(), width_);
   raw_user_.assign(user_emb, user_emb + width_);
   interacted_ = &interacted;
@@ -44,40 +48,44 @@ void Scorer::BeginUser(const double* user_emb, const TableT& item_table,
     HFR_CHECK_LT(static_cast<size_t>(i), item_table.rows());
     is_interacted_[i] = true;
   }
-  const double deg = static_cast<double>(interacted.size());
-  inv_sqrt_deg_ = deg > 0 ? 1.0 / std::sqrt(deg) : 0.0;
+  const S deg = static_cast<S>(interacted.size());
+  inv_sqrt_deg_ = deg > S(0) ? S(1) / std::sqrt(deg) : S(0);
 
-  pu_.assign(width_, 0.0);
+  const S half(0.5);
+  pu_.assign(width_, S(0));
   for (ItemId i : interacted) {
-    const double* row = item_table.Row(i);
+    const S* row = item_table.Row(i);
     for (size_t d = 0; d < width_; ++d) pu_[d] += row[d];
   }
   for (size_t d = 0; d < width_; ++d) {
-    pu_[d] = 0.5 * (raw_user_[d] + inv_sqrt_deg_ * pu_[d]);
+    pu_[d] = half * (raw_user_[d] + inv_sqrt_deg_ * pu_[d]);
   }
   std::copy(pu_.begin(), pu_.end(), x_.begin());
-  dpu_accum_.assign(width_, 0.0);
+  dpu_accum_.assign(width_, S(0));
 }
 
+template <typename S>
 template <typename TableT>
-void Scorer::FillItemHalf(const TableT& item_table, ItemId j,
-                          double* dst) const {
+void ScorerT<S>::FillItemHalf(const TableT& item_table, ItemId j,
+                              S* dst) const {
   HFR_CHECK_LT(static_cast<size_t>(j), item_table.rows());
-  const double* vj = item_table.Row(j);
+  const S* vj = item_table.Row(j);
   if (model_ == BaseModel::kNcf) {
     std::copy(vj, vj + width_, dst);
   } else {
+    const S half(0.5);
     const bool linked = is_interacted_[j];
     for (size_t d = 0; d < width_; ++d) {
-      double prop = linked ? inv_sqrt_deg_ * raw_user_[d] : 0.0;
-      dst[d] = 0.5 * (vj[d] + prop);
+      S prop = linked ? inv_sqrt_deg_ * raw_user_[d] : S(0);
+      dst[d] = half * (vj[d] + prop);
     }
   }
 }
 
+template <typename S>
 template <typename TableT>
-double Scorer::Score(const TableT& item_table, const FeedForwardNet& theta,
-                     ItemId j) const {
+S ScorerT<S>::Score(const TableT& item_table, const FeedForwardNetT<S>& theta,
+                    ItemId j) const {
   HFR_CHECK_EQ(theta.input_dim(), 2 * width_);
   // The user half of x_ was filled by BeginUser; only the item half moves.
   FillItemHalf(item_table, j, x_.data() + width_);
@@ -88,14 +96,17 @@ double Scorer::Score(const TableT& item_table, const FeedForwardNet& theta,
 // every item of a batch — the batched structural win: the user half of
 // [pu, pv] contributes identical first-layer partial sums for all items,
 // so it is accumulated once per user instead of once per item.
-void Scorer::PreparePrefix(const FeedForwardNet& theta) const {
+template <typename S>
+void ScorerT<S>::PreparePrefix(const FeedForwardNetT<S>& theta) const {
   prefix_.resize(theta.weight(0).cols());
   theta.ForwardPrefix(pu_.data(), width_, prefix_.data());
 }
 
+template <typename S>
 template <typename TableT, typename IdFn>
-void Scorer::ScoreBlocks(const TableT& item_table, const FeedForwardNet& theta,
-                         size_t n, IdFn id_of, double* out) const {
+void ScorerT<S>::ScoreBlocks(const TableT& item_table,
+                             const FeedForwardNetT<S>& theta, size_t n,
+                             IdFn id_of, S* out) const {
   if (batch_x_.size() != kScoreBlock * width_) {
     batch_x_.resize(kScoreBlock * width_);
   }
@@ -109,20 +120,24 @@ void Scorer::ScoreBlocks(const TableT& item_table, const FeedForwardNet& theta,
   }
 }
 
+template <typename S>
 template <typename TableT>
-void Scorer::ScoreBatch(const TableT& item_table, const FeedForwardNet& theta,
-                        const ItemId* ids, size_t n, double* out) const {
+void ScorerT<S>::ScoreBatch(const TableT& item_table,
+                            const FeedForwardNetT<S>& theta, const ItemId* ids,
+                            size_t n, S* out) const {
   HFR_CHECK_EQ(theta.input_dim(), 2 * width_);
   PreparePrefix(theta);
   ScoreBlocks(item_table, theta, n, [ids](size_t k) { return ids[k]; }, out);
 }
 
+template <typename S>
 template <typename TableT>
-void Scorer::ScoreRange(const TableT& item_table, const FeedForwardNet& theta,
-                        ItemId first, size_t n, double* out) const {
+void ScorerT<S>::ScoreRange(const TableT& item_table,
+                            const FeedForwardNetT<S>& theta, ItemId first,
+                            size_t n, S* out) const {
   HFR_CHECK_EQ(theta.input_dim(), 2 * width_);
   PreparePrefix(theta);
-  if constexpr (std::is_same_v<TableT, Matrix>) {
+  if constexpr (std::is_same_v<TableT, MatrixT<S>>) {
     if (model_ == BaseModel::kNcf) {
       // NCF item halves are the table rows themselves: score the span in
       // place with the table's row stride — zero assembly.
@@ -141,10 +156,11 @@ void Scorer::ScoreRange(const TableT& item_table, const FeedForwardNet& theta,
       [first](size_t k) { return static_cast<ItemId>(first + k); }, out);
 }
 
+template <typename S>
 template <typename TableT>
-double Scorer::ScoreForTrain(const TableT& item_table,
-                             const FeedForwardNet& theta, ItemId j,
-                             TrainCache* cache) {
+S ScorerT<S>::ScoreForTrain(const TableT& item_table,
+                            const FeedForwardNetT<S>& theta, ItemId j,
+                            TrainCache* cache) {
   HFR_CHECK_EQ(theta.input_dim(), 2 * width_);
   cache->item = j;
   cache->item_is_interacted =
@@ -154,18 +170,19 @@ double Scorer::ScoreForTrain(const TableT& item_table,
   return theta.Forward(x_.data(), &cache->ffn);
 }
 
+template <typename S>
 template <typename TableT>
-void Scorer::ScoreForTrainBatch(const TableT& item_table,
-                                const FeedForwardNet& theta,
-                                const ItemId* items, size_t n,
-                                BatchTrainCache* cache, double* logits) {
+void ScorerT<S>::ScoreForTrainBatch(const TableT& item_table,
+                                    const FeedForwardNetT<S>& theta,
+                                    const ItemId* items, size_t n,
+                                    BatchTrainCache* cache, S* logits) {
   HFR_CHECK_EQ(theta.input_dim(), 2 * width_);
   const size_t row_len = 2 * width_;
   train_x_.resize(n * row_len);
   cache->items.assign(items, items + n);
   cache->item_is_interacted.resize(n);
   for (size_t b = 0; b < n; ++b) {
-    double* row = train_x_.data() + b * row_len;
+    S* row = train_x_.data() + b * row_len;
     std::copy(pu_.begin(), pu_.end(), row);
     FillItemHalf(item_table, items[b], row + width_);
     cache->item_is_interacted[b] =
@@ -175,16 +192,17 @@ void Scorer::ScoreForTrainBatch(const TableT& item_table,
   theta.ForwardBatch(train_x_.data(), n, &cache->ffn, logits);
 }
 
+template <typename S>
 template <typename GradT>
-void Scorer::BackwardSample(const FeedForwardNet& theta,
-                            const TrainCache& cache, double dlogit,
-                            GradT* d_item_table, double* d_user,
-                            FeedForwardNet* d_theta) {
+void ScorerT<S>::BackwardSample(const FeedForwardNetT<S>& theta,
+                                const TrainCache& cache, S dlogit,
+                                GradT* d_item_table, S* d_user,
+                                FeedForwardNetT<S>* d_theta) {
   HFR_CHECK_GE(d_item_table->cols(), width_);
   theta.Backward(cache.ffn, dlogit, d_theta, dx_.data());
-  const double* dpu = dx_.data();
-  const double* dpv = dx_.data() + width_;
-  double* dvj = d_item_table->MutableRow(cache.item);
+  const S* dpu = dx_.data();
+  const S* dpv = dx_.data() + width_;
+  S* dvj = d_item_table->MutableRow(cache.item);
 
   if (model_ == BaseModel::kNcf) {
     for (size_t d = 0; d < width_; ++d) {
@@ -195,22 +213,24 @@ void Scorer::BackwardSample(const FeedForwardNet& theta,
   }
 
   // LightGCN: pu = (u + Σ v_i /√d)/2 ; pv_j = (v_j + 1{j∈N(u)} u/√d)/2.
+  const S half(0.5);
   for (size_t d = 0; d < width_; ++d) {
-    d_user[d] += 0.5 * dpu[d];
+    d_user[d] += half * dpu[d];
     dpu_accum_[d] += dpu[d];  // scattered to v_i rows in FinishUserBackward
-    dvj[d] += 0.5 * dpv[d];
+    dvj[d] += half * dpv[d];
   }
   if (cache.item_is_interacted) {
-    const double s = 0.5 * inv_sqrt_deg_;
+    const S s = half * inv_sqrt_deg_;
     for (size_t d = 0; d < width_; ++d) d_user[d] += s * dpv[d];
   }
 }
 
+template <typename S>
 template <typename GradT>
-void Scorer::BackwardBatch(const FeedForwardNet& theta,
-                           const BatchTrainCache& cache, const double* dlogits,
-                           GradT* d_item_table, double* d_user,
-                           FeedForwardNet* d_theta) {
+void ScorerT<S>::BackwardBatch(const FeedForwardNetT<S>& theta,
+                               const BatchTrainCache& cache, const S* dlogits,
+                               GradT* d_item_table, S* d_user,
+                               FeedForwardNetT<S>* d_theta) {
   HFR_CHECK_GE(d_item_table->cols(), width_);
   const size_t n = cache.ffn.batch;
   HFR_CHECK_EQ(cache.items.size(), n);
@@ -219,10 +239,11 @@ void Scorer::BackwardBatch(const FeedForwardNet& theta,
   // Embedding scatters in ascending sample order: multiple samples may hit
   // the same item row (or d_user / dpu_accum_), and sample order is what
   // the per-sample reference accumulates in.
+  const S half(0.5);
   for (size_t b = 0; b < n; ++b) {
-    const double* dpu = batch_dx_.data() + b * 2 * width_;
-    const double* dpv = dpu + width_;
-    double* dvj = d_item_table->MutableRow(cache.items[b]);
+    const S* dpu = batch_dx_.data() + b * 2 * width_;
+    const S* dpv = dpu + width_;
+    S* dvj = d_item_table->MutableRow(cache.items[b]);
     if (model_ == BaseModel::kNcf) {
       for (size_t d = 0; d < width_; ++d) {
         d_user[d] += dpu[d];
@@ -231,88 +252,85 @@ void Scorer::BackwardBatch(const FeedForwardNet& theta,
       continue;
     }
     for (size_t d = 0; d < width_; ++d) {
-      d_user[d] += 0.5 * dpu[d];
+      d_user[d] += half * dpu[d];
       dpu_accum_[d] += dpu[d];
-      dvj[d] += 0.5 * dpv[d];
+      dvj[d] += half * dpv[d];
     }
     if (cache.item_is_interacted[b]) {
-      const double s = 0.5 * inv_sqrt_deg_;
+      const S s = half * inv_sqrt_deg_;
       for (size_t d = 0; d < width_; ++d) d_user[d] += s * dpv[d];
     }
   }
 }
 
+template <typename S>
 template <typename GradT>
-void Scorer::FinishUserBackward(GradT* d_item_table, double* d_user) {
+void ScorerT<S>::FinishUserBackward(GradT* d_item_table, S* d_user) {
   (void)d_user;
   pending_backward_ = false;
   if (model_ == BaseModel::kNcf || interacted_ == nullptr) return;
-  const double s = 0.5 * inv_sqrt_deg_;
+  const S s = S(0.5) * inv_sqrt_deg_;
   for (ItemId i : *interacted_) {
-    double* row = d_item_table->MutableRow(i);
+    S* row = d_item_table->MutableRow(i);
     for (size_t d = 0; d < width_; ++d) row[d] += s * dpu_accum_[d];
   }
-  std::fill(dpu_accum_.begin(), dpu_accum_.end(), 0.0);
+  std::fill(dpu_accum_.begin(), dpu_accum_.end(), S(0));
 }
 
-// Explicit instantiations: dense (evaluation + reference dense path) and
-// sparse (row-touched client training).
-template void Scorer::BeginUser<Matrix>(const double*, const Matrix&,
-                                        const std::vector<ItemId>&);
-template void Scorer::BeginUser<RowOverlayTable>(const double*,
-                                                 const RowOverlayTable&,
-                                                 const std::vector<ItemId>&);
-template double Scorer::Score<Matrix>(const Matrix&, const FeedForwardNet&,
-                                      ItemId) const;
-template double Scorer::Score<RowOverlayTable>(const RowOverlayTable&,
-                                               const FeedForwardNet&,
-                                               ItemId) const;
-template void Scorer::ScoreBatch<Matrix>(const Matrix&, const FeedForwardNet&,
-                                         const ItemId*, size_t,
-                                         double*) const;
-template void Scorer::ScoreBatch<RowOverlayTable>(const RowOverlayTable&,
-                                                  const FeedForwardNet&,
-                                                  const ItemId*, size_t,
-                                                  double*) const;
-template void Scorer::ScoreRange<Matrix>(const Matrix&, const FeedForwardNet&,
-                                         ItemId, size_t, double*) const;
-template void Scorer::ScoreRange<RowOverlayTable>(const RowOverlayTable&,
-                                                  const FeedForwardNet&,
-                                                  ItemId, size_t,
-                                                  double*) const;
-template double Scorer::ScoreForTrain<Matrix>(const Matrix&,
-                                              const FeedForwardNet&, ItemId,
-                                              TrainCache*);
-template double Scorer::ScoreForTrain<RowOverlayTable>(const RowOverlayTable&,
-                                                       const FeedForwardNet&,
-                                                       ItemId, TrainCache*);
-template void Scorer::ScoreForTrainBatch<Matrix>(const Matrix&,
-                                                 const FeedForwardNet&,
-                                                 const ItemId*, size_t,
-                                                 BatchTrainCache*, double*);
-template void Scorer::ScoreForTrainBatch<RowOverlayTable>(
-    const RowOverlayTable&, const FeedForwardNet&, const ItemId*, size_t,
-    BatchTrainCache*, double*);
-template void Scorer::BackwardSample<Matrix>(const FeedForwardNet&,
-                                             const TrainCache&, double,
-                                             Matrix*, double*,
-                                             FeedForwardNet*);
-template void Scorer::BackwardSample<SparseRowStore>(const FeedForwardNet&,
-                                                     const TrainCache&,
-                                                     double, SparseRowStore*,
-                                                     double*,
-                                                     FeedForwardNet*);
-template void Scorer::BackwardBatch<Matrix>(const FeedForwardNet&,
-                                            const BatchTrainCache&,
-                                            const double*, Matrix*, double*,
-                                            FeedForwardNet*);
-template void Scorer::BackwardBatch<SparseRowStore>(const FeedForwardNet&,
-                                                    const BatchTrainCache&,
-                                                    const double*,
-                                                    SparseRowStore*, double*,
-                                                    FeedForwardNet*);
-template void Scorer::FinishUserBackward<Matrix>(Matrix*, double*);
-template void Scorer::FinishUserBackward<SparseRowStore>(SparseRowStore*,
-                                                         double*);
+// Explicit instantiations per scalar backend: dense (evaluation + reference
+// dense path) and sparse (row-touched client training).
+#define HFR_INSTANTIATE_SCORER(S)                                             \
+  template class ScorerT<S>;                                                  \
+  template void ScorerT<S>::BeginUser<MatrixT<S>>(                            \
+      const S*, const MatrixT<S>&, const std::vector<ItemId>&);               \
+  template void ScorerT<S>::BeginUser<RowOverlayTableT<S>>(                   \
+      const S*, const RowOverlayTableT<S>&, const std::vector<ItemId>&);      \
+  template S ScorerT<S>::Score<MatrixT<S>>(                                   \
+      const MatrixT<S>&, const FeedForwardNetT<S>&, ItemId) const;            \
+  template S ScorerT<S>::Score<RowOverlayTableT<S>>(                          \
+      const RowOverlayTableT<S>&, const FeedForwardNetT<S>&, ItemId) const;   \
+  template void ScorerT<S>::ScoreBatch<MatrixT<S>>(                           \
+      const MatrixT<S>&, const FeedForwardNetT<S>&, const ItemId*, size_t,    \
+      S*) const;                                                              \
+  template void ScorerT<S>::ScoreBatch<RowOverlayTableT<S>>(                  \
+      const RowOverlayTableT<S>&, const FeedForwardNetT<S>&, const ItemId*,   \
+      size_t, S*) const;                                                      \
+  template void ScorerT<S>::ScoreRange<MatrixT<S>>(                           \
+      const MatrixT<S>&, const FeedForwardNetT<S>&, ItemId, size_t, S*)       \
+      const;                                                                  \
+  template void ScorerT<S>::ScoreRange<RowOverlayTableT<S>>(                  \
+      const RowOverlayTableT<S>&, const FeedForwardNetT<S>&, ItemId, size_t,  \
+      S*) const;                                                              \
+  template S ScorerT<S>::ScoreForTrain<MatrixT<S>>(                           \
+      const MatrixT<S>&, const FeedForwardNetT<S>&, ItemId, TrainCache*);     \
+  template S ScorerT<S>::ScoreForTrain<RowOverlayTableT<S>>(                  \
+      const RowOverlayTableT<S>&, const FeedForwardNetT<S>&, ItemId,          \
+      TrainCache*);                                                           \
+  template void ScorerT<S>::ScoreForTrainBatch<MatrixT<S>>(                   \
+      const MatrixT<S>&, const FeedForwardNetT<S>&, const ItemId*, size_t,    \
+      BatchTrainCache*, S*);                                                  \
+  template void ScorerT<S>::ScoreForTrainBatch<RowOverlayTableT<S>>(          \
+      const RowOverlayTableT<S>&, const FeedForwardNetT<S>&, const ItemId*,   \
+      size_t, BatchTrainCache*, S*);                                          \
+  template void ScorerT<S>::BackwardSample<MatrixT<S>>(                       \
+      const FeedForwardNetT<S>&, const TrainCache&, S, MatrixT<S>*, S*,       \
+      FeedForwardNetT<S>*);                                                   \
+  template void ScorerT<S>::BackwardSample<SparseRowStoreT<S>>(               \
+      const FeedForwardNetT<S>&, const TrainCache&, S, SparseRowStoreT<S>*,   \
+      S*, FeedForwardNetT<S>*);                                               \
+  template void ScorerT<S>::BackwardBatch<MatrixT<S>>(                        \
+      const FeedForwardNetT<S>&, const BatchTrainCache&, const S*,            \
+      MatrixT<S>*, S*, FeedForwardNetT<S>*);                                  \
+  template void ScorerT<S>::BackwardBatch<SparseRowStoreT<S>>(                \
+      const FeedForwardNetT<S>&, const BatchTrainCache&, const S*,            \
+      SparseRowStoreT<S>*, S*, FeedForwardNetT<S>*);                          \
+  template void ScorerT<S>::FinishUserBackward<MatrixT<S>>(MatrixT<S>*, S*);  \
+  template void ScorerT<S>::FinishUserBackward<SparseRowStoreT<S>>(           \
+      SparseRowStoreT<S>*, S*)
+
+HFR_INSTANTIATE_SCORER(double);
+HFR_INSTANTIATE_SCORER(float);
+
+#undef HFR_INSTANTIATE_SCORER
 
 }  // namespace hetefedrec

@@ -23,17 +23,20 @@
 // through the FFN in width-blocked batches (evaluation and local
 // validation; RESKD is batched separately via the GramMatrix kernel), and
 // `ScoreForTrainBatch` + `BackwardBatch` run a user's whole per-epoch
-// sample set as one forward/backward block. Every batched entry
-// point is bit-identical per item/sample to its scalar counterpart
-// (`Score`, `ScoreForTrain` + `BackwardSample`), which remain as the
-// reference path — see src/math/kernels.h for the accumulation-order
-// argument and tests/models/scorer_batch_test.cc for the pins.
+// sample set as one forward/backward block. On the double backend every
+// batched entry point is bit-identical per item/sample to its scalar
+// counterpart (`Score`, `ScoreForTrain` + `BackwardSample`), which remain
+// as the reference path — see src/math/kernels.h for the
+// accumulation-order argument and tests/models/scorer_batch_test.cc for
+// the pins.
 //
-// The table and gradient parameters are templates so the same code runs
-// over a dense `Matrix` (evaluation, reference path) or over the sparse
-// containers of src/math/sparse.h (`RowOverlayTable` reads /
-// `SparseRowStore` gradient writes) without a virtual call per row.
-// Explicit instantiations for both live in scorer.cc.
+// The class is templated on the working scalar S (double = reference,
+// float = fp32 compute backend, src/math/backend.h), and the table and
+// gradient parameters are member templates so the same code runs over a
+// dense `MatrixT<S>` (evaluation, reference path) or over the sparse
+// containers of src/math/sparse.h (`RowOverlayTableT<S>` reads /
+// `SparseRowStoreT<S>` gradient writes) without a virtual call per row.
+// Explicit instantiations for all combinations live in scorer.cc.
 #ifndef HETEFEDREC_MODELS_SCORER_H_
 #define HETEFEDREC_MODELS_SCORER_H_
 
@@ -56,7 +59,7 @@ StatusOr<BaseModel> BaseModelByName(const std::string& name);
 /// Human-readable name ("Fed-NCF" / "Fed-LightGCN").
 std::string BaseModelName(BaseModel model);
 
-/// \brief Width-w scoring view over shared parameters.
+/// \brief Width-w scoring view over shared parameters (scalar S).
 ///
 /// Usage per user and pass:
 ///   scorer.BeginUser(user_emb, V, interacted);
@@ -64,138 +67,147 @@ std::string BaseModelName(BaseModel model);
 ///   training:   ScoreForTrainBatch + BackwardBatch (or the per-sample
 ///               ScoreForTrain + BackwardSample pair), then
 ///   scorer.FinishUserBackward(...);   // training passes only
-class Scorer {
+template <typename S>
+class ScorerT {
  public:
+  using Scalar = S;
+
   /// Items per FFN block in ScoreBatch/ScoreRange: bounds the assembled
-  /// item-half block to kScoreBlock x w doubles of scorer-owned scratch
+  /// item-half block to kScoreBlock x w scalars of scorer-owned scratch
   /// (the user half is shared as a layer-0 prefix, never materialized).
   static constexpr size_t kScoreBlock = 128;
 
   /// \param model base algorithm.
   /// \param width embedding slice width w (first w dims are used).
-  Scorer(BaseModel model, size_t width);
+  ScorerT(BaseModel model, size_t width);
 
   size_t width() const { return width_; }
   BaseModel model() const { return model_; }
 
   /// Prepares per-user state: copies the user slice and, for LightGCN, runs
   /// the local propagation over `interacted` (the user's training items).
-  /// `V` must have at least `width` columns. `TableT` is `Matrix` or
-  /// `RowOverlayTable`. Also fills the user half of the FFN input scratch
-  /// once, so per-item scoring rewrites only the item half.
+  /// `V` must have at least `width` columns. `TableT` is `MatrixT<S>` or
+  /// `RowOverlayTableT<S>`. Also fills the user half of the FFN input
+  /// scratch once, so per-item scoring rewrites only the item half.
   template <typename TableT>
-  void BeginUser(const double* user_emb, const TableT& item_table,
+  void BeginUser(const S* user_emb, const TableT& item_table,
                  const std::vector<ItemId>& interacted);
 
   /// Per-sample context for BackwardSample.
   struct TrainCache {
-    FeedForwardNet::Cache ffn;
+    typename FeedForwardNetT<S>::Cache ffn;
     ItemId item = 0;
     bool item_is_interacted = false;
   };
 
   /// Batch-of-samples context for BackwardBatch.
   struct BatchTrainCache {
-    FeedForwardNet::BatchCache ffn;
+    typename FeedForwardNetT<S>::BatchCache ffn;
     std::vector<ItemId> items;
     std::vector<uint8_t> item_is_interacted;
   };
 
   /// Scores item `j` (logit). Requires a prior BeginUser.
   template <typename TableT>
-  double Score(const TableT& item_table, const FeedForwardNet& theta,
-               ItemId j) const;
+  S Score(const TableT& item_table, const FeedForwardNetT<S>& theta,
+          ItemId j) const;
 
   /// Scores the `n` items `ids[0..n)` into out[0..n), batching the FFN
-  /// forwards in blocks of kScoreBlock. Bit-identical per item to Score().
+  /// forwards in blocks of kScoreBlock. On the double backend
+  /// bit-identical per item to Score().
   template <typename TableT>
-  void ScoreBatch(const TableT& item_table, const FeedForwardNet& theta,
-                  const ItemId* ids, size_t n, double* out) const;
+  void ScoreBatch(const TableT& item_table, const FeedForwardNetT<S>& theta,
+                  const ItemId* ids, size_t n, S* out) const;
 
   /// ScoreBatch over the contiguous item-id span [first, first + n) —
   /// the full-catalogue evaluation shape.
   template <typename TableT>
-  void ScoreRange(const TableT& item_table, const FeedForwardNet& theta,
-                  ItemId first, size_t n, double* out) const;
+  void ScoreRange(const TableT& item_table, const FeedForwardNetT<S>& theta,
+                  ItemId first, size_t n, S* out) const;
 
   /// Scores item `j` and fills `cache` for BackwardSample.
   template <typename TableT>
-  double ScoreForTrain(const TableT& item_table, const FeedForwardNet& theta,
-                       ItemId j, TrainCache* cache);
+  S ScoreForTrain(const TableT& item_table, const FeedForwardNetT<S>& theta,
+                  ItemId j, TrainCache* cache);
 
   /// Scores the `n` sample items `items[0..n)` in one FFN forward block,
   /// filling `cache` for BackwardBatch and one logit per sample into
-  /// `logits`. Bit-identical per sample to ScoreForTrain().
+  /// `logits`. On the double backend bit-identical per sample to
+  /// ScoreForTrain().
   template <typename TableT>
   void ScoreForTrainBatch(const TableT& item_table,
-                          const FeedForwardNet& theta, const ItemId* items,
-                          size_t n, BatchTrainCache* cache, double* logits);
+                          const FeedForwardNetT<S>& theta, const ItemId* items,
+                          size_t n, BatchTrainCache* cache, S* logits);
 
   /// Accumulates gradients for one sample given dL/dlogit.
-  /// \param d_item_table |V| x width gradient sink (`Matrix` or
-  ///   `SparseRowStore`; may be wider — leading cols used).
+  /// \param d_item_table |V| x width gradient sink (`MatrixT<S>` or
+  ///   `SparseRowStoreT<S>`; may be wider — leading cols used).
   /// \param d_user length >= width; first `width` entries accumulated.
   /// \param d_theta same-shape gradient accumulator for `theta`.
   template <typename GradT>
-  void BackwardSample(const FeedForwardNet& theta, const TrainCache& cache,
-                      double dlogit, GradT* d_item_table, double* d_user,
-                      FeedForwardNet* d_theta);
+  void BackwardSample(const FeedForwardNetT<S>& theta, const TrainCache& cache,
+                      S dlogit, GradT* d_item_table, S* d_user,
+                      FeedForwardNetT<S>* d_theta);
 
   /// Batched BackwardSample over a ScoreForTrainBatch cache: one FFN
   /// BackwardBatch, then the embedding scatters in ascending sample order —
-  /// bit-identical to per-sample BackwardSample calls in the same order.
+  /// on the double backend bit-identical to per-sample BackwardSample
+  /// calls in the same order.
   template <typename GradT>
-  void BackwardBatch(const FeedForwardNet& theta, const BatchTrainCache& cache,
-                     const double* dlogits, GradT* d_item_table,
-                     double* d_user, FeedForwardNet* d_theta);
+  void BackwardBatch(const FeedForwardNetT<S>& theta,
+                     const BatchTrainCache& cache, const S* dlogits,
+                     GradT* d_item_table, S* d_user,
+                     FeedForwardNetT<S>* d_theta);
 
   /// Flushes LightGCN's deferred propagation gradient into the interacted
   /// items' rows and the user embedding. No-op for NCF. Must be called once
   /// after the last BackwardSample of a pass.
   template <typename GradT>
-  void FinishUserBackward(GradT* d_item_table, double* d_user);
+  void FinishUserBackward(GradT* d_item_table, S* d_user);
 
  private:
   /// Writes the item half [pu | *here*] of one assembled FFN input row.
   template <typename TableT>
-  void FillItemHalf(const TableT& item_table, ItemId j, double* dst) const;
+  void FillItemHalf(const TableT& item_table, ItemId j, S* dst) const;
 
   /// Fills prefix_ with the current user's shared layer-0 partial sums.
-  void PreparePrefix(const FeedForwardNet& theta) const;
+  void PreparePrefix(const FeedForwardNetT<S>& theta) const;
 
   /// Shared blocked-scoring loop behind ScoreBatch/ScoreRange: assembles
   /// item halves for items id_of(0..n) in kScoreBlock chunks and runs
   /// ForwardBatchFromPrefix on each. Requires a prior PreparePrefix.
   template <typename TableT, typename IdFn>
-  void ScoreBlocks(const TableT& item_table, const FeedForwardNet& theta,
-                   size_t n, IdFn id_of, double* out) const;
+  void ScoreBlocks(const TableT& item_table, const FeedForwardNetT<S>& theta,
+                   size_t n, IdFn id_of, S* out) const;
 
   BaseModel model_;
   size_t width_;
 
   // Per-user state set by BeginUser.
-  std::vector<double> pu_;             // propagated user embedding
-  std::vector<double> raw_user_;       // first `width` entries of u
+  AlignedVector<S> pu_;                // propagated user embedding
+  AlignedVector<S> raw_user_;          // first `width` entries of u
   const std::vector<ItemId>* interacted_ = nullptr;
   std::vector<bool> is_interacted_;    // indexed by item id
-  double inv_sqrt_deg_ = 0.0;
+  S inv_sqrt_deg_ = S(0);
 
   // Deferred LightGCN gradient: sum over samples of dL/d(pu).
-  std::vector<double> dpu_accum_;
+  AlignedVector<S> dpu_accum_;
   bool pending_backward_ = false;
 
   // Scratch buffers. x_'s user half is filled once per BeginUser. Batched
   // evaluation shares the user half across the whole batch as a layer-0
-  // prefix (FeedForwardNet::ForwardPrefix), so batch_x_ holds item halves
-  // only.
-  mutable std::vector<double> x_;   // FFN input [pu, pv]
-  std::vector<double> dx_;          // FFN input gradient
-  mutable FeedForwardNet::Cache eval_cache_;
-  mutable std::vector<double> prefix_;    // per-user layer-0 partial sums
-  mutable std::vector<double> batch_x_;   // kScoreBlock x w item halves
-  std::vector<double> train_x_;     // n x 2w training block
-  std::vector<double> batch_dx_;    // n x 2w training input gradients
+  // prefix (ForwardPrefix), so batch_x_ holds item halves only.
+  mutable AlignedVector<S> x_;   // FFN input [pu, pv]
+  AlignedVector<S> dx_;          // FFN input gradient
+  mutable typename FeedForwardNetT<S>::Cache eval_cache_;
+  mutable AlignedVector<S> prefix_;    // per-user layer-0 partial sums
+  mutable AlignedVector<S> batch_x_;   // kScoreBlock x w item halves
+  AlignedVector<S> train_x_;     // n x 2w training block
+  AlignedVector<S> batch_dx_;    // n x 2w training input gradients
 };
+
+using Scorer = ScorerT<double>;
+using ScorerF = ScorerT<float>;
 
 }  // namespace hetefedrec
 

@@ -5,9 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
+#include "src/math/backend.h"
 #include "src/math/init.h"
+#include "src/math/kernels_fp32.h"
 #include "src/util/rng.h"
 
 namespace hetefedrec {
@@ -126,6 +130,251 @@ TEST(GramMatrixTest, BitIdenticalToPairwiseDot) {
       }
     }
   }
+}
+
+// --- fp32 backend: accuracy bounds against fp64 ---------------------------
+//
+// The float kernels are NOT bit-comparable to double (fused multiply-adds,
+// no zero skip, tree reductions), so these tests bound the drift instead:
+// for inputs cast from the double block, every fp32 output must stay within
+// a mixed absolute/relative envelope of the fp64 reference. The envelope is
+// sized for <= a few hundred accumulated terms of O(0.3) magnitude — loose
+// enough to never flake, tight enough that an algorithmic error (wrong
+// element, missed term, unreduced lane) fails by orders of magnitude.
+constexpr double kFp32Tol = 1e-4;
+
+void ExpectClose(float got, double want, const char* what, size_t idx) {
+  EXPECT_LE(std::fabs(static_cast<double>(got) - want),
+            kFp32Tol * (1.0 + std::fabs(want)))
+      << what << " idx=" << idx << " fp32=" << got << " fp64=" << want;
+}
+
+std::vector<float> Cast(const std::vector<double>& v) {
+  return std::vector<float>(v.begin(), v.end());
+}
+
+TEST(Fp32AccuracyTest, DotWithinTolerance) {
+  for (size_t n : {size_t{1}, size_t{7}, size_t{8}, size_t{37}, size_t{64},
+                   size_t{129}}) {
+    std::vector<double> a = RandomBlock(n, 101 + n);
+    std::vector<double> b = RandomBlock(n, 103 + n);
+    std::vector<float> af = Cast(a), bf = Cast(b);
+    ExpectClose(Dot(af.data(), bf.data(), n), Dot(a.data(), b.data(), n),
+                "Dot", n);
+    ExpectClose(Norm2(af.data(), n), Norm2(a.data(), n), "Norm2", n);
+    ExpectClose(CosineSimilarity(af.data(), bf.data(), n),
+                CosineSimilarity(a.data(), b.data(), n), "Cosine", n);
+  }
+}
+
+TEST(Fp32AccuracyTest, AxpyWithinTolerance) {
+  const size_t n = 67;
+  std::vector<double> x = RandomBlock(n, 107);
+  std::vector<double> y = RandomBlock(n, 109);
+  std::vector<float> xf = Cast(x), yf = Cast(y);
+  Axpy(0.37, x.data(), y.data(), n);
+  Axpy(0.37f, xf.data(), yf.data(), n);
+  for (size_t i = 0; i < n; ++i) ExpectClose(yf[i], y[i], "Axpy", i);
+}
+
+TEST(Fp32AccuracyTest, GemvBatchBiasedWithinTolerance) {
+  for (size_t batch : {size_t{1}, size_t{33}}) {
+    for (size_t in_dim : {size_t{5}, size_t{64}}) {
+      const size_t out_dim = 8;
+      std::vector<double> x = RandomBlock(batch * in_dim, 211 + batch);
+      std::vector<double> w = RandomBlock(in_dim * out_dim, 223 + in_dim);
+      std::vector<double> bias = RandomBlock(out_dim, 227);
+      std::vector<double> out(batch * out_dim);
+      GemvBatchBiased(x.data(), batch, in_dim, w.data(), bias.data(), out_dim,
+                      out.data());
+      std::vector<float> xf = Cast(x), wf = Cast(w), bf = Cast(bias);
+      std::vector<float> outf(batch * out_dim);
+      GemvBatchBiased(xf.data(), batch, in_dim, wf.data(), bf.data(), out_dim,
+                      outf.data());
+      for (size_t t = 0; t < out.size(); ++t) {
+        ExpectClose(outf[t], out[t], "GemvBatchBiased", t);
+      }
+    }
+  }
+}
+
+TEST(Fp32AccuracyTest, AccumulateOuterBatchWithinTolerance) {
+  const size_t batch = 64, in_dim = 12, out_dim = 8;
+  std::vector<double> in = RandomBlock(batch * in_dim, 229);
+  std::vector<double> delta = RandomBlock(batch * out_dim, 233);
+  std::vector<double> gw(in_dim * out_dim, 0.25), gb(out_dim, -0.5);
+  std::vector<float> inf = Cast(in), deltaf = Cast(delta);
+  std::vector<float> gwf = Cast(gw), gbf = Cast(gb);
+  AccumulateOuterBatch(in.data(), delta.data(), batch, in_dim, out_dim,
+                       gw.data(), gb.data());
+  AccumulateOuterBatch(inf.data(), deltaf.data(), batch, in_dim, out_dim,
+                       gwf.data(), gbf.data());
+  for (size_t t = 0; t < gw.size(); ++t) {
+    ExpectClose(gwf[t], gw[t], "AccumulateOuterBatch.gw", t);
+  }
+  for (size_t t = 0; t < gb.size(); ++t) {
+    ExpectClose(gbf[t], gb[t], "AccumulateOuterBatch.gb", t);
+  }
+}
+
+TEST(Fp32AccuracyTest, GemvBatchTransposedWithinTolerance) {
+  const size_t batch = 33, in_dim = 16, out_dim = 8;
+  std::vector<double> delta = RandomBlock(batch * out_dim, 239);
+  std::vector<double> w = RandomBlock(in_dim * out_dim, 241);
+  std::vector<double> dx(batch * in_dim);
+  GemvBatchTransposed(delta.data(), batch, out_dim, w.data(), in_dim,
+                      dx.data());
+  std::vector<float> deltaf = Cast(delta), wf = Cast(w);
+  std::vector<float> dxf(batch * in_dim);
+  GemvBatchTransposed(deltaf.data(), batch, out_dim, wf.data(), in_dim,
+                      dxf.data());
+  for (size_t t = 0; t < dx.size(); ++t) {
+    ExpectClose(dxf[t], dx[t], "GemvBatchTransposed", t);
+  }
+}
+
+TEST(Fp32AccuracyTest, GramMatrixWithinTolerance) {
+  const size_t k = 33, n = 24;
+  std::vector<double> x = RandomBlock(k * n, 251);
+  Matrix gram(k, k);
+  GramMatrix(x.data(), k, n, &gram);
+  std::vector<float> xf = Cast(x);
+  MatrixF gramf(k, k);
+  GramMatrix(xf.data(), k, n, &gramf);
+  for (size_t a = 0; a < k; ++a) {
+    for (size_t b = 0; b < k; ++b) {
+      ExpectClose(gramf(a, b), gram(a, b), "GramMatrix", a * k + b);
+    }
+  }
+}
+
+// --- fp32 dispatch: scalar fallback == AVX2, bit for bit -------------------
+//
+// The portable scalar fp32 set emulates the vector code lane-for-lane
+// (std::fmaf chains, the same 8→4→2→1 reduction tree), so on any input the
+// two implementations must agree EXACTLY — this is what makes fp32 and
+// fp32_simd results-identical and lets the SIMD toggle be results-inert.
+
+std::vector<float> RandomFloats(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.Normal(0.0, 0.3));
+  return v;
+}
+
+#ifdef HFR_HAVE_AVX2_TU
+
+TEST(Fp32DispatchTest, ScalarMatchesAvx2BitForBit) {
+  if (!CpuSupportsFp32Simd()) {
+    GTEST_SKIP() << "CPU lacks AVX2+FMA";
+  }
+  // Lengths straddle every code-path boundary: pure tail (<8), exact
+  // chunks, chunks + tail.
+  for (size_t n : {size_t{1}, size_t{5}, size_t{8}, size_t{16}, size_t{37},
+                   size_t{64}, size_t{129}}) {
+    std::vector<float> a = RandomFloats(n, 301 + n);
+    std::vector<float> b = RandomFloats(n, 307 + n);
+    const float ds = fp32::DotScalar(a.data(), b.data(), n);
+    const float dv = fp32::DotAvx2(a.data(), b.data(), n);
+    EXPECT_EQ(ds, dv) << "Dot n=" << n;
+
+    std::vector<float> ys = a, yv = a;
+    fp32::AxpyScalar(0.37f, b.data(), ys.data(), n);
+    fp32::AxpyAvx2(0.37f, b.data(), yv.data(), n);
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(ys[i], yv[i]) << "Axpy " << i;
+  }
+
+  const size_t batch = 33, in_dim = 19, out_dim = 8;
+  std::vector<float> x = RandomFloats(batch * in_dim, 311);
+  std::vector<float> w = RandomFloats(in_dim * out_dim, 313);
+  std::vector<float> init = RandomFloats(out_dim, 317);
+  std::vector<float> outs(batch * out_dim), outv(batch * out_dim);
+  fp32::GemvBatchResumeScalar(x.data(), batch, in_dim, in_dim, w.data(),
+                              init.data(), out_dim, outs.data());
+  fp32::GemvBatchResumeAvx2(x.data(), batch, in_dim, in_dim, w.data(),
+                            init.data(), out_dim, outv.data());
+  for (size_t t = 0; t < outs.size(); ++t) {
+    EXPECT_EQ(outs[t], outv[t]) << "GemvBatchResume " << t;
+  }
+
+  std::vector<float> delta = RandomFloats(batch * out_dim, 331);
+  std::vector<float> gws(in_dim * out_dim, 0.25f), gbs(out_dim, -0.5f);
+  std::vector<float> gwv = gws, gbv = gbs;
+  fp32::AccumulateOuterBatchScalar(x.data(), delta.data(), batch, in_dim,
+                                   out_dim, gws.data(), gbs.data());
+  fp32::AccumulateOuterBatchAvx2(x.data(), delta.data(), batch, in_dim,
+                                 out_dim, gwv.data(), gbv.data());
+  for (size_t t = 0; t < gws.size(); ++t) {
+    EXPECT_EQ(gws[t], gwv[t]) << "AccumulateOuterBatch.gw " << t;
+  }
+  for (size_t t = 0; t < gbs.size(); ++t) {
+    EXPECT_EQ(gbs[t], gbv[t]) << "AccumulateOuterBatch.gb " << t;
+  }
+
+  std::vector<float> dxs(batch * in_dim), dxv(batch * in_dim);
+  fp32::GemvBatchTransposedScalar(delta.data(), batch, out_dim, w.data(),
+                                  in_dim, dxs.data());
+  fp32::GemvBatchTransposedAvx2(delta.data(), batch, out_dim, w.data(),
+                                in_dim, dxv.data());
+  for (size_t t = 0; t < dxs.size(); ++t) {
+    EXPECT_EQ(dxs[t], dxv[t]) << "GemvBatchTransposed " << t;
+  }
+}
+
+TEST(Fp32DispatchTest, RuntimeToggleIsResultsInert) {
+  if (!CpuSupportsFp32Simd()) {
+    GTEST_SKIP() << "CPU lacks AVX2+FMA";
+  }
+  // The public entry points under both switch positions: same bits.
+  const bool saved = Fp32SimdEnabled();
+  const size_t n = 100;
+  std::vector<float> a = RandomFloats(n, 401);
+  std::vector<float> b = RandomFloats(n, 403);
+  SetFp32SimdEnabled(false);
+  const float scalar_dot = Dot(a.data(), b.data(), n);
+  MatrixF gram_scalar(4, 4);
+  GramMatrix(a.data(), 4, 25, &gram_scalar);
+  SetFp32SimdEnabled(true);
+  const float simd_dot = Dot(a.data(), b.data(), n);
+  MatrixF gram_simd(4, 4);
+  GramMatrix(a.data(), 4, 25, &gram_simd);
+  SetFp32SimdEnabled(saved);
+  EXPECT_EQ(scalar_dot, simd_dot);
+  for (size_t t = 0; t < gram_scalar.data().size(); ++t) {
+    EXPECT_EQ(gram_scalar.data()[t], gram_simd.data()[t]);
+  }
+}
+
+#endif  // HFR_HAVE_AVX2_TU
+
+TEST(Fp32DispatchTest, ActivateBackendFallsBackGracefully) {
+  const bool saved = Fp32SimdEnabled();
+  // fp64 and fp32 never arm the SIMD switch; fp32_simd arms it exactly
+  // when the build + CPU can honor it (and reports which happened).
+  EXPECT_TRUE(ActivateBackend(ComputeBackend::kFp64));
+  EXPECT_FALSE(Fp32SimdEnabled());
+  EXPECT_TRUE(ActivateBackend(ComputeBackend::kFp32));
+  EXPECT_FALSE(Fp32SimdEnabled());
+  const bool armed = ActivateBackend(ComputeBackend::kFp32Simd);
+  EXPECT_EQ(armed, CpuSupportsFp32Simd());
+  EXPECT_EQ(Fp32SimdEnabled(), CpuSupportsFp32Simd());
+  ActivateBackend(ComputeBackend::kFp64);
+  SetFp32SimdEnabled(saved);
+}
+
+TEST(AlignedStorageTest, MatrixAndKernelBlocksAre32ByteAligned) {
+  // The AVX2 kernels load 8-lane vectors straight out of Matrix rows and
+  // block scratch; AlignedVector must put every buffer on a 32-byte
+  // boundary regardless of shape.
+  for (size_t rows : {size_t{1}, size_t{7}, size_t{33}}) {
+    Matrix m(rows, 5);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(m.data().data()) % kSimdAlign, 0u);
+    MatrixF f(rows, 5);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(f.data().data()) % kSimdAlign, 0u);
+  }
+  AlignedVector<float> scratch;
+  scratch.resize(1000);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(scratch.data()) % kSimdAlign, 0u);
 }
 
 }  // namespace

@@ -71,8 +71,12 @@ int Main(int argc, char** argv) {
               "merge the first clients_per_round to finish");
   cli.AddFlag("round_deadline", "0",
               "simulated round deadline in seconds (0 = none)");
-  cli.AddFlag("wire_format", "fp64",
-              "wire scalar width for byte accounting: fp64 | fp32 | fp16");
+  cli.AddFlag("compute_backend", "fp64",
+              "numeric compute backend: fp64 (bit-exact reference) | fp32 "
+              "(float client math) | fp32_simd (float + AVX2 kernels)");
+  cli.AddFlag("wire_format", "auto",
+              "wire scalar width for byte accounting: auto | fp64 | fp32 | "
+              "fp16 (auto = fp64, or fp32 when --compute_backend is fp32*)");
   cli.AddFlag("net_bandwidth", "1.25e6",
               "median client bandwidth, bytes/second");
   cli.AddFlag("net_bandwidth_sigma", "0",
@@ -181,12 +185,24 @@ int Main(int argc, char** argv) {
   cfg.availability = cli.GetDouble("availability");
   cfg.straggler_slack = static_cast<size_t>(cli.GetInt("straggler_slack"));
   cfg.round_deadline = cli.GetDouble("round_deadline");
-  auto wire = WireScalarBytesByName(cli.GetString("wire_format"));
-  if (!wire.ok()) {
-    std::fprintf(stderr, "%s\n", wire.status().ToString().c_str());
+  auto backend = ComputeBackendByName(cli.GetString("compute_backend"));
+  if (!backend.ok()) {
+    std::fprintf(stderr, "%s\n", backend.status().ToString().c_str());
     return 1;
   }
-  cfg.wire_scalar_bytes = *wire;
+  cfg.compute_backend = *backend;
+  const std::string wire_format = cli.GetString("wire_format");
+  if (wire_format == "auto") {
+    cfg.wire_scalar_bytes =
+        cfg.compute_backend == ComputeBackend::kFp64 ? 8 : 4;
+  } else {
+    auto wire = WireScalarBytesByName(wire_format);
+    if (!wire.ok()) {
+      std::fprintf(stderr, "%s\n", wire.status().ToString().c_str());
+      return 1;
+    }
+    cfg.wire_scalar_bytes = *wire;
+  }
   cfg.net_bandwidth = cli.GetDouble("net_bandwidth");
   cfg.net_bandwidth_sigma = cli.GetDouble("net_bandwidth_sigma");
   cfg.net_latency = cli.GetDouble("net_latency");
