@@ -17,6 +17,9 @@
 #include "src/data/synthetic.h"
 #include "src/eval/metrics.h"
 #include "src/eval/topk.h"
+#include "src/data/stream.h"
+#include "src/fed/shard/sharded_server.h"
+#include "src/fed/shard/stream_loop.h"
 #include "src/fed/sync/sync_service.h"
 #include "src/fed/sync/versioned_table.h"
 #include "src/math/activations.h"
@@ -470,6 +473,46 @@ BENCHMARK(BM_FederatedRound)
     ->Args({1, 1, 0, 0})
     ->Unit(benchmark::kMillisecond)
     ->MinTime(2.0);
+
+// One streaming round against the sharded server (arg 0 = shard count,
+// S ∈ {1, 8}): 256 power-law clients build sparse MF-SGD deltas against
+// the live table and merge through ServerApi. S=1 is the legacy-apply
+// baseline; S=8 adds the range-routing and per-shard buffer overhead the
+// scale-out pays per round — bench_sharding measures the same loop
+// end-to-end at 1M clients.
+void BM_ShardedRound(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  HeteroServer::Options so;
+  so.widths = {32};
+  so.num_items = 20000;
+  so.seed = 3;
+  auto server = MakeServer(so, shards);
+
+  StreamConfig scfg;
+  scfg.num_users = 1'000'000;
+  scfg.num_items = so.num_items;
+  scfg.max_items_per_user = 64;
+  scfg.seed = 7;
+  const ClientStream stream(scfg);
+
+  StreamLoopOptions opt;
+  opt.clients_per_round = 256;
+  opt.rounds = 1;
+  opt.seed = 9;
+
+  uint64_t scalars = 0;
+  size_t rounds = 0;
+  for (auto _ : state) {
+    StreamLoopResult r = RunStreamingRounds(server.get(), stream, opt);
+    scalars += r.upload_scalars;
+    rounds += r.rounds;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * opt.clients_per_round);
+  state.counters["upload_scalars_per_round"] = benchmark::Counter(
+      static_cast<double>(scalars) / static_cast<double>(rounds));
+}
+BENCHMARK(BM_ShardedRound)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 // Isolated update-machinery cost (no scoring): table download + per-epoch
 // gradient zeroing + Adam + upload delta for one client touching `touched`

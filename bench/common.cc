@@ -6,102 +6,20 @@
 namespace hetefedrec::bench {
 
 void AddCommonFlags(CommandLine* cli) {
+  // Bench-suite flags; everything an experiment run understands (execution
+  // toggles, sync, network, async, faults, sharding, telemetry) comes from
+  // the shared registry so the bench suite and tools/hetefedrec_run can
+  // never drift apart again.
   cli->AddFlag("scale", "bench", "scale preset: smoke | bench | paper");
   cli->AddFlag("dataset", "", "restrict to one dataset (ml|anime|douban)");
   cli->AddFlag("model", "", "restrict to one base model (ncf|lightgcn)");
-  cli->AddFlag("seed", "7", "experiment seed");
   cli->AddFlag("epochs", "0", "override global epochs (0 = preset default)");
   cli->AddFlag("out_dir", ".", "directory for CSV output");
-  cli->AddFlag("agg", "mean", "server aggregation: mean | sum | weighted");
-  cli->AddFlag("threads", "1",
-               "round-execution threads (0 = hardware concurrency; results "
-               "are identical for any value)");
-  cli->AddFlag("dense_updates", "false",
-               "use the dense reference client-update path instead of "
-               "sparse row-touched updates");
-  cli->AddFlag("scalar_scoring", "false",
-               "use the per-sample reference scoring path instead of the "
-               "batched kernels (bit-identical; for comparison runs)");
-  cli->AddFlag("scalar_topk", "false",
-               "use the per-user partial_sort reference top-K selection "
-               "instead of the fused streaming selector (bit-identical; "
-               "for comparison runs)");
-  cli->AddFlag("eval_candidates", "0",
-               "candidate-sliced evaluation: test items + N seeded "
-               "negatives per user (0 = full catalogue, the paper's "
-               "protocol)");
-  cli->AddFlag("replica_cap", "0",
-               "per-client LRU cap on delta-sync replica rows (0 = "
-               "unlimited)");
-  cli->AddFlag("sparse_comm", "false",
-               "report actually-shipped (sparse/delta) scalars instead of "
-               "the paper's dense accounting");
-  cli->AddFlag("delta_downloads", "false",
-               "row-subscription delta downloads instead of full-table "
-               "downloads (bit-identical metrics; see docs/SYNC.md)");
-  cli->AddFlag("availability", "1.0",
-               "P(selected client is online); offline clients requeue");
-  cli->AddFlag("straggler_slack", "0",
-               "over-selection slack per round (0 = deterministic "
-               "protocol)");
-  cli->AddFlag("compute_backend", "fp64",
-               "numeric compute backend: fp64 (bit-exact reference) | fp32 "
-               "(float client math) | fp32_simd (float + AVX2 kernels)");
-  cli->AddFlag("wire_format", "auto",
-               "wire scalar width for byte accounting: auto | fp64 | fp32 | "
-               "fp16 (auto = fp64, or fp32 when --compute_backend is fp32*)");
-  cli->AddFlag("async", "false",
-               "asynchronous merge-on-arrival aggregation instead of "
-               "synchronous rounds (docs/SYNC.md)");
-  cli->AddFlag("async_alpha", "0.5",
-               "staleness exponent: updates merge with w(s)=1/(1+s)^alpha");
-  cli->AddFlag("async_max_staleness", "0",
-               "drop arrivals staler than this version gap (0 = no cap)");
-  cli->AddFlag("async_dispatch_batch", "1",
-               "completions merged before freed slots re-dispatch as one "
-               "parallel batch");
-  cli->AddFlag("async_inflight", "0",
-               "clients concurrently in flight (0 = clients_per_round)");
-  cli->AddFlag("async_distill_every", "0",
-               "merged updates between RESKD distillations "
-               "(0 = clients_per_round)");
-  cli->AddFlag("net_bandwidth_sigma", "0",
-               "log-normal sigma of the per-client bandwidth multiplier");
-  cli->AddFlag("net_latency_sigma", "0",
-               "log-normal sigma of the per-(client,round) latency");
-  cli->AddFlag("net_compute", "0",
-               "local compute seconds per training sample");
-  cli->AddFlag("fault_upload_loss", "0", "P(trained update lost in flight)");
-  cli->AddFlag("fault_download_loss", "0",
-               "P(model never reaches the selected client)");
-  cli->AddFlag("fault_crash", "0", "P(client crashes mid-local-epoch)");
-  cli->AddFlag("fault_duplicate", "0",
-               "P(update delivered twice; server dedupes)");
-  cli->AddFlag("fault_corrupt", "0",
-               "P(update corrupted in flight: NaN/Inf/large-norm)");
-  cli->AddFlag("admission", "false",
-               "server-side update admission control (docs/ROBUSTNESS.md)");
-  cli->AddFlag("admit_max_row_norm", "0",
-               "clip uploaded item-delta rows to this L2 norm (0 = off)");
-  cli->AddFlag("admit_outlier_z", "0",
-               "reject updates with robust z-score above this (0 = off)");
-  cli->AddFlag("checkpoint_every", "0",
-               "write a crash-consistent run checkpoint every n rounds "
-               "(sync) / epochs (async)");
-  cli->AddFlag("resume", "false",
-               "resume from a run checkpoint written by --checkpoint_every");
-  cli->AddFlag("metrics_out", "",
-               "stream per-round metrics as JSONL here "
-               "(docs/OBSERVABILITY.md; never perturbs results)");
-  cli->AddFlag("trace_out", "",
-               "write a Chrome/Perfetto trace of the simulated run here");
-  cli->AddFlag("profile", "false",
-               "wall-clock phase profiling; prints a phase table per run");
+  RegisterExperimentFlags(cli);
 }
 
 StatusOr<ExperimentConfig> ConfigFromFlags(const CommandLine& cli) {
   ExperimentConfig cfg;
-  cfg.seed = static_cast<uint64_t>(cli.GetInt("seed"));
 
   // clients_per_round scales with the population: the paper selects 256 of
   // 6,040+ users per round (~4%), giving hundreds of aggregation rounds per
@@ -130,68 +48,11 @@ StatusOr<ExperimentConfig> ConfigFromFlags(const CommandLine& cli) {
     return Status::InvalidArgument("unknown --scale '" + scale + "'");
   }
 
+  Status applied = ApplyExperimentFlags(cli, &cfg);
+  if (!applied.ok()) return applied;
+
   int epochs = cli.GetInt("epochs");
   if (epochs > 0) cfg.global_epochs = epochs;
-
-  cfg.num_threads = static_cast<size_t>(cli.GetInt("threads"));
-  cfg.use_sparse_updates = !cli.GetBool("dense_updates");
-  cfg.use_batched_scoring = !cli.GetBool("scalar_scoring");
-  cfg.use_batched_topk = !cli.GetBool("scalar_topk");
-  cfg.eval_candidate_sample =
-      static_cast<size_t>(cli.GetInt("eval_candidates"));
-  cfg.sync_replica_cap = static_cast<size_t>(cli.GetInt("replica_cap"));
-  cfg.sparse_comm_accounting = cli.GetBool("sparse_comm");
-  cfg.full_downloads = !cli.GetBool("delta_downloads");
-  cfg.availability = cli.GetDouble("availability");
-  cfg.straggler_slack = static_cast<size_t>(cli.GetInt("straggler_slack"));
-  auto backend = ComputeBackendByName(cli.GetString("compute_backend"));
-  if (!backend.ok()) return backend.status();
-  cfg.compute_backend = *backend;
-  const std::string wire_format = cli.GetString("wire_format");
-  if (wire_format == "auto") {
-    cfg.wire_scalar_bytes =
-        cfg.compute_backend == ComputeBackend::kFp64 ? 8 : 4;
-  } else {
-    auto wire = WireScalarBytesByName(wire_format);
-    if (!wire.ok()) return wire.status();
-    cfg.wire_scalar_bytes = *wire;
-  }
-  cfg.async_mode = cli.GetBool("async");
-  cfg.async_staleness_alpha = cli.GetDouble("async_alpha");
-  cfg.async_max_staleness =
-      static_cast<size_t>(cli.GetInt("async_max_staleness"));
-  cfg.async_dispatch_batch =
-      static_cast<size_t>(cli.GetInt("async_dispatch_batch"));
-  cfg.async_inflight = static_cast<size_t>(cli.GetInt("async_inflight"));
-  cfg.async_distill_every =
-      static_cast<size_t>(cli.GetInt("async_distill_every"));
-  cfg.net_bandwidth_sigma = cli.GetDouble("net_bandwidth_sigma");
-  cfg.net_latency_sigma = cli.GetDouble("net_latency_sigma");
-  cfg.net_compute_per_sample = cli.GetDouble("net_compute");
-  cfg.fault_upload_loss = cli.GetDouble("fault_upload_loss");
-  cfg.fault_download_loss = cli.GetDouble("fault_download_loss");
-  cfg.fault_crash = cli.GetDouble("fault_crash");
-  cfg.fault_duplicate = cli.GetDouble("fault_duplicate");
-  cfg.fault_corrupt = cli.GetDouble("fault_corrupt");
-  cfg.admission_control = cli.GetBool("admission");
-  cfg.admit_max_row_norm = cli.GetDouble("admit_max_row_norm");
-  cfg.admit_outlier_z = cli.GetDouble("admit_outlier_z");
-  cfg.checkpoint_every = static_cast<size_t>(cli.GetInt("checkpoint_every"));
-  cfg.resume_run = cli.GetBool("resume");
-  cfg.metrics_out = cli.GetString("metrics_out");
-  cfg.trace_out = cli.GetString("trace_out");
-  cfg.profile = cli.GetBool("profile");
-
-  const std::string agg = cli.GetString("agg");
-  if (agg == "mean") {
-    cfg.aggregation = AggregationMode::kMean;
-  } else if (agg == "sum") {
-    cfg.aggregation = AggregationMode::kSum;
-  } else if (agg == "weighted") {
-    cfg.aggregation = AggregationMode::kDataWeighted;
-  } else {
-    return Status::InvalidArgument("unknown --agg '" + agg + "'");
-  }
   return cfg;
 }
 

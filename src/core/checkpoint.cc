@@ -3,7 +3,7 @@
 #include <cstring>
 #include <fstream>
 
-#include "src/core/hetero_server.h"
+#include "src/core/server_api.h"
 
 namespace hetefedrec {
 
@@ -197,8 +197,7 @@ StatusOr<FeedForwardNet> ReadFfn(std::istream* in) {
   return net;
 }
 
-Status SaveServerCheckpoint(const std::string& path,
-                            const HeteroServer& server,
+Status SaveServerCheckpoint(const std::string& path, const ServerApi& server,
                             const std::string& base_model_name) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open " + path);

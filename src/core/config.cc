@@ -1,6 +1,91 @@
 #include "src/core/config.h"
 
+#include "src/util/cli.h"
+
 namespace hetefedrec {
+
+Status ApplyExperimentFlags(const CommandLine& cli,
+                            ExperimentConfig* config) {
+  config->seed = cli.GetUint64("seed");
+  config->num_threads = static_cast<size_t>(cli.GetInt("threads"));
+  config->use_sparse_updates = !cli.GetBool("dense_updates");
+  config->use_batched_scoring = !cli.GetBool("scalar_scoring");
+  config->use_batched_topk = !cli.GetBool("scalar_topk");
+  config->eval_candidate_sample =
+      static_cast<size_t>(cli.GetInt("eval_candidates"));
+  config->sync_replica_cap = static_cast<size_t>(cli.GetInt("replica_cap"));
+  config->sparse_comm_accounting = cli.GetBool("sparse_comm");
+  config->full_downloads = !cli.GetBool("delta_downloads");
+  config->availability = cli.GetDouble("availability");
+  config->straggler_slack = static_cast<size_t>(cli.GetInt("straggler_slack"));
+  config->round_deadline = cli.GetDouble("round_deadline");
+
+  auto backend = ComputeBackendByName(cli.GetString("compute_backend"));
+  if (!backend.ok()) return backend.status();
+  config->compute_backend = *backend;
+  const std::string wire_format = cli.GetString("wire_format");
+  if (wire_format == "auto") {
+    config->wire_scalar_bytes =
+        config->compute_backend == ComputeBackend::kFp64 ? 8 : 4;
+  } else {
+    auto wire = WireScalarBytesByName(wire_format);
+    if (!wire.ok()) return wire.status();
+    config->wire_scalar_bytes = *wire;
+  }
+  config->server_shards = static_cast<size_t>(cli.GetInt("server_shards"));
+
+  config->net_bandwidth = cli.GetDouble("net_bandwidth");
+  config->net_bandwidth_sigma = cli.GetDouble("net_bandwidth_sigma");
+  config->net_latency = cli.GetDouble("net_latency");
+  config->net_latency_sigma = cli.GetDouble("net_latency_sigma");
+  config->net_compute_per_sample = cli.GetDouble("net_compute");
+
+  config->async_mode = cli.GetBool("async");
+  config->async_staleness_alpha = cli.GetDouble("async_alpha");
+  config->async_max_staleness =
+      static_cast<size_t>(cli.GetInt("async_max_staleness"));
+  config->async_dispatch_batch =
+      static_cast<size_t>(cli.GetInt("async_dispatch_batch"));
+  config->async_inflight = static_cast<size_t>(cli.GetInt("async_inflight"));
+  config->async_distill_every =
+      static_cast<size_t>(cli.GetInt("async_distill_every"));
+
+  config->fault_upload_loss = cli.GetDouble("fault_upload_loss");
+  config->fault_download_loss = cli.GetDouble("fault_download_loss");
+  config->fault_crash = cli.GetDouble("fault_crash");
+  config->fault_duplicate = cli.GetDouble("fault_duplicate");
+  config->fault_corrupt = cli.GetDouble("fault_corrupt");
+  config->fault_retry_max = static_cast<size_t>(cli.GetInt("fault_retry_max"));
+  config->fault_retry_base = cli.GetDouble("fault_retry_base");
+  config->fault_retry_cap = cli.GetDouble("fault_retry_cap");
+  config->fault_quarantine_base = cli.GetDouble("fault_quarantine_base");
+  config->fault_quarantine_cap = cli.GetDouble("fault_quarantine_cap");
+  config->fault_jitter = cli.GetDouble("fault_jitter");
+  config->admission_control = cli.GetBool("admission");
+  config->admit_max_row_norm = cli.GetDouble("admit_max_row_norm");
+  config->admit_outlier_z = cli.GetDouble("admit_outlier_z");
+
+  config->checkpoint_every =
+      static_cast<size_t>(cli.GetInt("checkpoint_every"));
+  config->resume_run = cli.GetBool("resume");
+  config->debug_stop_after_rounds =
+      static_cast<size_t>(cli.GetUint64("stop_after_rounds"));
+  config->metrics_out = cli.GetString("metrics_out");
+  config->trace_out = cli.GetString("trace_out");
+  config->profile = cli.GetBool("profile");
+
+  const std::string agg = cli.GetString("agg");
+  if (agg == "mean") {
+    config->aggregation = AggregationMode::kMean;
+  } else if (agg == "sum") {
+    config->aggregation = AggregationMode::kSum;
+  } else if (agg == "weighted") {
+    config->aggregation = AggregationMode::kDataWeighted;
+  } else {
+    return Status::InvalidArgument("unknown --agg '" + agg + "'");
+  }
+  return Status::OK();
+}
 
 std::string MethodName(Method m) {
   switch (m) {
@@ -99,6 +184,10 @@ Status ExperimentConfig::Validate() const {
   // Catches negative CLI ints cast through size_t (2^64-ish values).
   if (num_threads > 4096) {
     return Status::InvalidArgument("num_threads is implausibly large");
+  }
+  if (server_shards > 4096) {
+    return Status::InvalidArgument(
+        "server_shards is implausibly large (negative CLI value?)");
   }
   if (eval_candidate_sample > (size_t{1} << 32)) {
     return Status::InvalidArgument(

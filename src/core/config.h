@@ -12,6 +12,16 @@
 
 namespace hetefedrec {
 
+class CommandLine;
+struct ExperimentConfig;
+
+/// Applies the shared experiment flags registered by
+/// RegisterExperimentFlags (src/util/cli.h) onto `config`, leaving every
+/// other field untouched. Returns InvalidArgument for unparseable enum
+/// values (--agg, --compute_backend, --wire_format). Callers set their
+/// binary-specific fields (presets, dataset, dims, ...) before or after.
+Status ApplyExperimentFlags(const CommandLine& cli, ExperimentConfig* config);
+
 /// The seven training schemes of §V-C: the six baselines plus HeteFedRec.
 enum class Method {
   kAllSmall,
@@ -146,6 +156,16 @@ struct ExperimentConfig {
   /// bit-identical to kFp32 by construction. fp32 metrics stay within the
   /// tolerance pinned by tests/core/backend_equivalence_test.cc.
   ComputeBackend compute_backend = ComputeBackend::kFp64;
+
+  /// Item-range parameter-server shards (docs/SYNC.md "Sharding").
+  /// 0 (default): the single-table HeteroServer — every prior result is
+  /// bit-identical. S >= 1: the ShardedServer with S shards; S=1 is
+  /// bit-identical to the single table, and because padded aggregation is
+  /// row-independent every S reproduces the same tables bit-for-bit (the
+  /// shard count changes memory layout and per-shard accounting, not
+  /// arithmetic — pinned by tests/core/sharding_equivalence_test.cc).
+  /// Participates in the resume fingerprint.
+  size_t server_shards = 0;
 
   // --- delta sync & simulated network (docs/SYNC.md) --------------------
   /// True (default): every participation downloads the full item table —

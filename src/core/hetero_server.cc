@@ -91,6 +91,9 @@ void HeteroServer::Accumulate(const std::vector<LocalTaskSpec>& tasks,
   const size_t client_width =
       update.sparse ? update.v_delta_sparse.width : update.v_delta.cols();
   HFR_CHECK_EQ(tasks.back().width, client_width);
+  upload_scalars_ += static_cast<uint64_t>(client_width) *
+                     (update.sparse ? update.v_delta_sparse.num_rows()
+                                    : update.v_delta.rows());
 
   if (shared_aggregation_) {
     // Eq. 7-8: zero-pad to the widest slot and sum.
@@ -261,6 +264,35 @@ double HeteroServer::Distill(const DistillationOptions& options, Rng* rng) {
 size_t HeteroServer::SlotParamCount(size_t slot) const {
   HFR_CHECK_LT(slot, tables_.size());
   return tables_[slot].size() + thetas_[slot].ParamCount();
+}
+
+ServerSnapshot HeteroServer::Snapshot() const {
+  ServerSnapshot snap;
+  snap.tables = tables_;
+  snap.thetas = thetas_;
+  snap.version_round = versions_.round();
+  snap.version_floors.reserve(tables_.size());
+  snap.versions.reserve(tables_.size());
+  for (size_t s = 0; s < tables_.size(); ++s) {
+    snap.version_floors.push_back(versions_.floor_of(s));
+    snap.versions.push_back(versions_.slot_versions(s));
+  }
+  return snap;
+}
+
+void HeteroServer::RestoreSnapshot(ServerSnapshot snapshot) {
+  HFR_CHECK(!round_open_);
+  HFR_CHECK_EQ(snapshot.tables.size(), tables_.size());
+  HFR_CHECK_EQ(snapshot.thetas.size(), thetas_.size());
+  for (size_t s = 0; s < tables_.size(); ++s) {
+    HFR_CHECK_EQ(snapshot.tables[s].rows(), tables_[s].rows());
+    HFR_CHECK_EQ(snapshot.tables[s].cols(), tables_[s].cols());
+    HFR_CHECK_EQ(snapshot.thetas[s].ParamCount(), thetas_[s].ParamCount());
+  }
+  tables_ = std::move(snapshot.tables);
+  thetas_ = std::move(snapshot.thetas);
+  versions_.Restore(snapshot.version_round, snapshot.version_floors,
+                    snapshot.versions);
 }
 
 AdmissionDecision HeteroServer::Admit(const std::vector<LocalTaskSpec>& tasks,

@@ -17,6 +17,7 @@
 #include "src/core/config.h"
 #include "src/core/distillation.h"
 #include "src/core/local_trainer.h"
+#include "src/core/server_api.h"
 #include "src/fed/fault/admission.h"
 #include "src/fed/sync/versioned_table.h"
 #include "src/models/ffn.h"
@@ -24,8 +25,8 @@
 
 namespace hetefedrec {
 
-/// \brief Heterogeneous federated server state.
-class HeteroServer {
+/// \brief Heterogeneous federated server state (single-table ServerApi).
+class HeteroServer : public ServerApi {
  public:
   struct Options {
     /// Embedding width per slot, strictly ascending. One entry =
@@ -46,24 +47,35 @@ class HeteroServer {
 
   explicit HeteroServer(const Options& options);
 
-  size_t num_slots() const { return tables_.size(); }
-  size_t width(size_t slot) const { return tables_[slot].cols(); }
-  const Matrix& table(size_t slot) const { return tables_[slot]; }
+  size_t num_slots() const override { return tables_.size(); }
+  size_t width(size_t slot) const override { return tables_[slot].cols(); }
+  size_t num_items() const override { return versions_.num_rows(); }
+  const Matrix& table(size_t slot) const override { return tables_[slot]; }
   Matrix& mutable_table(size_t slot) { return tables_[slot]; }
-  const FeedForwardNet& theta(size_t slot) const { return thetas_[slot]; }
+  const FeedForwardNet& theta(size_t slot) const override {
+    return thetas_[slot];
+  }
   FeedForwardNet& mutable_theta(size_t slot) { return thetas_[slot]; }
 
   /// Per-(slot, row) version stamps for the delta-sync protocol: a row's
   /// version is the round of the last FinishRound/Distill that changed it.
   /// Callers that mutate tables directly (mutable_table) must stamp the
   /// rows they touch to keep replicas sound.
-  const VersionedTable& versions() const { return versions_; }
+  const VersionedTable& versions() const override { return versions_; }
   VersionedTable& mutable_versions() { return versions_; }
+
+  /// One item-range shard covering the whole catalogue.
+  size_t num_shards() const override { return 1; }
+  size_t shard_of_row(size_t /*row*/) const override { return 0; }
+  uint64_t shard_upload_scalars(size_t shard) const override {
+    HFR_CHECK_EQ(shard, 0u);
+    return upload_scalars_;
+  }
 
   /// Clears the round accumulators. Call before the first Accumulate.
   /// Cost is proportional to the rows touched in the *previous* round
   /// (full-table only after a round that saw a dense update).
-  void BeginRound();
+  void BeginRound() override;
 
   /// Adds one client's uploaded update. `tasks` describes which slot each
   /// theta delta belongs to and the width of v_delta (its last entry).
@@ -75,11 +87,18 @@ class HeteroServer {
   void Accumulate(const std::vector<LocalTaskSpec>& tasks,
                   const LocalUpdateResult& update, double weight = 1.0);
 
+  /// ServerApi name for Accumulate.
+  void UploadDelta(const std::vector<LocalTaskSpec>& tasks,
+                   const LocalUpdateResult& update,
+                   double weight = 1.0) override {
+    Accumulate(tasks, update, weight);
+  }
+
   /// Applies the aggregated updates to every slot (Eq. 9 / Eq. 15). When
   /// every update this round was sparse, only rows in the round's touched
   /// set are visited — rows outside it have an exactly-zero aggregate, so
   /// skipping them is bit-identical to the dense sweep.
-  void FinishRound();
+  void FinishRound() override;
 
   /// Applies one client's update immediately, scaled by `scale` — the
   /// asynchronous merge-on-arrival primitive (docs/SYNC.md). Equivalent to
@@ -94,27 +113,39 @@ class HeteroServer {
   /// use_sparse_updates on — the dense reference path is for equivalence
   /// checks, not throughput.
   void ApplyUpdate(const std::vector<LocalTaskSpec>& tasks,
-                   const LocalUpdateResult& update, double scale);
+                   const LocalUpdateResult& update, double scale) override;
 
   /// Runs RESKD across all slots' tables (Eq. 16-17). Returns the mean
   /// pre-distillation relation loss. No-op (returns 0) with one slot.
-  double Distill(const DistillationOptions& options, Rng* rng);
+  double Distill(const DistillationOptions& options, Rng* rng) override;
+
+  /// Marks `rows` of `slot` as changed at the current round.
+  void StampRows(size_t slot, const std::vector<uint32_t>& rows) override {
+    for (uint32_t r : rows) versions_.Stamp(slot, r);
+  }
 
   /// Total public parameters of slot (V + Θ) — Table III accounting.
-  size_t SlotParamCount(size_t slot) const;
+  size_t SlotParamCount(size_t slot) const override;
 
   /// Installs update admission control (docs/ROBUSTNESS.md). The server
   /// does not own the controller; callers run `Admit` on each upload
   /// before Accumulate/ApplyUpdate (in deterministic merge order — the
   /// gate's accepted-norm history is order-sensitive by design).
-  void SetAdmission(AdmissionController* admission) { admission_ = admission; }
-  bool admission_enabled() const { return admission_ != nullptr; }
+  void SetAdmission(AdmissionController* admission) override {
+    admission_ = admission;
+  }
+  bool admission_enabled() const override { return admission_ != nullptr; }
 
   /// Runs the admission gates on one upload (`tasks.back().slot` selects
   /// the norm window; the item delta may be clipped in place). Requires an
   /// installed controller.
   AdmissionDecision Admit(const std::vector<LocalTaskSpec>& tasks,
-                          LocalUpdateResult* update);
+                          LocalUpdateResult* update) override;
+
+  /// Copies the full mutable state (tables, thetas, raw version stamps).
+  ServerSnapshot Snapshot() const override;
+  /// Restores a Snapshot with matching geometry (checked).
+  void RestoreSnapshot(ServerSnapshot snapshot) override;
 
  private:
   std::vector<Matrix> tables_;
@@ -145,6 +176,9 @@ class HeteroServer {
   bool round_has_dense_ = false;
 
   AdmissionController* admission_ = nullptr;  // not owned
+
+  /// Lifetime item-embedding delta scalars received (shard accounting).
+  uint64_t upload_scalars_ = 0;
 
   void MarkTouched(uint32_t row);
 };

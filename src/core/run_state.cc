@@ -97,7 +97,7 @@ uint64_t ConfigFingerprint(const ExperimentConfig& c,
     << c.fault_retry_cap << '|' << c.fault_quarantine_base << '|'
     << c.fault_quarantine_cap << '|' << c.fault_jitter << '|'
     << c.admission_control << '|' << c.admit_max_row_norm << '|'
-    << c.admit_outlier_z << '|'
+    << c.admit_outlier_z << '|' << c.server_shards << '|'
     // fp32 and fp32_simd are results-identical by construction, so only
     // the float-vs-double choice joins the digest — a run may resume under
     // the other fp32 flavor (or after an AVX2 fallback) without drift.

@@ -18,6 +18,7 @@
 #include "src/fed/fault/client_gate.h"
 #include "src/fed/fault/fault_injector.h"
 #include "src/fed/scheduler.h"
+#include "src/fed/shard/sharded_server.h"
 #include "src/fed/sync/async_aggregator.h"
 #include "src/fed/sync/network.h"
 #include "src/fed/sync/sync_service.h"
@@ -345,7 +346,10 @@ class FederatedRun {
     server_opts.aggregation = cfg_.aggregation;
     server_opts.shared_aggregation = setup_.shared_aggregation;
     server_opts.seed = root_.Fork(1).Next();
-    server_ = std::make_unique<HeteroServer>(server_opts);
+    // server_shards == 0 keeps the single-table HeteroServer; any S >= 1
+    // builds the item-range ShardedServer. Either way the trainer only
+    // sees ServerApi from here on.
+    server_ = MakeServer(server_opts, cfg_.server_shards);
 
     clients_.resize(dataset_.num_users());
     for (size_t u = 0; u < clients_.size(); ++u) {
@@ -625,7 +629,7 @@ class FederatedRun {
         cfg_.aggregation == AggregationMode::kDataWeighted
             ? static_cast<double>(dataset_.TrainItems(u).size())
             : 1.0;
-    server_->Accumulate(
+    server_->UploadDelta(
         setup_.tasks_of_group[static_cast<int>(clients_[u].group)], update,
         weight);
   }
@@ -1301,18 +1305,15 @@ class FederatedRun {
       st.client_rngs.push_back(c.rng.SaveState());
       st.client_embeddings.push_back(c.user_embedding);
     }
-    const size_t num_slots = server_->num_slots();
-    st.tables.reserve(num_slots);
-    st.thetas.reserve(num_slots);
-    st.version_floors.reserve(num_slots);
-    st.versions.reserve(num_slots);
-    for (size_t s = 0; s < num_slots; ++s) {
-      st.tables.push_back(server_->table(s));
-      st.thetas.push_back(server_->theta(s));
-      st.version_floors.push_back(server_->versions().floor_of(s));
-      st.versions.push_back(server_->versions().slot_versions(s));
-    }
-    st.version_round = server_->versions().round();
+    // The server's mutable state crosses through ServerApi::Snapshot, whose
+    // layout is shard-count independent — sharded runs checkpoint and
+    // resume through the same RunState fields as the single table.
+    ServerSnapshot server_snap = server_->Snapshot();
+    st.tables = std::move(server_snap.tables);
+    st.thetas = std::move(server_snap.thetas);
+    st.version_floors = std::move(server_snap.version_floors);
+    st.versions = std::move(server_snap.versions);
+    st.version_round = server_snap.version_round;
     for (UserId u : queue_->PendingSnapshot()) {
       st.queue_pending.push_back(static_cast<uint64_t>(u));
     }
@@ -1381,16 +1382,13 @@ class FederatedRun {
                    clients_[u].user_embedding.cols());
       clients_[u].user_embedding = std::move(st.client_embeddings[u]);
     }
-    for (size_t s = 0; s < server_->num_slots(); ++s) {
-      HFR_CHECK_EQ(st.tables[s].rows(), server_->table(s).rows());
-      HFR_CHECK_EQ(st.tables[s].cols(), server_->table(s).cols());
-      server_->mutable_table(s) = std::move(st.tables[s]);
-      HFR_CHECK_EQ(st.thetas[s].ParamCount(),
-                   server_->theta(s).ParamCount());
-      server_->mutable_theta(s) = std::move(st.thetas[s]);
-    }
-    server_->mutable_versions().Restore(st.version_round, st.version_floors,
-                                        st.versions);
+    ServerSnapshot server_snap;
+    server_snap.tables = std::move(st.tables);
+    server_snap.thetas = std::move(st.thetas);
+    server_snap.version_round = st.version_round;
+    server_snap.version_floors = std::move(st.version_floors);
+    server_snap.versions = std::move(st.versions);
+    server_->RestoreSnapshot(std::move(server_snap));
     std::vector<UserId> pending;
     pending.reserve(st.queue_pending.size());
     for (uint64_t u : st.queue_pending) {
@@ -1629,7 +1627,7 @@ class FederatedRun {
   Timer timer_;  // wall clock, started at construction like the old loop
   Rng root_;
 
-  std::unique_ptr<HeteroServer> server_;
+  std::unique_ptr<ServerApi> server_;
   std::vector<ClientState> clients_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<LocalTrainer>> trainers_;

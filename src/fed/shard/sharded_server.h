@@ -1,0 +1,169 @@
+// Item-range-sharded parameter server (ServerApi implementation #2).
+//
+// The catalogue's row space [0, num_items) is split into S contiguous,
+// near-equal ranges; shard s owns rows [lo_s, lo_{s+1}) with
+// lo_s = floor(num_items * s / S). Each shard owns its slice of the round
+// state — per-shard aggregate buffers, per-shard touched-row lists, and a
+// per-shard `VersionedTable` (local row indexing) — while the canonical
+// per-slot tables and Θ FFNs stay whole-catalogue (Θ aggregation and RESKD
+// are cross-row operations; see docs/SYNC.md "Sharding").
+//
+// Merge-order contract: `FinishRound` visits shards in ascending shard id
+// inside every (slot, width-segment) apply loop, and each shard replays its
+// touched rows in upload order. Because the padded aggregation of Eq. 7-9
+// is row-independent — accumulate is a per-row Axpy, apply is a per-row
+// scaled add, and the segment/slot/Θ weights are global scalars — this
+// schedule is *bit-identical* to the single-table `HeteroServer` for every
+// shard count, not just S=1 (pinned by tests/core/sharding_equivalence_test
+// and tests/fed/sharded_server_test).
+//
+// Round lockstep: BeginRound advances every shard's version table, so all
+// shards always agree on the current round and on the per-slot StampAll
+// floors (dense rounds stamp every shard in the same FinishRound). That
+// invariant is what lets Snapshot() export one global `version_round` and
+// per-slot floors while concatenating the raw per-row stamps by row range —
+// the same shard-count-independent layout `HeteroServer` produces, making
+// checkpoints portable across shard counts.
+#ifndef HETEFEDREC_FED_SHARD_SHARDED_SERVER_H_
+#define HETEFEDREC_FED_SHARD_SHARDED_SERVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/hetero_server.h"
+#include "src/core/server_api.h"
+#include "src/fed/sync/versioned_table.h"
+
+namespace hetefedrec {
+
+/// \brief ServerApi over S item-range shards.
+class ShardedServer : public ServerApi {
+ public:
+  struct Options {
+    /// Geometry/seed/aggregation options, shared with HeteroServer. The
+    /// same seed produces bit-identical initial tables and Θ weights.
+    HeteroServer::Options base;
+    size_t num_shards = 1;
+  };
+
+  explicit ShardedServer(const Options& options);
+
+  size_t num_slots() const override { return tables_.size(); }
+  size_t width(size_t slot) const override { return tables_[slot].cols(); }
+  size_t num_items() const override { return num_items_; }
+  size_t SlotParamCount(size_t slot) const override;
+
+  size_t num_shards() const override { return shards_.size(); }
+  size_t shard_of_row(size_t row) const override;
+  uint64_t shard_upload_scalars(size_t shard) const override {
+    HFR_CHECK_LT(shard, shards_.size());
+    return shards_[shard].upload_scalars;
+  }
+  /// First row of `shard`'s range (range end = start of shard + 1, or
+  /// num_items for the last shard).
+  size_t shard_row_begin(size_t shard) const {
+    HFR_CHECK_LT(shard, shards_.size());
+    return shards_[shard].lo;
+  }
+  size_t shard_row_count(size_t shard) const {
+    HFR_CHECK_LT(shard, shards_.size());
+    return shards_[shard].rows;
+  }
+
+  const Matrix& table(size_t slot) const override { return tables_[slot]; }
+  const FeedForwardNet& theta(size_t slot) const override {
+    return thetas_[slot];
+  }
+  const VersionView& versions() const override { return view_; }
+
+  void BeginRound() override;
+  void UploadDelta(const std::vector<LocalTaskSpec>& tasks,
+                   const LocalUpdateResult& update,
+                   double weight = 1.0) override;
+  void FinishRound() override;
+  void ApplyUpdate(const std::vector<LocalTaskSpec>& tasks,
+                   const LocalUpdateResult& update, double scale) override;
+  double Distill(const DistillationOptions& options, Rng* rng) override;
+  void StampRows(size_t slot, const std::vector<uint32_t>& rows) override;
+
+  void SetAdmission(AdmissionController* admission) override {
+    admission_ = admission;
+  }
+  bool admission_enabled() const override { return admission_ != nullptr; }
+  AdmissionDecision Admit(const std::vector<LocalTaskSpec>& tasks,
+                          LocalUpdateResult* update) override;
+
+  ServerSnapshot Snapshot() const override;
+  void RestoreSnapshot(ServerSnapshot snapshot) override;
+
+ private:
+  /// Round/aggregation state owned by one item-range shard.
+  struct Shard {
+    size_t lo = 0;    // first global row of the range
+    size_t rows = 0;  // range length
+    /// Version stamps over the shard's rows, locally indexed.
+    VersionedTable versions;
+    /// Padded aggregate buffer (rows x widest), shared-aggregation mode.
+    Matrix v_agg;
+    /// Per-slot aggregate buffers (rows x width(slot)), clustered mode.
+    std::vector<Matrix> v_agg_per_slot;
+    /// Global row ids touched by this round's sparse uploads, in upload
+    /// order (deduplicated through the server-wide touched mask).
+    std::vector<uint32_t> touched;
+    /// Lifetime item-delta scalars routed into this shard's rows.
+    uint64_t upload_scalars = 0;
+  };
+
+  /// VersionView facade routing each row to its shard's table.
+  class ShardedVersionView : public VersionView {
+   public:
+    explicit ShardedVersionView(const ShardedServer* server)
+        : server_(server) {}
+    uint64_t round() const override {
+      return server_->shards_[0].versions.round();
+    }
+    uint64_t Version(size_t slot, size_t row) const override {
+      const Shard& sh = server_->shards_[server_->shard_of_row(row)];
+      return sh.versions.Version(slot, row - sh.lo);
+    }
+
+   private:
+    const ShardedServer* server_;
+  };
+
+  size_t num_items_ = 0;
+  AggregationMode aggregation_;
+  bool shared_aggregation_;
+
+  // Whole-catalogue canonical state (Θ and RESKD are cross-row).
+  std::vector<Matrix> tables_;
+  std::vector<FeedForwardNet> thetas_;
+
+  std::vector<Shard> shards_;
+  std::vector<size_t> shard_starts_;  // shards_[i].lo, for row routing
+  ShardedVersionView view_;
+
+  // Global round scalars — identical bookkeeping to HeteroServer.
+  std::vector<double> segment_weight_;
+  std::vector<double> slot_weight_;
+  std::vector<FeedForwardNet> theta_agg_;
+  std::vector<double> theta_weight_;
+  bool round_open_ = false;
+  bool round_has_dense_ = false;
+  std::vector<uint8_t> touched_mask_;  // global row ids
+
+  AdmissionController* admission_ = nullptr;  // not owned
+
+  void MarkTouched(uint32_t row, Shard* shard);
+};
+
+/// Builds the server an experiment configured with `server_shards` shards
+/// wants: the single-table `HeteroServer` when `server_shards == 0` (the
+/// legacy default), otherwise a `ShardedServer` with that many shards
+/// (S=1 included — useful for pinning the equivalence).
+std::unique_ptr<ServerApi> MakeServer(const HeteroServer::Options& options,
+                                      size_t server_shards);
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_FED_SHARD_SHARDED_SERVER_H_

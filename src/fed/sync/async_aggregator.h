@@ -38,8 +38,8 @@
 #include <vector>
 
 #include "src/core/distillation.h"
-#include "src/core/hetero_server.h"
 #include "src/core/local_trainer.h"
+#include "src/core/server_api.h"
 #include "src/data/types.h"
 #include "src/util/rng.h"
 
@@ -79,8 +79,9 @@ class AsyncAggregator {
     size_t params_up = 0;
   };
 
-  /// The aggregator merges into `server`, which must outlive it.
-  AsyncAggregator(HeteroServer* server, const Options& options);
+  /// The aggregator merges into `server` (any ServerApi implementation),
+  /// which must outlive it.
+  AsyncAggregator(ServerApi* server, const Options& options);
 
   const Options& options() const { return options_; }
 
@@ -131,7 +132,7 @@ class AsyncAggregator {
   /// Min-heap order on (finish, seq).
   static bool Later(const Event& a, const Event& b);
 
-  HeteroServer* server_;
+  ServerApi* server_;
   Options options_;
   std::vector<Event> events_;  // heap via push_heap/pop_heap
   uint64_t next_seq_ = 0;

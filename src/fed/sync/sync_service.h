@@ -66,7 +66,7 @@ class SyncService {
   /// external serialization — call in deterministic merge order.
   SyncPlan Sync(UserId u, size_t slot,
                 const std::vector<uint32_t>& subscription,
-                const Matrix& table, const VersionedTable& versions,
+                const Matrix& table, const VersionView& versions,
                 size_t theta_params);
 
   /// Scalars the dense protocol would ship for the same download.

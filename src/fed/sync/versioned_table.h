@@ -24,8 +24,29 @@
 
 namespace hetefedrec {
 
+/// \brief Read-only row-version contract of a server (ServerApi::versions).
+///
+/// The delta-sync protocol needs exactly two facts from a server, however
+/// its version state is stored (one table, or one table per shard):
+///   - `round()`: the stamp the *next* mutation will carry — the download
+///     version async staleness is measured against.
+///   - `Version(slot, row)`: the last round in which (slot, row) could have
+///     changed, monotone per row.
+/// `VersionedTable` is the single-table implementation; the sharded server
+/// exposes a view that routes each row to its shard's table.
+class VersionView {
+ public:
+  virtual ~VersionView() = default;
+
+  /// Round the next stamps will carry.
+  virtual uint64_t round() const = 0;
+
+  /// Last round in which (slot, row) could have changed.
+  virtual uint64_t Version(size_t slot, size_t row) const = 0;
+};
+
 /// \brief Round-stamped row versions for every model slot of one server.
-class VersionedTable {
+class VersionedTable : public VersionView {
  public:
   VersionedTable() = default;
 

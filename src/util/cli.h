@@ -42,6 +42,16 @@ class CommandLine {
   std::map<std::string, Flag> flags_;
 };
 
+/// Registers the experiment flags shared by every experiment binary (the
+/// bench suite and tools/hetefedrec_run): execution toggles, delta sync,
+/// simulated network, async aggregation, fault injection, admission,
+/// sharding, checkpointing and telemetry. Pure string registration — the
+/// matching config application lives in ApplyExperimentFlags
+/// (src/core/config.h), so flag names, defaults and help text exist in
+/// exactly one place. Binary-specific flags (presets, dataset/model
+/// selection, paper hyper-parameters) stay with their binaries.
+void RegisterExperimentFlags(CommandLine* cli);
+
 }  // namespace hetefedrec
 
 #endif  // HETEFEDREC_UTIL_CLI_H_

@@ -1,0 +1,30 @@
+#include "src/util/rss.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace hetefedrec {
+
+size_t PeakRssKb() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long value = 0;
+      if (std::sscanf(line + 6, "%llu", &value) == 1) {
+        kb = static_cast<size_t>(value);
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace hetefedrec

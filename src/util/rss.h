@@ -1,0 +1,21 @@
+// Process peak-RSS probe for the scale-out bench and tests.
+//
+// The million-user streaming workload's whole point is bounded memory, so
+// the bench table and the stream tests report/assert the process high-water
+// mark rather than trusting the design. Linux-only (reads VmHWM from
+// /proc/self/status); returns 0 where the probe is unavailable, and callers
+// must treat 0 as "unknown", not "zero bytes".
+#ifndef HETEFEDREC_UTIL_RSS_H_
+#define HETEFEDREC_UTIL_RSS_H_
+
+#include <cstddef>
+
+namespace hetefedrec {
+
+/// Peak resident set size of the current process in KiB, or 0 when the
+/// platform probe is unavailable.
+size_t PeakRssKb();
+
+}  // namespace hetefedrec
+
+#endif  // HETEFEDREC_UTIL_RSS_H_

@@ -2,12 +2,103 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "src/util/cli.h"
+
 namespace hetefedrec {
 namespace {
 
 TEST(ConfigTest, DefaultsValid) {
   ExperimentConfig cfg;
   EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, ShardCountValidation) {
+  ExperimentConfig cfg;
+  cfg.server_shards = 1;
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.server_shards = 8;
+  EXPECT_TRUE(cfg.Validate().ok());
+  // A negative CLI value cast through size_t must be caught.
+  cfg.server_shards = static_cast<size_t>(-2);
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+// The shared flag registry and its config application agree: parsing the
+// registered flags and applying them sets exactly the shared fields, and
+// the all-defaults application leaves a default config unchanged in every
+// results-affecting way.
+TEST(ConfigTest, ApplyExperimentFlagsMatchesRegistry) {
+  CommandLine cli;
+  RegisterExperimentFlags(&cli);
+  std::vector<std::string> raw = {
+      "prog",        "--server_shards=4", "--async",
+      "--seed=99",   "--agg=sum",         "--threads=3",
+      "--delta_downloads", "--fault_crash=0.05", "--admission",
+      "--admit_outlier_z=3.5", "--wire_format=fp16",
+      "--stop_after_rounds=12"};
+  std::vector<char*> argv;
+  for (auto& a : raw) argv.push_back(a.data());
+  ASSERT_TRUE(cli.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+
+  ExperimentConfig cfg;
+  ASSERT_TRUE(ApplyExperimentFlags(cli, &cfg).ok());
+  EXPECT_EQ(cfg.server_shards, 4u);
+  EXPECT_TRUE(cfg.async_mode);
+  EXPECT_EQ(cfg.seed, 99u);
+  EXPECT_EQ(cfg.aggregation, AggregationMode::kSum);
+  EXPECT_EQ(cfg.num_threads, 3u);
+  EXPECT_FALSE(cfg.full_downloads);
+  EXPECT_DOUBLE_EQ(cfg.fault_crash, 0.05);
+  EXPECT_TRUE(cfg.admission_control);
+  EXPECT_DOUBLE_EQ(cfg.admit_outlier_z, 3.5);
+  EXPECT_EQ(cfg.wire_scalar_bytes, 2u);
+  EXPECT_EQ(cfg.debug_stop_after_rounds, 12u);
+  // Fields outside the registry are untouched.
+  EXPECT_EQ(cfg.dataset, "ml");
+  EXPECT_EQ(cfg.global_epochs, 20);
+}
+
+TEST(ConfigTest, ApplyExperimentFlagsDefaultsAreNeutral) {
+  CommandLine cli;
+  RegisterExperimentFlags(&cli);
+  std::vector<std::string> raw = {"prog"};
+  std::vector<char*> argv;
+  for (auto& a : raw) argv.push_back(a.data());
+  ASSERT_TRUE(cli.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+
+  ExperimentConfig cfg;
+  ASSERT_TRUE(ApplyExperimentFlags(cli, &cfg).ok());
+  const ExperimentConfig def;
+  EXPECT_EQ(cfg.server_shards, def.server_shards);
+  EXPECT_EQ(cfg.async_mode, def.async_mode);
+  EXPECT_EQ(cfg.aggregation, def.aggregation);
+  EXPECT_EQ(cfg.compute_backend, def.compute_backend);
+  EXPECT_EQ(cfg.wire_scalar_bytes, def.wire_scalar_bytes);
+  EXPECT_EQ(cfg.full_downloads, def.full_downloads);
+  EXPECT_EQ(cfg.net_bandwidth, def.net_bandwidth);
+  EXPECT_EQ(cfg.net_latency, def.net_latency);
+  EXPECT_EQ(cfg.fault_retry_max, def.fault_retry_max);
+  EXPECT_EQ(cfg.fault_quarantine_cap, def.fault_quarantine_cap);
+  EXPECT_EQ(cfg.availability, def.availability);
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, ApplyExperimentFlagsRejectsBadEnums) {
+  for (const std::string& bad :
+       {std::string("--agg=median"), std::string("--compute_backend=fp8"),
+        std::string("--wire_format=fp8")}) {
+    CommandLine cli;
+    RegisterExperimentFlags(&cli);
+    std::vector<std::string> raw = {"prog", bad};
+    std::vector<char*> argv;
+    for (auto& a : raw) argv.push_back(a.data());
+    ASSERT_TRUE(cli.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+    ExperimentConfig cfg;
+    EXPECT_FALSE(ApplyExperimentFlags(cli, &cfg).ok()) << bad;
+  }
 }
 
 TEST(ConfigTest, DimOrderingEnforced) {

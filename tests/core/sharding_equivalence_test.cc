@@ -1,0 +1,197 @@
+// Sharded parameter server, end to end: the S=1 ShardedServer is
+// bit-identical to the single-table HeteroServer for every method and
+// base model under both schedules; higher shard counts are seed- and
+// thread-deterministic AND still bit-identical to S=1 (padded aggregation
+// is row-independent, so the shard count changes memory layout and
+// per-shard accounting, never arithmetic — docs/SYNC.md "Sharding"); and
+// a sharded run resumes from a kill bit-identical to an uninterrupted
+// one, including across a shard-count change (Snapshot exports the same
+// single-table layout for every S).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/core/trainer.h"
+#include "tests/core/equivalence_test_util.h"
+
+namespace hetefedrec {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig cfg;
+  cfg.dataset = "ml";
+  cfg.data_scale = 0.02;
+  cfg.global_epochs = 2;
+  cfg.clients_per_round = 32;
+  cfg.eval_user_sample = 60;
+  cfg.ddr_sample_rows = 64;
+  cfg.kd_items = 16;
+  cfg.seed = 41;
+  return cfg;
+}
+
+ExperimentResult RunWith(const ExperimentConfig& cfg, Method method) {
+  auto runner = ExperimentRunner::Create(cfg);
+  EXPECT_TRUE(runner.ok()) << runner.status().ToString();
+  return (*runner)->Run(method);
+}
+
+void ExpectSameRun(const ExperimentResult& a, const ExperimentResult& b) {
+  ExpectSameEval(a.final_eval, b.final_eval);
+  EXPECT_EQ(a.collapse_variance, b.collapse_variance);
+  EXPECT_EQ(a.comm.TotalTransmitted(), b.comm.TotalTransmitted());
+  EXPECT_EQ(a.simulated_seconds, b.simulated_seconds);
+}
+
+// The tentpole contract, strongest form: S=1 sharded vs the legacy
+// single-table server, every method, both base models, synchronous
+// schedule — bit-identical metrics, comm totals and virtual clock.
+TEST(ShardingEquivalence, SingleShardMatchesLegacyAllMethodsSync) {
+  for (BaseModel model : {BaseModel::kNcf, BaseModel::kLightGcn}) {
+    for (Method method : kAllMethods) {
+      ExperimentConfig legacy = SmallConfig();
+      legacy.base_model = model;
+      legacy.server_shards = 0;  // HeteroServer
+      ExperimentConfig sharded = legacy;
+      sharded.server_shards = 1;  // ShardedServer, one shard
+
+      SCOPED_TRACE(BaseModelName(model) + " / " + MethodName(method));
+      ExpectSameRun(RunWith(legacy, method), RunWith(sharded, method));
+    }
+  }
+}
+
+// The same bar under merge-on-arrival: async exercises ApplyUpdate (the
+// per-arrival staleness-weighted path) and the async Distill cadence
+// instead of the round barrier.
+TEST(ShardingEquivalence, SingleShardMatchesLegacyAllMethodsAsync) {
+  for (BaseModel model : {BaseModel::kNcf, BaseModel::kLightGcn}) {
+    for (Method method : kAllMethods) {
+      if (method == Method::kStandalone) continue;  // no server to shard
+      ExperimentConfig legacy = SmallConfig();
+      legacy.base_model = model;
+      legacy.async_mode = true;
+      legacy.server_shards = 0;
+      ExperimentConfig sharded = legacy;
+      sharded.server_shards = 1;
+
+      SCOPED_TRACE(BaseModelName(model) + " / " + MethodName(method));
+      ExpectSameRun(RunWith(legacy, method), RunWith(sharded, method));
+    }
+  }
+}
+
+// Beyond the S=1 contract: because per-row accumulation and application
+// are row-independent and shards merge in ascending item-range order,
+// ANY shard count reproduces the legacy tables bit-for-bit.
+TEST(ShardingEquivalence, HigherShardCountsMatchLegacy) {
+  for (size_t shards : {size_t{2}, size_t{4}}) {
+    ExperimentConfig legacy = SmallConfig();
+    legacy.server_shards = 0;
+    ExperimentConfig sharded = legacy;
+    sharded.server_shards = shards;
+
+    SCOPED_TRACE("S=" + std::to_string(shards));
+    ExpectSameRun(RunWith(legacy, Method::kHeteFedRec),
+                  RunWith(sharded, Method::kHeteFedRec));
+  }
+}
+
+// Seed determinism at S in {2, 4}: two identical sharded runs agree
+// bit-for-bit (the routing, per-shard buffers and merge order are pure
+// functions of the config).
+TEST(ShardingEquivalence, ShardedRunsReproduceBitForBit) {
+  for (size_t shards : {size_t{2}, size_t{4}}) {
+    ExperimentConfig cfg = SmallConfig();
+    cfg.server_shards = shards;
+    SCOPED_TRACE("S=" + std::to_string(shards));
+    ExpectSameRun(RunWith(cfg, Method::kHeteFedRec),
+                  RunWith(cfg, Method::kHeteFedRec));
+  }
+}
+
+// Thread-count invariance with shards: round execution threads change
+// only who trains when, never the merge order into the sharded tables.
+TEST(ShardingEquivalence, ShardedRunsAreThreadCountInvariant) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.server_shards = 4;
+  ExperimentConfig cfg4 = cfg;
+  cfg4.num_threads = 4;
+  ExpectSameRun(RunWith(cfg, Method::kHeteFedRec),
+                RunWith(cfg4, Method::kHeteFedRec));
+}
+
+// Sharded runs get crash-consistent resume for free through
+// ServerApi::Snapshot: a run killed mid-epoch and resumed finishes
+// bit-identical to the uninterrupted sharded run. The resumed leg
+// restores into the same shard count it was written from.
+TEST(ShardingEquivalence, ShardedKillResumeIsBitIdentical) {
+  const std::string full_ckpt = testing::TempDir() + "/shard_resume_a";
+  const std::string kill_ckpt = testing::TempDir() + "/shard_resume_b";
+  for (const std::string& p : {full_ckpt, kill_ckpt}) {
+    std::remove(p.c_str());
+    std::remove((p + ".run").c_str());
+  }
+
+  ExperimentConfig cfg = SmallConfig();
+  cfg.server_shards = 4;
+
+  ExperimentConfig full_cfg = cfg;
+  full_cfg.checkpoint_path = full_ckpt;
+  ExperimentResult full = RunWith(full_cfg, Method::kHeteFedRec);
+
+  ExperimentConfig kill_cfg = cfg;
+  kill_cfg.checkpoint_path = kill_ckpt;
+  kill_cfg.checkpoint_every = 1;
+  kill_cfg.debug_stop_after_rounds = 3;
+  ExperimentResult killed = RunWith(kill_cfg, Method::kHeteFedRec);
+  EXPECT_EQ(killed.final_eval.overall.users, 0u);
+  ASSERT_TRUE(std::ifstream(kill_ckpt + ".run").good())
+      << "kill point left no run checkpoint";
+
+  ExperimentConfig resume_cfg = kill_cfg;
+  resume_cfg.debug_stop_after_rounds = 0;
+  resume_cfg.resume_run = true;
+  ExperimentResult resumed = RunWith(resume_cfg, Method::kHeteFedRec);
+
+  ExpectSameRun(full, resumed);
+  // Strongest form: the final model checkpoints are byte-identical.
+  std::ifstream a(full_ckpt, std::ios::binary);
+  std::ifstream b(kill_ckpt, std::ios::binary);
+  ASSERT_TRUE(a.good());
+  ASSERT_TRUE(b.good());
+  const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes_a, bytes_b);
+}
+
+// The shard count participates in the resume fingerprint: a checkpoint
+// written at S=4 must refuse to resume into an S=2 run (silently mixing
+// layouts would be a correctness trap even though the tables happen to
+// be portable).
+TEST(ShardingEquivalenceDeathTest, ResumeFingerprintIncludesShardCount) {
+  const std::string ckpt = testing::TempDir() + "/shard_fingerprint";
+  std::remove(ckpt.c_str());
+  std::remove((ckpt + ".run").c_str());
+
+  ExperimentConfig cfg = SmallConfig();
+  cfg.server_shards = 4;
+  cfg.checkpoint_path = ckpt;
+  cfg.checkpoint_every = 1;
+  cfg.debug_stop_after_rounds = 2;
+  RunWith(cfg, Method::kHeteFedRec);
+  ASSERT_TRUE(std::ifstream(ckpt + ".run").good());
+
+  ExperimentConfig mismatched = cfg;
+  mismatched.debug_stop_after_rounds = 0;
+  mismatched.resume_run = true;
+  mismatched.server_shards = 2;
+  EXPECT_DEATH(RunWith(mismatched, Method::kHeteFedRec), "");
+}
+
+}  // namespace
+}  // namespace hetefedrec

@@ -82,5 +82,29 @@ TEST(CliTest, UsageListsFlags) {
   EXPECT_NE(usage.find("rng seed"), std::string::npos);
 }
 
+// The shared registry behind every experiment binary: registering it
+// makes the shared flags parseable with their documented defaults, and it
+// composes with binary-local flags.
+TEST(CliTest, ExperimentFlagRegistryParsesSharedFlags) {
+  CommandLine cli;
+  cli.AddFlag("scale", "bench", "binary-local flag");
+  RegisterExperimentFlags(&cli);
+  ArgvBuilder args({"prog", "--server_shards=4", "--async",
+                    "--fault_crash=0.1", "--round_deadline=30",
+                    "--scale=paper"});
+  ASSERT_TRUE(cli.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(cli.GetInt("server_shards"), 4);
+  EXPECT_TRUE(cli.GetBool("async"));
+  EXPECT_DOUBLE_EQ(cli.GetDouble("fault_crash"), 0.1);
+  EXPECT_DOUBLE_EQ(cli.GetDouble("round_deadline"), 30.0);
+  EXPECT_EQ(cli.GetString("scale"), "paper");
+  // Untouched shared flags keep their documented defaults.
+  EXPECT_EQ(cli.GetInt("seed"), 7);
+  EXPECT_EQ(cli.GetString("agg"), "mean");
+  EXPECT_EQ(cli.GetInt("server_shards"), 4);
+  EXPECT_DOUBLE_EQ(cli.GetDouble("net_bandwidth"), 1.25e6);
+  EXPECT_EQ(cli.GetInt("fault_retry_max"), 5);
+}
+
 }  // namespace
 }  // namespace hetefedrec

@@ -37,114 +37,11 @@ int Main(int argc, char** argv) {
   cli.AddFlag("validation", "0", "local validation fraction (paper: 0.1)");
   cli.AddFlag("eval_every", "0", "evaluate every n epochs (0 = final only)");
   cli.AddFlag("eval_users", "300", "evaluation user sample (0 = all)");
-  cli.AddFlag("seed", "7", "experiment seed");
   cli.AddFlag("checkpoint", "", "write final server parameters here");
-  cli.AddFlag("threads", "1",
-              "round-execution threads (0 = hardware concurrency; results "
-              "are identical for any value)");
-  cli.AddFlag("dense_updates", "false",
-              "use the dense reference client-update path");
-  cli.AddFlag("scalar_scoring", "false",
-              "use the per-sample reference scoring path instead of the "
-              "batched kernels (bit-identical; for comparison runs)");
-  cli.AddFlag("scalar_topk", "false",
-              "use the per-user partial_sort reference top-K selection "
-              "instead of the fused streaming selector (bit-identical; "
-              "for comparison runs)");
-  cli.AddFlag("eval_candidates", "0",
-              "candidate-sliced evaluation: score test items + N seeded "
-              "negatives per user instead of the full catalogue (0 = full; "
-              "changes reported metrics — see docs/PERFORMANCE.md)");
-  cli.AddFlag("replica_cap", "0",
-              "per-client LRU cap on delta-sync replica rows (0 = "
-              "unlimited; evicted rows re-ship on the next subscription)");
-  cli.AddFlag("sparse_comm", "false",
-              "report actually-shipped (sparse/delta) scalars instead of "
-              "the paper's dense accounting");
-  cli.AddFlag("delta_downloads", "false",
-              "row-subscription delta downloads instead of full-table "
-              "downloads (bit-identical metrics; see docs/SYNC.md)");
-  cli.AddFlag("availability", "1.0",
-              "P(selected client is online); offline clients requeue");
-  cli.AddFlag("straggler_slack", "0",
-              "over-selection slack: select N extra clients per round, "
-              "merge the first clients_per_round to finish");
-  cli.AddFlag("round_deadline", "0",
-              "simulated round deadline in seconds (0 = none)");
-  cli.AddFlag("compute_backend", "fp64",
-              "numeric compute backend: fp64 (bit-exact reference) | fp32 "
-              "(float client math) | fp32_simd (float + AVX2 kernels)");
-  cli.AddFlag("wire_format", "auto",
-              "wire scalar width for byte accounting: auto | fp64 | fp32 | "
-              "fp16 (auto = fp64, or fp32 when --compute_backend is fp32*)");
-  cli.AddFlag("net_bandwidth", "1.25e6",
-              "median client bandwidth, bytes/second");
-  cli.AddFlag("net_bandwidth_sigma", "0",
-              "log-normal sigma of the per-client bandwidth multiplier");
-  cli.AddFlag("net_latency", "0.05", "base round-trip latency, seconds");
-  cli.AddFlag("net_latency_sigma", "0",
-              "log-normal sigma of the per-(client,round) latency");
-  cli.AddFlag("net_compute", "0",
-              "local compute seconds per training sample");
-  cli.AddFlag("async", "false",
-              "asynchronous merge-on-arrival aggregation instead of "
-              "synchronous rounds (docs/SYNC.md)");
-  cli.AddFlag("async_alpha", "0.5",
-              "staleness exponent: updates merge with w(s)=1/(1+s)^alpha");
-  cli.AddFlag("async_max_staleness", "0",
-              "drop arrivals staler than this version gap (0 = no cap)");
-  cli.AddFlag("async_distill_every", "0",
-              "merged updates between RESKD distillations "
-              "(0 = clients_per_round)");
-  cli.AddFlag("async_inflight", "0",
-              "clients concurrently in flight (0 = clients_per_round)");
-  cli.AddFlag("async_dispatch_batch", "1",
-              "completions merged before freed slots re-dispatch as one "
-              "parallel batch");
-  cli.AddFlag("fault_upload_loss", "0", "P(trained update lost in flight)");
-  cli.AddFlag("fault_download_loss", "0",
-              "P(model never reaches the selected client)");
-  cli.AddFlag("fault_crash", "0", "P(client crashes mid-local-epoch)");
-  cli.AddFlag("fault_duplicate", "0",
-              "P(update delivered twice; server dedupes)");
-  cli.AddFlag("fault_corrupt", "0",
-              "P(update corrupted in flight: NaN/Inf/large-norm)");
-  cli.AddFlag("fault_retry_max", "5",
-              "consecutive transfer failures before a client gives up "
-              "for the epoch");
-  cli.AddFlag("fault_retry_base", "1",
-              "base retry backoff, simulated seconds");
-  cli.AddFlag("fault_retry_cap", "60", "retry backoff cap, simulated seconds");
-  cli.AddFlag("fault_quarantine_base", "5",
-              "base quarantine after an admission rejection, simulated "
-              "seconds");
-  cli.AddFlag("fault_quarantine_cap", "300",
-              "quarantine cap, simulated seconds");
-  cli.AddFlag("fault_jitter", "0.5", "backoff jitter fraction in [0,1]");
-  cli.AddFlag("admission", "false",
-              "server-side update admission control (finite scan + "
-              "clip + outlier gate; docs/ROBUSTNESS.md)");
-  cli.AddFlag("admit_max_row_norm", "0",
-              "clip uploaded item-delta rows to this L2 norm (0 = off)");
-  cli.AddFlag("admit_outlier_z", "0",
-              "reject updates with robust z-score above this over the "
-              "slot's accepted-norm window (0 = off)");
-  cli.AddFlag("checkpoint_every", "0",
-              "write a crash-consistent run checkpoint every n rounds "
-              "(sync) / epochs (async); requires --checkpoint");
-  cli.AddFlag("resume", "false",
-              "resume from <checkpoint>.run written by --checkpoint_every");
-  cli.AddFlag("stop_after_rounds", "0",
-              "kill the run after n merged rounds (kill-point testing)");
-  cli.AddFlag("metrics_out", "",
-              "stream per-round metrics as JSONL here (docs/OBSERVABILITY.md; "
-              "never perturbs results)");
-  cli.AddFlag("trace_out", "",
-              "write a Chrome/Perfetto trace of the simulated run here "
-              "(virtual-clock timeline; docs/OBSERVABILITY.md)");
-  cli.AddFlag("profile", "false",
-              "wall-clock phase profiling; prints a phase table at exit and "
-              "adds profile rows to --metrics_out");
+  // Everything an experiment run shares with the bench suite — execution
+  // toggles, sync, network, async, faults, sharding, telemetry — comes from
+  // the shared registry (src/util/cli.h) so the two flag sets cannot drift.
+  RegisterExperimentFlags(&cli);
 
   Status st = cli.Parse(argc, argv);
   if (!st.ok()) {
@@ -172,78 +69,11 @@ int Main(int argc, char** argv) {
   cfg.local_validation_fraction = cli.GetDouble("validation");
   cfg.eval_every = cli.GetInt("eval_every");
   cfg.eval_user_sample = static_cast<size_t>(cli.GetInt("eval_users"));
-  cfg.seed = static_cast<uint64_t>(cli.GetInt("seed"));
   cfg.checkpoint_path = cli.GetString("checkpoint");
-  cfg.num_threads = static_cast<size_t>(cli.GetInt("threads"));
-  cfg.use_sparse_updates = !cli.GetBool("dense_updates");
-  cfg.use_batched_scoring = !cli.GetBool("scalar_scoring");
-  cfg.use_batched_topk = !cli.GetBool("scalar_topk");
-  cfg.eval_candidate_sample = static_cast<size_t>(cli.GetInt("eval_candidates"));
-  cfg.sync_replica_cap = static_cast<size_t>(cli.GetInt("replica_cap"));
-  cfg.sparse_comm_accounting = cli.GetBool("sparse_comm");
-  cfg.full_downloads = !cli.GetBool("delta_downloads");
-  cfg.availability = cli.GetDouble("availability");
-  cfg.straggler_slack = static_cast<size_t>(cli.GetInt("straggler_slack"));
-  cfg.round_deadline = cli.GetDouble("round_deadline");
-  auto backend = ComputeBackendByName(cli.GetString("compute_backend"));
-  if (!backend.ok()) {
-    std::fprintf(stderr, "%s\n", backend.status().ToString().c_str());
+  st = ApplyExperimentFlags(cli, &cfg);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
-  }
-  cfg.compute_backend = *backend;
-  const std::string wire_format = cli.GetString("wire_format");
-  if (wire_format == "auto") {
-    cfg.wire_scalar_bytes =
-        cfg.compute_backend == ComputeBackend::kFp64 ? 8 : 4;
-  } else {
-    auto wire = WireScalarBytesByName(wire_format);
-    if (!wire.ok()) {
-      std::fprintf(stderr, "%s\n", wire.status().ToString().c_str());
-      return 1;
-    }
-    cfg.wire_scalar_bytes = *wire;
-  }
-  cfg.net_bandwidth = cli.GetDouble("net_bandwidth");
-  cfg.net_bandwidth_sigma = cli.GetDouble("net_bandwidth_sigma");
-  cfg.net_latency = cli.GetDouble("net_latency");
-  cfg.net_latency_sigma = cli.GetDouble("net_latency_sigma");
-  cfg.net_compute_per_sample = cli.GetDouble("net_compute");
-  cfg.async_mode = cli.GetBool("async");
-  cfg.async_staleness_alpha = cli.GetDouble("async_alpha");
-  cfg.async_max_staleness =
-      static_cast<size_t>(cli.GetInt("async_max_staleness"));
-  cfg.async_distill_every =
-      static_cast<size_t>(cli.GetInt("async_distill_every"));
-  cfg.async_inflight = static_cast<size_t>(cli.GetInt("async_inflight"));
-  cfg.async_dispatch_batch =
-      static_cast<size_t>(cli.GetInt("async_dispatch_batch"));
-  cfg.fault_upload_loss = cli.GetDouble("fault_upload_loss");
-  cfg.fault_download_loss = cli.GetDouble("fault_download_loss");
-  cfg.fault_crash = cli.GetDouble("fault_crash");
-  cfg.fault_duplicate = cli.GetDouble("fault_duplicate");
-  cfg.fault_corrupt = cli.GetDouble("fault_corrupt");
-  cfg.fault_retry_max = static_cast<size_t>(cli.GetInt("fault_retry_max"));
-  cfg.fault_retry_base = cli.GetDouble("fault_retry_base");
-  cfg.fault_retry_cap = cli.GetDouble("fault_retry_cap");
-  cfg.fault_quarantine_base = cli.GetDouble("fault_quarantine_base");
-  cfg.fault_quarantine_cap = cli.GetDouble("fault_quarantine_cap");
-  cfg.fault_jitter = cli.GetDouble("fault_jitter");
-  cfg.admission_control = cli.GetBool("admission");
-  cfg.admit_max_row_norm = cli.GetDouble("admit_max_row_norm");
-  cfg.admit_outlier_z = cli.GetDouble("admit_outlier_z");
-  cfg.checkpoint_every = static_cast<size_t>(cli.GetInt("checkpoint_every"));
-  cfg.resume_run = cli.GetBool("resume");
-  cfg.debug_stop_after_rounds =
-      static_cast<size_t>(cli.GetUint64("stop_after_rounds"));
-  cfg.metrics_out = cli.GetString("metrics_out");
-  cfg.trace_out = cli.GetString("trace_out");
-  cfg.profile = cli.GetBool("profile");
-  if (cli.GetString("agg") == "sum") {
-    cfg.aggregation = AggregationMode::kSum;
-  } else if (cli.GetString("agg") == "weighted") {
-    cfg.aggregation = AggregationMode::kDataWeighted;
-  } else {
-    cfg.aggregation = AggregationMode::kMean;
   }
 
   double triple[3];
