@@ -5,7 +5,6 @@
 // 1e-3 tolerance contract (tests/core/backend_equivalence_test.cc pins
 // this at test scale), fp32 == fp32_simd exactly, and fp32_simd the
 // fastest arm on AVX2 hardware.
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -13,6 +12,7 @@
 #include "src/core/trainer.h"
 #include "src/math/backend.h"
 #include "src/util/table_printer.h"
+#include "src/util/timer.h"
 
 namespace hetefedrec::bench {
 namespace {
@@ -49,12 +49,9 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "[backend] %s / %s / %s ...\n",
                    BaseModelName(cell.model).c_str(), cell.dataset.c_str(),
                    ComputeBackendName(backend).c_str());
-      const auto start = std::chrono::steady_clock::now();
+      const Timer timer;
       GroupedEval eval = (*runner)->Run(Method::kHeteFedRec).final_eval;
-      const double seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
-              .count();
+      const double seconds = timer.Seconds();
       const bool is_ref = backend == ComputeBackend::kFp64;
       if (is_ref) {
         fp64_ndcg = eval.overall.ndcg;

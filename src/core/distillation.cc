@@ -130,7 +130,7 @@ void DistillStep(Matrix* table, const std::vector<ItemId>& items,
 }
 
 template <typename T>
-double EnsembleDistillImpl(std::vector<Matrix*>& tables,
+double EnsembleDistillImpl(const std::vector<Matrix*>& tables,
                            const DistillationOptions& options,
                            const std::vector<ItemId>& items) {
   const size_t k = items.size();
@@ -169,7 +169,7 @@ double RelationLoss(const Matrix& relation, const Matrix& target) {
   return RelationLossImpl(relation, target);
 }
 
-double EnsembleDistill(std::vector<Matrix*> tables,
+double EnsembleDistill(const std::vector<Matrix*>& tables,
                        const DistillationOptions& options, Rng* rng,
                        std::vector<ItemId>* sampled_items) {
   HFR_CHECK(!tables.empty());

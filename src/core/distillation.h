@@ -56,7 +56,7 @@ double RelationLoss(const Matrix& relation, const Matrix& target);
 ///   only rows the distillation mutates (delta sync stamps their versions).
 /// \returns the mean relation loss across tables *before* distillation
 ///   (useful for monitoring / tests).
-double EnsembleDistill(std::vector<Matrix*> tables,
+double EnsembleDistill(const std::vector<Matrix*>& tables,
                        const DistillationOptions& options, Rng* rng,
                        std::vector<ItemId>* sampled_items = nullptr);
 

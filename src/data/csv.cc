@@ -42,8 +42,10 @@ StatusOr<std::vector<Interaction>> LoadInteractionsCsv(const std::string& path,
   if (!in) return Status::IOError("cannot open " + path);
 
   std::vector<Interaction> out;
-  std::unordered_map<long, UserId> user_map;
-  std::unordered_map<long, ItemId> item_map;
+  // hfr-lint: iteration-order-safe(never iterated - try_emplace/size lookups only, ids assigned by first appearance in file order)
+  std::unordered_map<long,UserId> user_map;
+  // hfr-lint: iteration-order-safe(never iterated - try_emplace/size lookups only, ids assigned by first appearance in file order)
+  std::unordered_map<long,ItemId> item_map;
   std::string line;
   size_t line_no = 0;
   while (std::getline(in, line)) {

@@ -90,7 +90,9 @@ class Dataset {
   int negatives_per_positive_ = 4;
   std::vector<std::vector<ItemId>> train_;
   std::vector<std::vector<ItemId>> test_;
+  // hfr-lint: iteration-order-safe(membership tests only - insert/count, never walked; split order comes from the per_user vectors)
   std::vector<std::unordered_set<ItemId>> seen_;       // train ∪ test
+  // hfr-lint: iteration-order-safe(membership tests only - negative-sample rejection via count, never walked)
   std::vector<std::unordered_set<ItemId>> train_set_;  // train only
 };
 

@@ -46,6 +46,7 @@ std::vector<ItemId> Evaluator::CandidateItems(UserId u) const {
     // Rejection-sample distinct never-interacted items. Forking per user
     // makes the draw independent of evaluation order and thread count.
     Rng rng = candidate_root_.Fork(u);
+    // hfr-lint: iteration-order-safe(dedup guard only - ids are appended in rng draw order and sorted below, the set is never walked)
     std::unordered_set<ItemId> chosen;
     chosen.reserve(candidate_sample_);
     while (chosen.size() < candidate_sample_) {

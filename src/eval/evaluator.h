@@ -148,6 +148,7 @@ class Evaluator {
     std::vector<double> scores;
     std::vector<bool> masked;  // all-false between users (set/use/clear)
     std::vector<ItemId> topk;
+    // hfr-lint: iteration-order-safe(membership tests only - metrics walk the ordered topk vector and probe this set via count)
     std::unordered_set<ItemId> relevant;
   };
 

@@ -96,10 +96,12 @@ class ClientReplica {
 
   size_t slot_ = kNoSlot;
   size_t capacity_ = 0;
+  // hfr-lint: iteration-order-safe(find/emplace/erase lookups only - ExportRows walks the deterministic lru_ list, never this map)
   std::unordered_map<uint32_t, Entry> held_;
   std::list<uint32_t> lru_;  // most recently used at the front
   // Verification mode: row → offset into values_. Slots of evicted rows are
   // recycled through free_value_pos_ so capped replicas stay bounded.
+  // hfr-lint: iteration-order-safe(find/emplace/erase lookups only, never walked)
   std::unordered_map<uint32_t, size_t> value_pos_;
   std::vector<size_t> free_value_pos_;
   std::vector<double> values_;

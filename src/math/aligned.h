@@ -28,6 +28,9 @@ class AlignedAllocator {
 
   AlignedAllocator() noexcept = default;
   template <typename U>
+  // NOLINTNEXTLINE(google-explicit-constructor): allocator rebinding
+  // requires the implicit AlignedAllocator<U> -> AlignedAllocator<T>
+  // conversion (std::allocator_traits does it without a cast).
   AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
 
   T* allocate(size_t n) {

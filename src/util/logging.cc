@@ -28,6 +28,8 @@ const char* LevelName(LogLevel level) {
 /// Honors HETEFEDREC_LOG_LEVEL before the first line is logged; runs once
 /// during static initialization of g_min_level.
 int InitialLevel() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once during static init,
+  // before any thread that could call setenv exists.
   const char* env = std::getenv("HETEFEDREC_LOG_LEVEL");
   if (env == nullptr || *env == '\0') {
     return static_cast<int>(LogLevel::kInfo);

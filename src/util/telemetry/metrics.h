@@ -137,6 +137,7 @@ class MetricsRegistry {
   Entry* Find(const std::string& name, Kind kind);
 
   std::vector<Entry> entries_;
+  // hfr-lint: iteration-order-safe(name->slot lookups only - serialization iterates entries_ in registration order, never this map)
   std::unordered_map<std::string, size_t> index_;
   // Deques of stable storage (pointers handed out must survive growth).
   std::vector<std::unique_ptr<Counter>> counters_;

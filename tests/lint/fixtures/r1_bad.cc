@@ -1,0 +1,22 @@
+// Fixture: every construct here must trip R1 (wall-clock).
+#include <chrono>
+#include <ctime>
+
+double WallSeconds() {
+  const auto t0 = std::chrono::steady_clock::now();      // finding
+  const auto t1 = std::chrono::system_clock::now();      // finding
+  const auto t2 = std::chrono::high_resolution_clock::now();  // finding
+  (void)t0;
+  (void)t1;
+  (void)t2;
+  return 0.0;
+}
+
+long EpochSeconds() { return time(nullptr); }  // finding
+
+long CpuTicks() { return clock(); }  // finding
+
+void PosixTime() {
+  struct timespec ts;
+  clock_gettime(0, &ts);  // finding
+}

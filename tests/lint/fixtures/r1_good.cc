@@ -1,0 +1,18 @@
+// Fixture: must produce zero findings. Wall time is read only through the
+// sanctioned stopwatch; mentions of steady_clock in comments or strings
+// must not trip R1, and identifiers merely containing "time(" must not
+// match the C time() pattern.
+#include <string>
+
+#include "src/util/timer.h"
+
+double Measure() {
+  hetefedrec::Timer timer;  // Timer wraps std::chrono::steady_clock
+  const std::string label = "wall time(see docs) via system_clock";
+  (void)label;
+  return timer.Seconds();
+}
+
+double runtime(int x) { return static_cast<double>(x); }
+
+double Call() { return runtime(3); }

@@ -1,0 +1,10 @@
+// Fixture: the violations carry line suppressions with reasons — zero
+// unsuppressed findings expected.
+#include <chrono>
+
+double Sample() {
+  // hfr-lint: allow(R1): fixture demonstrating a reasoned suppression
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();  // hfr-lint: allow(R1): trailing form
+  return std::chrono::duration<double>(t1 - t0).count();
+}

@@ -1,0 +1,13 @@
+// Fixture: every construct here must trip R2 (ambient randomness).
+#include <cstdlib>
+#include <random>
+
+int Draw() {
+  std::random_device rd;            // finding
+  std::mt19937 gen(rd());           // finding
+  std::default_random_engine e{1};  // finding
+  (void)gen;
+  (void)e;
+  srand(42);                        // finding
+  return rand();                    // finding
+}

@@ -1,0 +1,12 @@
+// Fixture: must produce zero findings. Randomness routes through the
+// seeded Rng; identifiers containing "rand(" as a substring must not match.
+#include "src/util/rng.h"
+
+double Draw(unsigned long long seed) {
+  hetefedrec::Rng rng(seed);
+  return rng.Uniform();
+}
+
+int operand(int x) { return x; }
+
+int Call() { return operand(7); }

@@ -1,0 +1,19 @@
+// Fixture: unannotated walks over unordered containers must trip R3.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+// hfr-lint: iteration-order-safe(fixture decl annotated so only the walks below are findings)
+static std::unordered_map<int, double> weights;
+// hfr-lint: iteration-order-safe(fixture decl annotated so only the walks below are findings)
+static std::unordered_set<int> members;
+
+double SumWeights() {
+  double total = 0.0;
+  for (const auto& kv : weights) total += kv.second;  // finding: range-for walk
+  return total;
+}
+
+std::vector<int> CopyOut() {
+  return std::vector<int>(members.begin(), members.end());  // finding: iterator walk
+}

@@ -1,0 +1,17 @@
+// Fixture: when placed under src/ (results-affecting code), an owned
+// unordered declaration without an iteration-order-safe annotation must
+// trip R3 even if it is never walked. The self-test copies this file into
+// a temporary root's src/ tree to exercise that mode.
+#include <string>
+#include <unordered_map>
+
+class Registry {
+ public:
+  int Lookup(const std::string& name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? -1 : it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, int> index_;  // finding (src/ only)
+};

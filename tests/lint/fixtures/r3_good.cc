@@ -1,0 +1,26 @@
+// Fixture: must produce zero findings. Lookup-only access, an annotated
+// walk, and reference parameters (not owned declarations).
+#include <unordered_map>
+#include <unordered_set>
+
+// hfr-lint: iteration-order-safe(lookup-only in this fixture; the one walk below carries its own annotation)
+static std::unordered_map<int, double> weights;
+
+double Lookup(int key) {
+  auto it = weights.find(key);
+  return it == weights.end() ? 0.0 : it->second;
+}
+
+double SumCommutative() {
+  double total = 0.0;
+  // Summing doubles is NOT commutative in general; this fixture stands in
+  // for a genuinely order-free reduction (e.g. exact u64 counters).
+  // hfr-lint: iteration-order-safe(fixture stand-in for an exact commutative reduction)
+  for (const auto& kv : weights) total += kv.second;
+  return total;
+}
+
+// A const-reference parameter is not an owned declaration.
+bool Contains(const std::unordered_set<int>& pool, int key) {
+  return pool.count(key) > 0;
+}

@@ -1,0 +1,17 @@
+// Fixture: every construct here must trip R4 (schedule identity).
+#include <map>
+#include <set>
+#include <thread>
+
+struct Node {};
+
+std::thread::id Current() {                     // finding: thread::id
+  return std::this_thread::get_id();            // finding: this_thread
+}
+
+static std::map<Node*, int> ranks;              // finding: pointer-keyed map
+static std::set<const Node*> visited;           // finding: pointer-keyed set
+
+int Rank(Node* n) { return ranks[n]; }
+
+bool Seen(const Node* n) { return visited.count(n) > 0; }

@@ -1,0 +1,23 @@
+// Fixture: must produce zero findings. Work is keyed by stable slot
+// indices, and pointer-*valued* (not pointer-keyed) containers are fine.
+#include <cstddef>
+#include <map>
+#include <vector>
+
+struct Node {};
+
+// Pointer values keyed by a stable integer id: deterministic.
+static std::map<int, Node*> by_id;
+
+Node* Lookup(int id) {
+  auto it = by_id.find(id);
+  return it == by_id.end() ? nullptr : it->second;
+}
+
+double ReduceBySlot(const std::vector<double>& per_slot) {
+  double total = 0.0;
+  for (std::size_t slot = 0; slot < per_slot.size(); ++slot) {
+    total += per_slot[slot];
+  }
+  return total;
+}

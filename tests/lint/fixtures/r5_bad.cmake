@@ -1,0 +1,5 @@
+# Fixture: every line here must trip R5 (fast-math / rogue ISA flags).
+add_compile_options(-O2 -ffast-math)
+target_compile_options(core PRIVATE -funsafe-math-optimizations)
+set(CMAKE_CXX_FLAGS "${CMAKE_CXX_FLAGS} -Ofast")
+set_source_files_properties(kernels_avx2.cc PROPERTIES COMPILE_OPTIONS "-mavx2;-mfma;-fassociative-math")

@@ -1,0 +1,5 @@
+# Fixture: must produce zero findings. The AVX2 TU carries exactly the
+# sanctioned ISA flags, and fast-math appears only in this comment:
+# -ffast-math is documented as forbidden, not enabled.
+add_compile_options(-O2 -Wall)
+set_source_files_properties(kernels_avx2.cc PROPERTIES COMPILE_OPTIONS "-mavx2;-mfma")

@@ -1,0 +1,15 @@
+// Fixture: suppressions without reasons are themselves findings, and a
+// reasonless suppression does not silence the underlying violation.
+#include <chrono>
+
+double Sample() {
+  // hfr-lint: allow(R1):
+  const auto t0 = std::chrono::steady_clock::now();  // finding survives
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+void Decl() {
+  // hfr-lint: iteration-order-safe()
+  int x = 0;  // the empty-reason annotation above is a finding
+  (void)x;
+}
